@@ -1,0 +1,38 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-short race bench figures results clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/live/ ./internal/des/... ./internal/sim/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table under results/ at full scale (several minutes).
+results:
+	$(GO) run ./cmd/figures -seeds 3 -out results
+	$(GO) run ./cmd/figures -gains -seeds 3 -out results
+	$(GO) run ./cmd/figures -overhead -seeds 3 -out results
+	$(GO) run ./cmd/figures -gc -seeds 3 -out results
+	$(GO) run ./cmd/figures -contention -seeds 3 -out results
+	$(GO) run ./cmd/figures -scalability -seeds 3 -out results
+	$(GO) run ./cmd/figures -proxy -seeds 3 -out results
+	$(GO) run ./cmd/figures -joins -seeds 3 -out results
+	$(GO) run ./cmd/recovery -seeds 3 -horizon 20000 > results/recovery.txt
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,140 @@
+// Command figures regenerates the evaluation of the paper — the six
+// N_tot-vs-T_switch figures of §5.2 — and every extension experiment
+// (DESIGN.md E7, E9, E11, E12, E14, E15, E16). The experiment logic
+// lives in internal/sim; this command only parses flags and formats
+// output.
+//
+// Usage:
+//
+//	figures                  # all six figures (full scale)
+//	figures -fig 2           # one figure
+//	figures -plot            # ASCII log-log charts instead of tables
+//	figures -gains           # §5.2 headline gains (E7)
+//	figures -overhead        # control-overhead table (E9)
+//	figures -gc              # storage garbage collection (E11)
+//	figures -contention      # wireless channel contention (E12)
+//	figures -scalability     # host-count scaling (E14)
+//	figures -proxy           # MSS proxying of control info (E15)
+//	figures -joins           # dynamic membership (E16)
+//	figures -seeds 3 -csv    # fewer seeds, CSV output
+//	figures -out results/    # also write one .txt/.csv file per table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mobickpt/internal/des"
+	"mobickpt/internal/sim"
+	"mobickpt/internal/stats"
+)
+
+func main() {
+	var (
+		fig         = flag.Int("fig", 0, "figure to regenerate (1..6); 0 = all")
+		seeds       = flag.Int("seeds", 3, "replication seeds per point")
+		seed        = flag.Uint64("seed", 1, "base seed")
+		horizon     = flag.Float64("horizon", 100000, "simulated time units per run")
+		gains       = flag.Bool("gains", false, "print the §5.2 headline gains (E7)")
+		overhead    = flag.Bool("overhead", false, "print the control-overhead table (E9)")
+		gc          = flag.Bool("gc", false, "print the storage garbage-collection table (E11)")
+		contention  = flag.Bool("contention", false, "print the channel-contention table (E12)")
+		scalability = flag.Bool("scalability", false, "print the host-count scalability table (E14)")
+		proxy       = flag.Bool("proxy", false, "print the MSS-proxy energy table (E15)")
+		joins       = flag.Bool("joins", false, "print the dynamic-membership cost table (E16)")
+		plot        = flag.Bool("plot", false, "render figures as ASCII log-log charts instead of tables")
+		pcomm       = flag.Float64("pcomm", 0.05, "probability an operation is a communication (calibration knob)")
+		csv         = flag.Bool("csv", false, "print CSV instead of aligned tables")
+		outDir      = flag.String("out", "", "directory to also write per-table .txt and .csv files")
+	)
+	flag.Parse()
+
+	base := sim.DefaultConfig()
+	base.Horizon = des.Time(*horizon)
+	base.Workload.PComm = *pcomm
+	seedSet := sim.Seeds(*seed, *seeds)
+
+	emit := func(name string, tab *stats.Table, err error) {
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			fmt.Print(tab.CSV())
+		} else {
+			fmt.Println(tab)
+		}
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(*outDir, name+".txt"), []byte(tab.String()), 0o644); err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(*outDir, name+".csv"), []byte(tab.CSV()), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	if *plot {
+		specs := sim.PaperFigures()
+		if *fig != 0 {
+			spec, err := sim.Figure(*fig)
+			if err != nil {
+				fatal(err)
+			}
+			specs = []sim.FigureSpec{spec}
+		}
+		for _, spec := range specs {
+			chart, err := sim.PlotFigure(spec, base, seedSet)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(chart)
+		}
+		return
+	}
+
+	switch {
+	case *gains:
+		tab, err := sim.GainsTable(base, seedSet)
+		emit("gains", tab, err)
+	case *overhead:
+		tab, err := sim.OverheadTable(base, seedSet)
+		emit("overhead", tab, err)
+	case *gc:
+		tab, err := sim.GCTable(base, seedSet)
+		emit("gc", tab, err)
+	case *contention:
+		tab, err := sim.ContentionTable(base, seedSet)
+		emit("contention", tab, err)
+	case *scalability:
+		tab, err := sim.ScalabilityTable(base, seedSet)
+		emit("scalability", tab, err)
+	case *proxy:
+		tab, err := sim.ProxyTable(base, seedSet)
+		emit("proxy", tab, err)
+	case *joins:
+		tab, err := sim.JoinsTable(base, seedSet)
+		emit("joins", tab, err)
+	case *fig != 0:
+		spec, err := sim.Figure(*fig)
+		if err != nil {
+			fatal(err)
+		}
+		tab, err := sim.RunFigure(spec, base, seedSet)
+		emit(fmt.Sprintf("figure%d", *fig), tab, err)
+	default:
+		for _, spec := range sim.PaperFigures() {
+			tab, err := sim.RunFigure(spec, base, seedSet)
+			emit(fmt.Sprintf("figure%d", spec.ID), tab, err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

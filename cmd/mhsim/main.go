@@ -1,0 +1,111 @@
+// Command mhsim runs one simulation of the paper's mobile checkpointing
+// study and prints per-protocol results.
+//
+// Example (the environment of Figure 2 at T_switch = 1000):
+//
+//	mhsim -tswitch 1000 -pswitch 0.8 -h 0 -seeds 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mobickpt/internal/des"
+	"mobickpt/internal/sim"
+	"mobickpt/internal/stats"
+)
+
+func main() {
+	var (
+		hosts      = flag.Int("hosts", 10, "number of mobile hosts")
+		mss        = flag.Int("mss", 5, "number of mobile support stations")
+		tswitch    = flag.Float64("tswitch", 1000, "mean cell permanence time of slow hosts")
+		pswitch    = flag.Float64("pswitch", 1.0, "probability of hand-off (vs disconnection)")
+		psend      = flag.Float64("ps", 0.4, "probability a communication is a send")
+		pcomm      = flag.Float64("pcomm", 0.05, "probability an operation is a communication")
+		contention = flag.Bool("contention", false, "model per-cell wireless channel contention")
+		het        = flag.Float64("h", 0, "heterogeneity degree H in [0,1]")
+		horizon    = flag.Float64("horizon", 100000, "simulated time units")
+		seeds      = flag.Int("seeds", 1, "number of replication seeds")
+		seed       = flag.Uint64("seed", 1, "base seed")
+		protos     = flag.String("protocols", "TP,BCS,QBC", "comma-separated protocols (TP,BCS,QBC,UNC,CL,PS,MS)")
+		snapshot   = flag.Float64("snapshot", 100, "snapshot period for CL/PS")
+		verbose    = flag.Bool("v", false, "print substrate counters and energy details")
+		jsonOut    = flag.Bool("json", false, "emit the single-run result as JSON")
+	)
+	flag.Parse()
+
+	cfg := sim.DefaultConfig()
+	cfg.Mobile.NumHosts = *hosts
+	cfg.Mobile.NumMSS = *mss
+	cfg.Workload.TSwitch = *tswitch
+	cfg.Workload.PSwitch = *pswitch
+	cfg.Workload.PSend = *psend
+	cfg.Workload.PComm = *pcomm
+	cfg.Mobile.Contention = *contention
+	cfg.Workload.Heterogeneity = *het
+	cfg.Horizon = des.Time(*horizon)
+	cfg.SnapshotPeriod = des.Time(*snapshot)
+	cfg.Protocols = nil
+	for _, p := range strings.Split(*protos, ",") {
+		cfg.Protocols = append(cfg.Protocols, sim.ProtocolName(strings.TrimSpace(p)))
+	}
+
+	if *seeds <= 1 {
+		cfg.Seed = *seed
+		res, err := sim.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mhsim:", err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			if err := res.ExportJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "mhsim:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		printRun(res, *verbose)
+		return
+	}
+
+	sum, err := sim.Replicate(cfg, sim.Seeds(*seed, *seeds))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mhsim:", err)
+		os.Exit(1)
+	}
+	tab := stats.NewTable(
+		fmt.Sprintf("Ntot over %d seeds (Tswitch=%.0f Pswitch=%.2f Ps=%.2f H=%.0f%%)",
+			*seeds, *tswitch, *pswitch, *psend, *het*100),
+		"protocol", "mean", "min", "max", "spread")
+	for _, p := range sum.Protocols {
+		tab.AddRow(string(p.Name),
+			fmt.Sprintf("%.1f", p.Ntot.Mean()),
+			fmt.Sprintf("%.0f", p.Ntot.Min()),
+			fmt.Sprintf("%.0f", p.Ntot.Max()),
+			fmt.Sprintf("%.1f%%", p.Ntot.RelSpread()*100))
+	}
+	fmt.Print(tab)
+}
+
+func printRun(res *sim.Result, verbose bool) {
+	tab := stats.NewTable(
+		fmt.Sprintf("single run, seed %d, horizon %.0f", res.Config.Seed, float64(res.Config.Horizon)),
+		"protocol", "Ntot", "basic", "forced", "piggyback(B)", "ctrlMsgs")
+	for _, pr := range res.Protocols {
+		tab.AddRow(string(pr.Name),
+			fmt.Sprint(pr.Ntot), fmt.Sprint(pr.Basic), fmt.Sprint(pr.Forced),
+			fmt.Sprint(pr.PiggybackBytes), fmt.Sprint(pr.CtrlMessages))
+	}
+	fmt.Print(tab)
+	if verbose {
+		fmt.Printf("\nworkload: %+v\n", res.Workload)
+		fmt.Printf("network:  %+v\n", res.Network)
+		for _, pr := range res.Protocols {
+			fmt.Printf("%s energy: %s  storage: %+v\n", pr.Name, pr.Energy, pr.Storage)
+		}
+		fmt.Printf("DES events fired: %d\n", res.EventsFired)
+	}
+}

@@ -1,0 +1,125 @@
+// Command mhtrace records and inspects message traces.
+//
+//	mhtrace -dump out/            # simulate and write one JSON trace per protocol
+//	mhtrace -stats out/QBC.json   # summarize a previously dumped trace
+//
+// Traces feed the offline recovery analysis and regression debugging:
+// two builds that disagree on a figure can be diffed at the trace level.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mobickpt/internal/des"
+	"mobickpt/internal/sim"
+	"mobickpt/internal/stats"
+	"mobickpt/internal/trace"
+)
+
+func main() {
+	var (
+		dump    = flag.String("dump", "", "directory to write per-protocol trace JSON into")
+		stat    = flag.String("stats", "", "trace JSON file to summarize")
+		tswitch = flag.Float64("tswitch", 1000, "mean cell permanence time")
+		pswitch = flag.Float64("pswitch", 0.8, "probability of hand-off (vs disconnection)")
+		horizon = flag.Float64("horizon", 10000, "simulated time units")
+		seed    = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *stat != "":
+		if err := summarize(*stat); err != nil {
+			fatal(err)
+		}
+	case *dump != "":
+		if err := dumpTraces(*dump, *tswitch, *pswitch, des.Time(*horizon), *seed); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "mhtrace: need -dump DIR or -stats FILE")
+		os.Exit(2)
+	}
+}
+
+func dumpTraces(dir string, tswitch, pswitch float64, horizon des.Time, seed uint64) error {
+	cfg := sim.DefaultConfig()
+	cfg.Workload.TSwitch = tswitch
+	cfg.Workload.PSwitch = pswitch
+	cfg.Horizon = horizon
+	cfg.Seed = seed
+	cfg.RecordTrace = true
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, pr := range res.Protocols {
+		path := filepath.Join(dir, string(pr.Name)+".json")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := pr.Trace.Export(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d delivered messages)\n", path, pr.Trace.Len())
+	}
+	return nil
+}
+
+func summarize(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Import(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d hosts, %d delivered messages\n", path, tr.NumHosts(), tr.Len())
+	if tr.Len() == 0 {
+		return nil
+	}
+
+	perSender := make([]int, tr.NumHosts())
+	perReceiver := make([]int, tr.NumHosts())
+	var latency stats.Mean
+	maxLat := 0.0
+	for _, ev := range tr.Events() {
+		if d := float64(ev.DeliveredAt - ev.SentAt); d > maxLat {
+			maxLat = d
+		}
+	}
+	hist := stats.NewHistogram(0, maxLat+1e-9, 200)
+	for _, ev := range tr.Events() {
+		perSender[ev.From]++
+		perReceiver[ev.To]++
+		d := float64(ev.DeliveredAt - ev.SentAt)
+		latency.Add(d)
+		hist.Add(d)
+	}
+	fmt.Printf("delivery latency: mean %.4f tu, p50 %.4f, p99 %.4f\n",
+		latency.Mean(), hist.Quantile(0.5), hist.Quantile(0.99))
+	tab := stats.NewTable("per-host message counts", "host", "sent", "received")
+	for h := 0; h < tr.NumHosts(); h++ {
+		tab.AddRow(fmt.Sprint(h), fmt.Sprint(perSender[h]), fmt.Sprint(perReceiver[h]))
+	}
+	fmt.Print(tab)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mhtrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,113 @@
+// Command recovery runs the extension experiment E8 (the paper's §6
+// "future work"): it injects a failure at the end of a simulated run and
+// measures, per protocol, how far the computation must roll back —
+// number of hosts involved, undone computation time, undone messages,
+// and the number of orphan-elimination (domino) steps needed beyond the
+// protocol's on-the-fly recovery line.
+//
+// The uncoordinated baseline (UNC) is included to exhibit the domino
+// effect the communication-induced protocols are designed to avoid.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mobickpt/internal/des"
+	"mobickpt/internal/mobile"
+	"mobickpt/internal/recovery"
+	"mobickpt/internal/sim"
+	"mobickpt/internal/stats"
+	"mobickpt/internal/storage"
+)
+
+func main() {
+	var (
+		tswitch = flag.Float64("tswitch", 1000, "mean cell permanence time")
+		pswitch = flag.Float64("pswitch", 0.8, "probability of hand-off (vs disconnection)")
+		het     = flag.Float64("h", 0, "heterogeneity degree H")
+		horizon = flag.Float64("horizon", 20000, "simulated time units (trace recording costs memory)")
+		seeds   = flag.Int("seeds", 3, "replication seeds")
+		seed    = flag.Uint64("seed", 1, "base seed")
+		failed  = flag.Int("failed", 0, "host that crashes at the horizon")
+	)
+	flag.Parse()
+
+	cfg := sim.DefaultConfig()
+	cfg.Workload.TSwitch = *tswitch
+	cfg.Workload.PSwitch = *pswitch
+	cfg.Workload.Heterogeneity = *het
+	cfg.Horizon = des.Time(*horizon)
+	cfg.Protocols = []sim.ProtocolName{sim.TP, sim.BCS, sim.QBC, sim.UNC}
+	cfg.RecordTrace = true
+
+	type acc struct {
+		hosts, undoneTime, maxRollback, undoneMsgs, domino, excess stats.Mean
+	}
+	accs := make(map[sim.ProtocolName]*acc)
+	for _, p := range cfg.Protocols {
+		accs[p] = &acc{}
+	}
+
+	for _, s := range sim.Seeds(*seed, *seeds) {
+		c := cfg
+		c.Seed = s
+		res, err := sim.Run(c)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "recovery:", err)
+			os.Exit(1)
+		}
+		for i := range res.Protocols {
+			pr := &res.Protocols[i]
+			m := analyze(pr, c.Mobile.NumHosts, mobile.HostID(*failed), c.Horizon)
+			// The yardstick: the best any recovery scheme could do with
+			// this protocol's checkpoints.
+			optimal := recovery.MaximalCut(pr.Trace, pr.Store, c.Mobile.NumHosts, mobile.HostID(*failed))
+			mo := recovery.Measure(pr.Trace, optimal,
+				func(h mobile.HostID) []*storage.Record { return pr.Store.Chain(h) },
+				c.Horizon, 0)
+			a := accs[pr.Name]
+			a.hosts.Add(float64(m.RolledBackHosts))
+			a.undoneTime.Add(float64(m.UndoneTime))
+			a.maxRollback.Add(float64(m.MaxRollback))
+			a.undoneMsgs.Add(float64(m.UndoneMessages))
+			a.domino.Add(float64(m.DominoSteps))
+			a.excess.Add(float64(m.UndoneTime - mo.UndoneTime))
+		}
+	}
+
+	tab := stats.NewTable(
+		fmt.Sprintf("Recovery after failure of host %d at t=%.0f (E8; %d seeds, Tswitch=%.0f, Pswitch=%.2f, H=%.0f%%)",
+			*failed, *horizon, *seeds, *tswitch, *pswitch, *het*100),
+		"protocol", "hosts rolled back", "undone time", "max rollback", "undone msgs", "domino steps", "excess vs optimal")
+	for _, p := range cfg.Protocols {
+		a := accs[p]
+		tab.AddRow(string(p),
+			fmt.Sprintf("%.1f", a.hosts.Mean()),
+			fmt.Sprintf("%.0f", a.undoneTime.Mean()),
+			fmt.Sprintf("%.0f", a.maxRollback.Mean()),
+			fmt.Sprintf("%.0f", a.undoneMsgs.Mean()),
+			fmt.Sprintf("%.1f", a.domino.Mean()),
+			fmt.Sprintf("%.0f", a.excess.Mean()))
+	}
+	fmt.Print(tab)
+}
+
+// analyze seeds the protocol-appropriate recovery line, propagates to
+// consistency, and measures the rollback.
+func analyze(pr *sim.ProtocolResult, n int, failed mobile.HostID, failTime des.Time) recovery.Metrics {
+	var seed recovery.Cut
+	switch pr.Name {
+	case sim.TP:
+		seed = recovery.VectorCut(pr.Store, sim.TPMeta(pr), n, failed)
+	case sim.BCS, sim.QBC:
+		seed = recovery.LatestIndexCut(pr.Store, n, failed)
+	default:
+		seed = recovery.FailureCut(pr.Store, n, failed)
+	}
+	cut, steps := recovery.Propagate(pr.Trace, seed)
+	return recovery.Measure(pr.Trace, cut,
+		func(h mobile.HostID) []*storage.Record { return pr.Store.Chain(h) },
+		failTime, steps)
+}

@@ -1,0 +1,50 @@
+// Disconnection-heavy scenario: most mobility decisions end in a
+// voluntary disconnection, so the environment is dominated by the
+// checkpoint-on-disconnect rule and by MSSs parking messages for
+// unreachable hosts. The example prints the message-buffering activity
+// of the substrate alongside the protocol comparison.
+//
+//	go run ./examples/disconnection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mobickpt/internal/sim"
+	"mobickpt/internal/stats"
+)
+
+func main() {
+	cfg := sim.DefaultConfig()
+	cfg.Horizon = 50000
+	cfg.Workload.TSwitch = 500
+	cfg.Workload.PSwitch = 0.2         // 80% of cell departures are disconnections
+	cfg.Workload.DisconnectMean = 2000 // long absences
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("mobility: %d hand-offs, %d disconnections, %d reconnections\n",
+		res.Workload.Handoffs, res.Workload.Disconnects, res.Workload.Reconnects)
+	fmt.Printf("substrate: %d messages parked at MSSs for unreachable hosts,\n",
+		res.Network.Parked)
+	fmt.Printf("           %d forwarded because the recipient had moved\n\n",
+		res.Network.Forwards)
+
+	tab := stats.NewTable("checkpoints under heavy disconnection",
+		"protocol", "Ntot", "basic", "forced", "stable-storage units (wireless)")
+	for _, pr := range res.Protocols {
+		tab.AddRow(string(pr.Name),
+			fmt.Sprint(pr.Ntot), fmt.Sprint(pr.Basic), fmt.Sprint(pr.Forced),
+			fmt.Sprint(pr.Storage.WirelessUnits))
+	}
+	fmt.Print(tab)
+
+	fmt.Println("\nevery disconnection forces a basic checkpoint (it must stand in")
+	fmt.Println("for the host in any recovery line collected while it is away),")
+	fmt.Println("so the basic column is the same for every protocol; the forced")
+	fmt.Println("column is where the protocols differ.")
+}

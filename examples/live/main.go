@@ -1,0 +1,66 @@
+// Live cluster: run the QBC protocol in the goroutine/channel runtime —
+// real concurrency, an at-least-once transport that duplicates packets,
+// hosts migrating between station goroutines — then build a recovery
+// line from the live trace and verify it is consistent.
+//
+//	go run ./examples/live
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mobickpt/internal/live"
+	"mobickpt/internal/mobile"
+	"mobickpt/internal/protocol"
+	"mobickpt/internal/recovery"
+	"mobickpt/internal/storage"
+)
+
+func main() {
+	cfg := live.DefaultConfig()
+	cfg.Hosts = 12
+	cfg.Stations = 5
+	cfg.OpsPerHost = 2000
+	cfg.DupProbability = 0.2 // a quite lossy-looking transport
+
+	cluster, err := live.NewCluster(cfg, func(n int, ck protocol.Checkpointer, store *storage.Store) protocol.Protocol {
+		return protocol.NewQBC(n, ck, store)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster.Run()
+
+	c := cluster.Counters()
+	fmt.Printf("live run: %d goroutines (%d hosts + %d stations)\n",
+		cfg.Hosts+cfg.Stations, cfg.Hosts, cfg.Stations)
+	fmt.Printf("transport: %d sent, %d delivered, %d duplicates suppressed, %d still buffered\n",
+		c.Sent, c.Delivered, c.Duplicates, c.Undrained)
+	fmt.Printf("mobility:  %d cell switches, %d disconnections\n\n", c.Switches, c.Disconnect)
+
+	initial, basic, forced := cluster.Store().CountByKind(-1)
+	fmt.Printf("QBC checkpoints: %d initial, %d basic, %d forced\n", initial, basic, forced)
+
+	// Crash host 0 and *execute* the recovery: the cut is built from the
+	// index line on stable storage, each rolled-back host's memory image
+	// is fetched from the stations, checksum-verified and reinstalled.
+	rep, err := cluster.Recover(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if recovery.Orphans(cluster.Trace(), rep.Cut) != 0 {
+		log.Fatal("recovery line inconsistent — this is a bug")
+	}
+	fmt.Printf("\nrecovery after crash of host 0: %d hosts rolled back, "+
+		"%d propagation steps, %d KiB of state reinstalled\n",
+		rep.Cut.RolledBack(), rep.DominoSteps, rep.BytesRestored/1024)
+	for h, x := range rep.Cut {
+		if x == recovery.End {
+			fmt.Printf("  host %-2d keeps its state\n", h)
+		} else {
+			rec := cluster.Store().Chain(mobile.HostID(h))[x]
+			fmt.Printf("  host %-2d restored from %s\n", h, rec.ID())
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Process-style simulation: the same virtual-time engine that drives the
+// big study, programmed as straight-line goroutine code instead of event
+// handlers (internal/des/proc). A host roams between two cells, taking a
+// basic checkpoint at each hand-off, while a station process answers its
+// pings — a miniature of the mobile substrate, written as processes.
+//
+//	go run ./examples/procstyle
+package main
+
+import (
+	"fmt"
+
+	"mobickpt/internal/des"
+	"mobickpt/internal/des/proc"
+)
+
+func main() {
+	sim := des.New()
+	up := proc.NewChan(sim, "uplink")
+	down := proc.NewChan(sim, "downlink")
+
+	proc.Spawn(sim, "station", func(p *proc.Process) {
+		for {
+			msg := p.Recv(up)
+			p.Sleep(0.01) // wireless service time
+			down.Send(msg)
+		}
+	})
+
+	proc.Spawn(sim, "host", func(p *proc.Process) {
+		cell := 0
+		checkpoints := 0
+		for round := 0; round < 5; round++ {
+			// Communicate for a while from the current cell.
+			for i := 0; i < 3; i++ {
+				up.Send(fmt.Sprintf("ping %d.%d", round, i))
+				reply := p.Recv(down)
+				fmt.Printf("t=%7.2f  host in cell %d got %q\n", float64(p.Now()), cell, reply)
+				p.Sleep(2)
+			}
+			// Hand off: the mobile model mandates a basic checkpoint.
+			cell = 1 - cell
+			checkpoints++
+			fmt.Printf("t=%7.2f  host switches to cell %d (basic checkpoint #%d)\n",
+				float64(p.Now()), cell, checkpoints)
+			p.Sleep(1)
+		}
+		fmt.Printf("t=%7.2f  host done after %d basic checkpoints\n", float64(p.Now()), checkpoints)
+		sim.Stop()
+	})
+
+	sim.Run(1e6)
+}

@@ -1,0 +1,3 @@
+module mobickpt
+
+go 1.22

@@ -1,0 +1,119 @@
+package des
+
+import (
+	"sort"
+	"testing"
+
+	"mobickpt/internal/rng"
+)
+
+// listQueue is the naive alternative to the binary heap: a slice kept
+// sorted by (time, seq), popped from the front. It exists only for the
+// DESIGN.md §5 ablation — insertion is O(n), so the heap should win
+// under the churn a real simulation produces.
+type listQueue struct {
+	events []*Event
+	seq    uint64
+}
+
+func (q *listQueue) push(at Time, h Handler) {
+	e := &Event{at: at, seq: q.seq, handler: h}
+	q.seq++
+	i := sort.Search(len(q.events), func(i int) bool {
+		if q.events[i].at != e.at {
+			return q.events[i].at > e.at
+		}
+		return q.events[i].seq > e.seq
+	})
+	q.events = append(q.events, nil)
+	copy(q.events[i+1:], q.events[i:])
+	q.events[i] = e
+}
+
+func (q *listQueue) pop() *Event {
+	if len(q.events) == 0 {
+		return nil
+	}
+	e := q.events[0]
+	copy(q.events, q.events[1:])
+	q.events[len(q.events)-1] = nil
+	q.events = q.events[:len(q.events)-1]
+	return e
+}
+
+// TestListQueueAgreesWithHeap cross-checks the ablation baseline against
+// the production heap on a random schedule, so the benchmark comparison
+// is between two correct implementations.
+func TestListQueueAgreesWithHeap(t *testing.T) {
+	src := rng.New(5)
+	sim := New()
+	var lq listQueue
+	var heapOrder, listOrder []Time
+	for i := 0; i < 500; i++ {
+		at := Time(src.Intn(100))
+		sim.At(at, "e", func(s *Simulator, now Time) { heapOrder = append(heapOrder, now) })
+		lq.push(at, nil)
+	}
+	sim.Run(1000)
+	for e := lq.pop(); e != nil; e = lq.pop() {
+		listOrder = append(listOrder, e.at)
+	}
+	if len(heapOrder) != len(listOrder) {
+		t.Fatalf("lengths differ: %d vs %d", len(heapOrder), len(listOrder))
+	}
+	for i := range heapOrder {
+		if heapOrder[i] != listOrder[i] {
+			t.Fatalf("order differs at %d: %v vs %v", i, heapOrder[i], listOrder[i])
+		}
+	}
+}
+
+// Simulation-like churn: a standing population of events where every pop
+// triggers a push at a random future time.
+func BenchmarkEventQueueHeap(b *testing.B) {
+	for _, population := range []int{64, 1024, 16384} {
+		b.Run(benchName(population), func(b *testing.B) {
+			sim := New()
+			src := rng.New(1)
+			var h Handler
+			h = func(s *Simulator, now Time) {
+				s.At(now+Time(src.Float64()), "e", h)
+			}
+			for i := 0; i < population; i++ {
+				sim.At(Time(src.Float64()), "e", h)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim.Step()
+			}
+		})
+	}
+}
+
+func BenchmarkEventQueueSortedList(b *testing.B) {
+	for _, population := range []int{64, 1024, 16384} {
+		b.Run(benchName(population), func(b *testing.B) {
+			src := rng.New(1)
+			var lq listQueue
+			for i := 0; i < population; i++ {
+				lq.push(Time(src.Float64()), nil)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := lq.pop()
+				lq.push(e.at+Time(src.Float64()), nil)
+			}
+		})
+	}
+}
+
+func benchName(n int) string {
+	switch {
+	case n >= 1<<14:
+		return "pop16k"
+	case n >= 1<<10:
+		return "pop1k"
+	default:
+		return "pop64"
+	}
+}

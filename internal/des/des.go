@@ -1,0 +1,173 @@
+// Package des implements a deterministic discrete-event simulation engine.
+//
+// The engine is a classic event-wheel design: a priority queue of timed
+// events, a virtual clock, and a run loop that pops the earliest event and
+// invokes its handler. Handlers schedule further events; the simulation
+// ends when the queue drains or the horizon is reached.
+//
+// Determinism matters here more than in a general-purpose DES: the study
+// compares checkpointing protocols on *identical* executions, so ties in
+// virtual time must break the same way on every run. Events therefore
+// carry a monotonically increasing sequence number used as a tiebreaker
+// (FIFO among simultaneous events).
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual simulation time, in the paper's abstract "time units".
+type Time float64
+
+// Handler is the callback invoked when an event fires. It receives the
+// simulator (to schedule follow-up events) and the event's firing time.
+type Handler func(sim *Simulator, now Time)
+
+// Event is a scheduled occurrence. Events are managed by the Simulator;
+// user code holds *Event only to cancel it.
+type Event struct {
+	at      Time
+	seq     uint64
+	handler Handler
+	index   int // heap index, -1 when not queued
+	label   string
+}
+
+// Time returns the virtual time at which the event is scheduled to fire.
+func (e *Event) Time() Time { return e.at }
+
+// Label returns the diagnostic label given at scheduling time.
+func (e *Event) Label() string { return e.label }
+
+// Pending reports whether the event is still queued (not fired, not
+// canceled).
+func (e *Event) Pending() bool { return e.index >= 0 }
+
+// eventQueue is a binary min-heap ordered by (time, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock and the event queue.
+type Simulator struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	fired   uint64
+	stopped bool
+}
+
+// New returns a simulator with the clock at 0 and an empty queue.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// At schedules handler to run at absolute time at. Scheduling in the past
+// panics: it would silently reorder causality.
+func (s *Simulator) At(at Time, label string, handler Handler) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("des: scheduling %q at %v before now %v", label, at, s.now))
+	}
+	if handler == nil {
+		panic("des: nil handler")
+	}
+	e := &Event{at: at, seq: s.seq, handler: handler, label: label}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules handler to run delay time units from now.
+func (s *Simulator) After(delay Time, label string, handler Handler) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %v for %q", delay, label))
+	}
+	return s.At(s.now+delay, label, handler)
+}
+
+// Cancel removes a pending event from the queue. Canceling an event that
+// already fired (or was already canceled) is a no-op and returns false.
+func (s *Simulator) Cancel(e *Event) bool {
+	if e == nil || e.index < 0 {
+		return false
+	}
+	heap.Remove(&s.queue, e.index)
+	return true
+}
+
+// Stop makes Run return after the currently executing handler (if any)
+// completes. Pending events stay queued.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run executes events until the queue is empty, the horizon is passed, or
+// Stop is called. Events scheduled exactly at the horizon still fire;
+// later ones stay queued. It returns the number of events fired by this
+// call.
+func (s *Simulator) Run(horizon Time) uint64 {
+	s.stopped = false
+	start := s.fired
+	for len(s.queue) > 0 && !s.stopped {
+		e := s.queue[0]
+		if e.at > horizon {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = e.at
+		s.fired++
+		e.handler(s, s.now)
+	}
+	if s.now < horizon && len(s.queue) == 0 {
+		// Advance the clock to the horizon so repeated Run calls with
+		// increasing horizons behave like one continuous run.
+		s.now = horizon
+	}
+	return s.fired - start
+}
+
+// Step executes exactly one event if any is queued, regardless of horizon,
+// and reports whether an event fired.
+func (s *Simulator) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	s.now = e.at
+	s.fired++
+	e.handler(s, s.now)
+	return true
+}

@@ -1,0 +1,149 @@
+// Package proc layers a process-oriented world view on top of the
+// event-oriented engine in internal/des: each simulated process is a
+// goroutine that writes straight-line code — Sleep, send, receive —
+// while the package handshakes control between the goroutine and the
+// simulator so that exactly one of them runs at a time.
+//
+// The result is deterministic despite using real goroutines: a process
+// only advances when the simulator resumes it, and the simulator only
+// advances when the process has parked again, so the interleaving is
+// fully dictated by virtual time (and by the engine's FIFO tiebreak).
+// This is the classic coroutine style of simulation languages, expressed
+// with Go's native concurrency primitives.
+package proc
+
+import (
+	"fmt"
+
+	"mobickpt/internal/des"
+)
+
+// Process is a simulated process. Its methods must only be called from
+// the process's own body function.
+type Process struct {
+	sim  *des.Simulator
+	name string
+
+	wake   chan struct{} // simulator -> process: run
+	parked chan struct{} // process -> simulator: parked or finished
+
+	done     bool
+	panicked any
+}
+
+// Spawn creates a process executing body, activated at the current
+// simulation time (FIFO-ordered with other events). The body runs in its
+// own goroutine but in strict alternation with the simulator.
+func Spawn(sim *des.Simulator, name string, body func(p *Process)) *Process {
+	p := &Process{
+		sim:    sim,
+		name:   name,
+		wake:   make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				p.panicked = r
+			}
+			p.done = true
+			p.parked <- struct{}{}
+		}()
+		<-p.wake
+		body(p)
+	}()
+	sim.After(0, "spawn "+name, func(s *des.Simulator, now des.Time) {
+		p.resume()
+	})
+	return p
+}
+
+// resume hands control to the process and blocks until it parks again.
+// Called from simulator context (an event handler).
+func (p *Process) resume() {
+	if p.done {
+		return
+	}
+	p.wake <- struct{}{}
+	<-p.parked
+	if p.panicked != nil {
+		panic(fmt.Sprintf("proc: process %q panicked: %v", p.name, p.panicked))
+	}
+}
+
+// park hands control back to the simulator and blocks until resumed.
+// Called from process context.
+func (p *Process) park() {
+	p.parked <- struct{}{}
+	<-p.wake
+}
+
+// Now returns the current virtual time.
+func (p *Process) Now() des.Time { return p.sim.Now() }
+
+// Name returns the process name.
+func (p *Process) Name() string { return p.name }
+
+// Done reports whether the process body has returned.
+func (p *Process) Done() bool { return p.done }
+
+// Sleep suspends the process for d virtual time units.
+func (p *Process) Sleep(d des.Time) {
+	p.sim.After(d, p.name+" wake", func(s *des.Simulator, now des.Time) {
+		p.resume()
+	})
+	p.park()
+}
+
+// Chan is an unbounded FIFO queue between processes, with rendezvous
+// semantics in virtual time: Recv blocks (in virtual time) until a value
+// is available; Send never blocks and wakes the longest-waiting
+// receiver at the current instant.
+type Chan struct {
+	sim     *des.Simulator
+	name    string
+	queue   []any
+	waiters []*Process
+}
+
+// NewChan creates a channel attached to the simulator.
+func NewChan(sim *des.Simulator, name string) *Chan {
+	return &Chan{sim: sim, name: name}
+}
+
+// Len returns the number of queued values.
+func (c *Chan) Len() int { return len(c.queue) }
+
+// Send enqueues v. May be called from process or simulator context.
+func (c *Chan) Send(v any) {
+	c.queue = append(c.queue, v)
+	if len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[:copy(c.waiters, c.waiters[1:])]
+		c.sim.After(0, c.name+" handoff", func(s *des.Simulator, now des.Time) {
+			w.resume()
+		})
+	}
+}
+
+// Recv dequeues the oldest value, blocking the calling process in
+// virtual time until one is available.
+func (p *Process) Recv(c *Chan) any {
+	for len(c.queue) == 0 {
+		c.waiters = append(c.waiters, p)
+		p.park()
+	}
+	v := c.queue[0]
+	c.queue = c.queue[:copy(c.queue, c.queue[1:])]
+	return v
+}
+
+// TryRecv dequeues a value if one is available, without blocking.
+func (p *Process) TryRecv(c *Chan) (any, bool) {
+	if len(c.queue) == 0 {
+		return nil, false
+	}
+	v := c.queue[0]
+	c.queue = c.queue[:copy(c.queue, c.queue[1:])]
+	return v, true
+}

@@ -1,0 +1,208 @@
+package proc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mobickpt/internal/des"
+)
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	sim := des.New()
+	var times []des.Time
+	Spawn(sim, "sleeper", func(p *Process) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(10)
+			times = append(times, p.Now())
+		}
+	})
+	sim.Run(1000)
+	want := []des.Time{10, 20, 30}
+	if len(times) != 3 {
+		t.Fatalf("times = %v", times)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestProcessesInterleaveDeterministically(t *testing.T) {
+	run := func() string {
+		sim := des.New()
+		var log []string
+		for _, spec := range []struct {
+			name  string
+			delay des.Time
+		}{{"a", 3}, {"b", 2}, {"c", 7}} {
+			spec := spec
+			Spawn(sim, spec.name, func(p *Process) {
+				for i := 0; i < 4; i++ {
+					p.Sleep(spec.delay)
+					log = append(log, fmt.Sprintf("%s@%v", spec.name, p.Now()))
+				}
+			})
+		}
+		sim.Run(1000)
+		return strings.Join(log, " ")
+	}
+	first := run()
+	for i := 0; i < 10; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d diverged:\n%s\n%s", i, got, first)
+		}
+	}
+	if !strings.HasPrefix(first, "b@2 a@3 b@4") {
+		t.Fatalf("unexpected schedule: %s", first)
+	}
+}
+
+func TestChanRendezvous(t *testing.T) {
+	sim := des.New()
+	ch := NewChan(sim, "ch")
+	var got []int
+	var recvAt []des.Time
+	Spawn(sim, "consumer", func(p *Process) {
+		for i := 0; i < 3; i++ {
+			got = append(got, p.Recv(ch).(int))
+			recvAt = append(recvAt, p.Now())
+		}
+	})
+	Spawn(sim, "producer", func(p *Process) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(5)
+			ch.Send(i)
+		}
+	})
+	sim.Run(1000)
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("got %v", got)
+	}
+	for i, at := range recvAt {
+		if at != des.Time(5*(i+1)) {
+			t.Fatalf("recv %d at %v", i, at)
+		}
+	}
+}
+
+func TestChanQueuesWhenNoReceiver(t *testing.T) {
+	sim := des.New()
+	ch := NewChan(sim, "ch")
+	Spawn(sim, "producer", func(p *Process) {
+		ch.Send("x")
+		ch.Send("y")
+	})
+	var got []any
+	Spawn(sim, "late", func(p *Process) {
+		p.Sleep(50)
+		got = append(got, p.Recv(ch), p.Recv(ch))
+	})
+	sim.Run(1000)
+	if len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Fatalf("got %v", got)
+	}
+	if ch.Len() != 0 {
+		t.Fatalf("chan not drained: %d", ch.Len())
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	sim := des.New()
+	ch := NewChan(sim, "ch")
+	var first, second bool
+	var v any
+	Spawn(sim, "p", func(p *Process) {
+		_, first = p.TryRecv(ch)
+		ch.Send(7)
+		v, second = p.TryRecv(ch)
+	})
+	sim.Run(10)
+	if first {
+		t.Fatal("TryRecv on empty chan must fail")
+	}
+	if !second || v != 7 {
+		t.Fatalf("TryRecv got %v %v", v, second)
+	}
+}
+
+func TestDoneFlag(t *testing.T) {
+	sim := des.New()
+	p := Spawn(sim, "p", func(p *Process) { p.Sleep(1) })
+	if p.Done() {
+		t.Fatal("not started yet")
+	}
+	sim.Run(10)
+	if !p.Done() {
+		t.Fatal("should be done")
+	}
+	if p.Name() != "p" {
+		t.Fatal("name")
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	sim := des.New()
+	Spawn(sim, "bomb", func(p *Process) {
+		p.Sleep(1)
+		panic("boom")
+	})
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(fmt.Sprint(r), "boom") {
+			t.Fatalf("panic not propagated: %v", r)
+		}
+	}()
+	sim.Run(10)
+}
+
+// A tiny message-passing system written process-style: a "host" pings a
+// "station" which echoes with latency — the shape the mobile substrate
+// has in event style, demonstrating the two views coexist on one engine.
+func TestProcessStyleEcho(t *testing.T) {
+	sim := des.New()
+	up := NewChan(sim, "up")
+	down := NewChan(sim, "down")
+	Spawn(sim, "station", func(p *Process) {
+		for i := 0; i < 5; i++ {
+			msg := p.Recv(up)
+			p.Sleep(0.01) // service time
+			down.Send(msg)
+		}
+	})
+	var rtts []des.Time
+	Spawn(sim, "host", func(p *Process) {
+		for i := 0; i < 5; i++ {
+			start := p.Now()
+			up.Send(i)
+			if got := p.Recv(down).(int); got != i {
+				t.Errorf("echo %d got %v", i, got)
+			}
+			rtts = append(rtts, p.Now()-start)
+			p.Sleep(1)
+		}
+	})
+	sim.Run(1000)
+	if len(rtts) != 5 {
+		t.Fatalf("rtts = %v", rtts)
+	}
+	for _, rtt := range rtts {
+		if rtt < 0.0099 || rtt > 0.0101 {
+			t.Fatalf("rtt %v, want ~0.01", rtt)
+		}
+	}
+}
+
+func BenchmarkContextSwitch(b *testing.B) {
+	sim := des.New()
+	Spawn(sim, "p", func(p *Process) {
+		for {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Step()
+	}
+}

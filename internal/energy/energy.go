@@ -1,0 +1,91 @@
+// Package energy derives battery and channel-occupancy costs from the
+// raw activity counters of the mobile network and the checkpoint store.
+//
+// The paper (§2.1, points b and e) argues that checkpointing protocols
+// for mobile hosts must be compared not only by checkpoint counts but by
+// the energy drained from MH batteries and the wireless-channel
+// contention they cause. This package turns counters into those two
+// figures of merit with a simple linear cost model, so the benchmark
+// harness can report an "overhead" column per protocol.
+package energy
+
+import (
+	"fmt"
+
+	"mobickpt/internal/mobile"
+	"mobickpt/internal/storage"
+)
+
+// Model assigns a cost to each elementary action. Units are abstract
+// (think millijoules and channel-milliseconds); only ratios matter when
+// comparing protocols.
+type Model struct {
+	// TxMessage / RxMessage: energy for one wireless message send/receive
+	// at the MH.
+	TxMessage float64
+	RxMessage float64
+	// TxStateUnit: energy per unit of checkpoint state pushed over the
+	// wireless link (incremental checkpointing reduces exactly this term).
+	TxStateUnit float64
+	// PiggybackByte: energy per byte of protocol control information
+	// piggybacked on an application message (TP's O(n) vectors vs the
+	// index protocols' single integer).
+	PiggybackByte float64
+	// ChannelPerHop: wireless-channel occupancy per hop, the contention
+	// proxy of §2.1(b).
+	ChannelPerHop float64
+	// ChannelPerStateUnit: channel occupancy per unit of state volume.
+	ChannelPerStateUnit float64
+}
+
+// DefaultModel returns a model in which transmitting dominates receiving
+// (typical radio asymmetry) and state transfer dominates both.
+func DefaultModel() Model {
+	return Model{
+		TxMessage:           1.0,
+		RxMessage:           0.5,
+		TxStateUnit:         0.05,
+		PiggybackByte:       0.01,
+		ChannelPerHop:       1.0,
+		ChannelPerStateUnit: 0.1,
+	}
+}
+
+// Report is the derived cost summary.
+type Report struct {
+	// MHEnergy is the total battery cost across all mobile hosts.
+	MHEnergy float64
+	// ChannelLoad is the total wireless-channel occupancy.
+	ChannelLoad float64
+	// PiggybackEnergy is the portion of MHEnergy due to piggybacked
+	// control information (separated out because it is the paper's
+	// scalability discriminator between TP and BCS/QBC).
+	PiggybackEnergy float64
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("energy=%.1f channel=%.1f piggyback=%.1f", r.MHEnergy, r.ChannelLoad, r.PiggybackEnergy)
+}
+
+// Assess computes the cost report for one protocol run.
+//
+// net and st are the substrate counters; piggybackBytes is the total
+// volume of control information the protocol piggybacked on application
+// messages (a protocol-level figure the substrates cannot see).
+func Assess(m Model, net mobile.Counters, st storage.Counters, piggybackBytes int64) Report {
+	var r Report
+	// Every application message costs the sender a transmit and the
+	// receiver a receive; control messages cost a transmit.
+	r.MHEnergy += float64(net.AppMessages) * m.TxMessage
+	r.MHEnergy += float64(net.Delivered) * m.RxMessage
+	r.MHEnergy += float64(net.CtrlMessages) * m.TxMessage
+	// Checkpoint state pushed over wireless.
+	r.MHEnergy += float64(st.WirelessUnits) * m.TxStateUnit
+	// Piggyback volume rides on application messages.
+	r.PiggybackEnergy = float64(piggybackBytes) * m.PiggybackByte
+	r.MHEnergy += r.PiggybackEnergy
+
+	r.ChannelLoad += float64(net.WirelessHops) * m.ChannelPerHop
+	r.ChannelLoad += float64(st.WirelessUnits) * m.ChannelPerStateUnit
+	return r
+}

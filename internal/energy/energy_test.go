@@ -1,0 +1,76 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+
+	"mobickpt/internal/mobile"
+	"mobickpt/internal/storage"
+)
+
+func TestAssessZero(t *testing.T) {
+	r := Assess(DefaultModel(), mobile.Counters{}, storage.Counters{}, 0)
+	if r.MHEnergy != 0 || r.ChannelLoad != 0 || r.PiggybackEnergy != 0 {
+		t.Fatalf("zero activity should cost nothing: %+v", r)
+	}
+}
+
+func TestAssessLinearity(t *testing.T) {
+	m := DefaultModel()
+	net := mobile.Counters{AppMessages: 10, Delivered: 8, CtrlMessages: 4, WirelessHops: 30}
+	st := storage.Counters{WirelessUnits: 100}
+	r1 := Assess(m, net, st, 50)
+	net2 := net
+	net2.AppMessages *= 2
+	net2.Delivered *= 2
+	net2.CtrlMessages *= 2
+	net2.WirelessHops *= 2
+	st2 := st
+	st2.WirelessUnits *= 2
+	r2 := Assess(m, net2, st2, 100)
+	if r2.MHEnergy != 2*r1.MHEnergy || r2.ChannelLoad != 2*r1.ChannelLoad {
+		t.Fatalf("cost model must be linear: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestAssessComponents(t *testing.T) {
+	m := Model{TxMessage: 2, RxMessage: 1, TxStateUnit: 0.5, PiggybackByte: 0.1, ChannelPerHop: 1, ChannelPerStateUnit: 0.25}
+	net := mobile.Counters{AppMessages: 3, Delivered: 2, CtrlMessages: 1, WirelessHops: 10}
+	st := storage.Counters{WirelessUnits: 8}
+	r := Assess(m, net, st, 20)
+	wantEnergy := 3*2.0 + 2*1.0 + 1*2.0 + 8*0.5 + 20*0.1
+	if r.MHEnergy != wantEnergy {
+		t.Fatalf("energy = %v, want %v", r.MHEnergy, wantEnergy)
+	}
+	if r.PiggybackEnergy != 2.0 {
+		t.Fatalf("piggyback = %v", r.PiggybackEnergy)
+	}
+	wantChannel := 10*1.0 + 8*0.25
+	if r.ChannelLoad != wantChannel {
+		t.Fatalf("channel = %v, want %v", r.ChannelLoad, wantChannel)
+	}
+}
+
+func TestPiggybackSeparatesProtocols(t *testing.T) {
+	// A TP-like protocol piggybacks O(n) integers per message; an
+	// index-based one piggybacks a single integer. With identical traffic
+	// the energy difference must be exactly the piggyback term.
+	m := DefaultModel()
+	net := mobile.Counters{AppMessages: 1000, Delivered: 1000}
+	st := storage.Counters{}
+	tp := Assess(m, net, st, 1000*10*8) // 10 hosts x 8-byte entries
+	idx := Assess(m, net, st, 1000*8)   // one 8-byte integer
+	if tp.MHEnergy <= idx.MHEnergy {
+		t.Fatal("vector piggyback must cost more")
+	}
+	if diff := tp.MHEnergy - idx.MHEnergy; diff != tp.PiggybackEnergy-idx.PiggybackEnergy {
+		t.Fatalf("difference %v must be the piggyback term", diff)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	s := Report{MHEnergy: 1, ChannelLoad: 2, PiggybackEnergy: 3}.String()
+	if !strings.Contains(s, "energy=") || !strings.Contains(s, "channel=") {
+		t.Fatalf("string = %q", s)
+	}
+}

@@ -1,0 +1,541 @@
+// Package live runs the checkpointing protocols in a *real* concurrent
+// message-passing system instead of the discrete-event simulation: every
+// mobile host and every support station is a goroutine, links are
+// channels, and the transport exhibits the at-least-once semantics the
+// paper's system model assumes (§3) by injecting duplicate deliveries
+// that hosts must suppress.
+//
+// The protocols themselves are the exact implementations from
+// internal/protocol — the package demonstrates that they are engine-
+// independent and lets the test suite check their invariants under real
+// interleavings (run with -race).
+//
+// Topology and flow:
+//
+//	host --uplink--> station --wired--> station --downlink--> host
+//
+// A host's packets always enter the network at its *current* station; a
+// shared location directory (the MSS cooperation of §2.1) routes them to
+// the destination's current station, which delivers into the host's
+// buffered downlink (modelling the MSS buffering messages for a host
+// that is slow, moving, or disconnected).
+package live
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mobickpt/internal/mobile"
+	"mobickpt/internal/protocol"
+	"mobickpt/internal/rng"
+	"mobickpt/internal/statestore"
+	"mobickpt/internal/storage"
+	"mobickpt/internal/trace"
+	"mobickpt/internal/wire"
+)
+
+// Config describes a live cluster run.
+type Config struct {
+	Hosts    int
+	Stations int
+	// OpsPerHost is the number of operations each host performs before
+	// retiring.
+	OpsPerHost int
+	// PSend, PSwitch, PDisconnect are the per-operation probabilities of
+	// sending, switching cells, and disconnecting (the remainder are
+	// receive attempts).
+	PSend       float64
+	PSwitch     float64
+	PDisconnect float64
+	// DupProbability is the chance a delivered packet is duplicated by
+	// the transport (exercising the at-least-once semantics).
+	DupProbability float64
+	// Joins is the number of additional hosts that join while the
+	// cluster runs (dynamic membership under real concurrency). Each
+	// joins after a short, scheduler-dependent delay and then performs
+	// OpsPerHost operations like everyone else.
+	Joins int
+	Seed  uint64
+}
+
+// DefaultConfig returns a small cluster that exercises every mechanism.
+func DefaultConfig() Config {
+	return Config{
+		Hosts:          8,
+		Stations:       4,
+		OpsPerHost:     400,
+		PSend:          0.30,
+		PSwitch:        0.05,
+		PDisconnect:    0.02,
+		DupProbability: 0.10,
+		Seed:           1,
+	}
+}
+
+// Validate reports a descriptive error for bad configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.Hosts <= 1:
+		return fmt.Errorf("live: Hosts = %d, need > 1", c.Hosts)
+	case c.Stations <= 1:
+		return fmt.Errorf("live: Stations = %d, need > 1", c.Stations)
+	case c.OpsPerHost <= 0:
+		return fmt.Errorf("live: OpsPerHost = %d, need > 0", c.OpsPerHost)
+	case c.PSend < 0 || c.PSwitch < 0 || c.PDisconnect < 0 ||
+		c.PSend+c.PSwitch+c.PDisconnect > 1:
+		return fmt.Errorf("live: operation probabilities invalid")
+	case c.DupProbability < 0 || c.DupProbability > 1:
+		return fmt.Errorf("live: DupProbability = %v out of [0,1]", c.DupProbability)
+	case c.Joins < 0:
+		return fmt.Errorf("live: Joins = %d, need >= 0", c.Joins)
+	}
+	return nil
+}
+
+// NewProtocol constructs the protocol under test for n hosts; implement
+// it with the constructors of internal/protocol.
+type NewProtocol func(n int, ck protocol.Checkpointer, store *storage.Store) protocol.Protocol
+
+// packet is what travels on the channels: a routing header the stations
+// read, plus the marshaled frame (internal/wire) the receiving host
+// decodes — the piggyback really crosses the "network" as bytes.
+type packet struct {
+	to    mobile.HostID
+	frame []byte
+}
+
+// Counters summarizes a live run.
+type Counters struct {
+	Sent       int64 // application messages sent
+	Delivered  int64 // distinct messages handed to the application
+	Duplicates int64 // transport duplicates suppressed by receivers
+	Switches   int64 // completed cell switches
+	Disconnect int64 // completed disconnect/reconnect cycles
+	Undrained  int64 // messages still buffered when the run ended
+	Joined     int64 // hosts that joined while the cluster ran
+
+	// FrameBytes is the total encoded packet volume that crossed the
+	// channels (header + piggyback, per internal/wire).
+	FrameBytes int64
+	// StateBytes is the checkpoint state volume shipped host->station;
+	// WiredStateBytes is the base-image volume fetched station->station.
+	StateBytes      int64
+	WiredStateBytes int64
+	// DecodeErrors and StateErrors count transport/data-plane failures;
+	// both must be zero in a healthy run (tests assert it).
+	DecodeErrors int64
+	StateErrors  int64
+}
+
+// Cluster is a running (or finished) live system.
+type Cluster struct {
+	cfg   Config
+	proto protocol.Protocol
+	store *storage.Store
+	tr    *trace.Trace
+
+	// mu serializes protocol/store/trace access. The protocol state is
+	// per-host, so a production system would stripe this lock by host;
+	// one lock keeps the invariant checking simple and is not the
+	// bottleneck at this scale.
+	mu     sync.Mutex
+	counts []int // checkpoints taken per host (incl. initial)
+
+	// states is the real data plane: each host's page-tracked memory
+	// image, checkpointed incrementally into the station group. Each is
+	// touched only under mu (protocol hooks mutate it via checkpoints,
+	// the host loop via application writes... also under mu).
+	states []*statestore.HostState
+	group  *statestore.Group
+
+	// seen holds each host's duplicate-suppression set. Each map is
+	// touched only by its owner's goroutine while the run is live, and by
+	// the final drain after every host has retired (ordered by the
+	// WaitGroup, so there is no race).
+	seen []map[uint64]bool
+
+	// directory maps each host to its current station's wired inbox; nil
+	// while disconnected (packets then go to the host's last station,
+	// which still holds its downlink).
+	dirMu    sync.Mutex
+	station  []int // current (or last) station of each host
+	downlink []chan packet
+
+	wired    []chan packet // one inbox per station
+	capacity int           // downlink buffer size (precomputed for joins)
+
+	counters   Counters
+	countersMu sync.Mutex
+
+	nextID uint64
+}
+
+// NewCluster wires a cluster; Run starts it.
+func NewCluster(cfg Config, mk NewProtocol) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:      cfg,
+		store:    storage.NewStore(storage.DefaultCostModel()),
+		tr:       trace.New(cfg.Hosts),
+		counts:   make([]int, cfg.Hosts),
+		seen:     make([]map[uint64]bool, cfg.Hosts),
+		states:   make([]*statestore.HostState, cfg.Hosts),
+		group:    statestore.NewGroup(cfg.Stations),
+		station:  make([]int, cfg.Hosts),
+		downlink: make([]chan packet, cfg.Hosts),
+		wired:    make([]chan packet, cfg.Stations),
+	}
+	for i := range c.states {
+		c.states[i] = statestore.NewHostState(8)
+	}
+	// Downlinks are sized so they can never fill: each host (including
+	// late joiners) sends at most OpsPerHost messages and duplicates at
+	// most double that.
+	capacity := 2*cfg.OpsPerHost*(cfg.Hosts+cfg.Joins) + 1
+	c.capacity = capacity
+	for i := range c.downlink {
+		c.downlink[i] = make(chan packet, capacity)
+		c.station[i] = i % cfg.Stations
+		c.seen[i] = make(map[uint64]bool)
+	}
+	for s := range c.wired {
+		c.wired[s] = make(chan packet, capacity)
+	}
+	c.proto = mk(cfg.Hosts, c.checkpointer(), c.store)
+	return c, nil
+}
+
+// checkpointer records checkpoints under the cluster lock (callers
+// already hold mu — protocol hooks are only invoked with it held). On
+// top of the metadata record it runs the real data plane: it extracts
+// the incremental state delta and reconstructs the checkpoint on the
+// host's current station, verifying the result byte for byte.
+func (c *Cluster) checkpointer() protocol.Checkpointer {
+	return func(h mobile.HostID, index int, kind storage.Kind) *storage.Record {
+		rec := c.store.Take(h, mobile.MSSID(c.station[h]), index, kind, 0)
+		seq := c.counts[h]
+		c.counts[h]++
+
+		st := c.group.Station(c.station[h])
+		before := st.WiredBytes()
+		delta := c.states[h].Checkpoint(seq, seq == 0)
+		im, err := st.Apply(int(h), delta)
+		c.countersMu.Lock()
+		c.counters.StateBytes += int64(delta.Bytes())
+		c.counters.WiredStateBytes += st.WiredBytes() - before
+		if err != nil {
+			c.counters.StateErrors++
+		} else if string(im.Data) != string(c.states[h].Snapshot()) {
+			c.counters.StateErrors++
+		}
+		c.countersMu.Unlock()
+		return rec
+	}
+}
+
+// Store returns the checkpoint store (safe to read after Run returns).
+func (c *Cluster) Store() *storage.Store { return c.store }
+
+// Trace returns the recorded message trace (after Run returns).
+func (c *Cluster) Trace() *trace.Trace { return c.tr }
+
+// Protocol returns the protocol instance (after Run returns).
+func (c *Cluster) Protocol() protocol.Protocol { return c.proto }
+
+// Counters returns the run summary (after Run returns).
+func (c *Cluster) Counters() Counters { return c.counters }
+
+// Run executes the whole cluster to completion: it starts one goroutine
+// per station and per host, waits for every host to retire, and then
+// drains the network so the counters and trace are final.
+func (c *Cluster) Run() {
+	c.mu.Lock()
+	c.proto.Init()
+	c.mu.Unlock()
+
+	var stations sync.WaitGroup
+	for s := range c.wired {
+		stations.Add(1)
+		go func(s int) {
+			defer stations.Done()
+			c.stationLoop(s)
+		}(s)
+	}
+
+	var hosts sync.WaitGroup
+	for h := 0; h < c.cfg.Hosts; h++ {
+		hosts.Add(1)
+		go func(h mobile.HostID) {
+			defer hosts.Done()
+			c.hostLoop(h, c.downlink[h])
+		}(mobile.HostID(h))
+	}
+	// Late joiners: real membership changes while the system runs. Each
+	// join allocates the host's structures under the locks, admits it to
+	// the protocol (Dynamic), and starts its goroutine.
+	for j := 0; j < c.cfg.Joins; j++ {
+		hosts.Add(1)
+		go func(j int) {
+			defer hosts.Done()
+			// Yield a few times so joins interleave with running traffic.
+			for y := 0; y < 50*(j+1); y++ {
+				runtime.Gosched()
+			}
+			h, dl := c.addHost()
+			c.hostLoop(h, dl)
+		}(j)
+	}
+	hosts.Wait()
+
+	// All hosts retired: no new uplink traffic. Close the wired inboxes
+	// so stations drain what is in flight and exit.
+	for _, w := range c.wired {
+		close(w)
+	}
+	stations.Wait()
+
+	// Final drain: the MSSs hold buffered traffic for hosts that retired
+	// before it arrived; deliver it now (the at-least-once transport of
+	// §3 never loses messages). Anything left after this loop indicates a
+	// routing bug, and is surfaced through the Undrained counter.
+	// All goroutines have stopped: no locks needed from here on.
+	for h := range c.downlink {
+		for {
+			select {
+			case pkt := <-c.downlink[h]:
+				c.deliver(mobile.HostID(h), pkt, c.seen[h])
+			default:
+				goto next
+			}
+		}
+	next:
+	}
+	var undrained int64
+	for _, d := range c.downlink {
+		undrained += int64(len(d))
+	}
+	c.counters.Undrained = undrained
+}
+
+// addHost grows the cluster by one host and admits it to the protocol.
+// Safe to call while the cluster runs.
+func (c *Cluster) addHost() (mobile.HostID, chan packet) {
+	dl := make(chan packet, c.capacity)
+
+	c.mu.Lock()
+	c.dirMu.Lock()
+	h := mobile.HostID(len(c.downlink))
+	c.downlink = append(c.downlink, dl)
+	c.station = append(c.station, int(h)%c.cfg.Stations)
+	c.dirMu.Unlock()
+	c.seen = append(c.seen, make(map[uint64]bool))
+	c.states = append(c.states, statestore.NewHostState(8))
+	c.counts = append(c.counts, 0)
+	c.tr.AddHost()
+	d, ok := c.proto.(protocol.Dynamic)
+	if !ok {
+		c.mu.Unlock()
+		panic("live: protocol does not support dynamic joins")
+	}
+	d.OnJoin(h)
+	c.mu.Unlock()
+
+	c.countersMu.Lock()
+	c.counters.Joined++
+	c.countersMu.Unlock()
+	return h, dl
+}
+
+// stationLoop routes wired packets to the destination host's downlink,
+// occasionally duplicating a delivery (at-least-once transport).
+func (c *Cluster) stationLoop(s int) {
+	src := rng.NewStream(c.cfg.Seed, 1000+uint64(s))
+	for pkt := range c.wired[s] {
+		c.dirMu.Lock()
+		dst := c.downlink[pkt.to]
+		c.dirMu.Unlock()
+		dst <- pkt
+		if src.Bernoulli(c.cfg.DupProbability) {
+			dst <- pkt
+		}
+	}
+}
+
+// hostLoop performs the host's operations and retires. dl is the host's
+// own downlink, passed in because the downlink slice may grow while the
+// cluster runs (dynamic joins).
+func (c *Cluster) hostLoop(h mobile.HostID, dl chan packet) {
+	src := rng.NewStream(c.cfg.Seed, uint64(h))
+	c.mu.Lock()
+	seen := c.seen[h]
+	c.mu.Unlock()
+	connected := true
+	for op := 0; op < c.cfg.OpsPerHost; op++ {
+		runtime.Gosched() // interleave hosts instead of bursting
+		r := src.Float64()
+		switch {
+		case r < c.cfg.PSend:
+			if connected {
+				c.send(h, c.pickPeer(src, h), src)
+			}
+		case r < c.cfg.PSend+c.cfg.PSwitch:
+			if connected {
+				c.switchCell(h, src)
+			}
+		case r < c.cfg.PSend+c.cfg.PSwitch+c.cfg.PDisconnect:
+			if connected {
+				c.disconnect(h)
+				connected = false
+			} else {
+				c.reconnect(h)
+				connected = true
+			}
+		default:
+			if connected {
+				c.receive(dl, h, seen)
+			}
+		}
+	}
+	if !connected {
+		// Retire connected so the final drain can deliver to us — and so
+		// the run ends with every host's last checkpoint on its station.
+		c.reconnect(h)
+	}
+	// Drain remaining downlink traffic so late messages are delivered
+	// (best effort; what is still in the wired queues stays undrained).
+	for {
+		select {
+		case pkt := <-dl:
+			c.deliver(h, pkt, seen)
+		default:
+			return
+		}
+	}
+}
+
+func (c *Cluster) pickPeer(src *rng.Source, h mobile.HostID) mobile.HostID {
+	c.dirMu.Lock()
+	n := len(c.downlink)
+	c.dirMu.Unlock()
+	to := mobile.HostID(src.Intn(n - 1))
+	if to >= h {
+		to++
+	}
+	return to
+}
+
+// send runs the protocol's OnSend, mutates the sender's application
+// state (a computation has observable effects), marshals the frame and
+// injects it at the host's current station.
+func (c *Cluster) send(from, to mobile.HostID, src *rng.Source) {
+	c.mu.Lock()
+	pb := c.proto.OnSend(from, to)
+	id := c.nextID
+	c.nextID++
+	c.tr.RecordSend(id, from, to, c.counts[from], 0)
+	// The send is an event of the application: it dirties some state.
+	var scratch [16]byte
+	for i := range scratch {
+		scratch[i] = byte(src.Uint64())
+	}
+	off := src.Intn(8*statestore.PageSize - len(scratch))
+	if err := c.states[from].Write(off, scratch[:]); err != nil {
+		panic("live: " + err.Error())
+	}
+	c.mu.Unlock()
+
+	frame, err := (&wire.Packet{ID: id, From: from, To: to, Piggyback: pb}).Marshal()
+	if err != nil {
+		panic("live: " + err.Error()) // protocol produced an unencodable piggyback
+	}
+
+	c.dirMu.Lock()
+	w := c.wired[c.station[from]]
+	c.dirMu.Unlock()
+	w <- packet{to: to, frame: frame}
+
+	c.countersMu.Lock()
+	c.counters.Sent++
+	c.counters.FrameBytes += int64(len(frame))
+	c.countersMu.Unlock()
+}
+
+// receive attempts one non-blocking receive.
+func (c *Cluster) receive(dl chan packet, h mobile.HostID, seen map[uint64]bool) {
+	select {
+	case pkt := <-dl:
+		c.deliver(h, pkt, seen)
+	default:
+	}
+}
+
+// deliver decodes the frame, suppresses duplicates and runs the
+// protocol's OnDeliver.
+func (c *Cluster) deliver(h mobile.HostID, pkt packet, seen map[uint64]bool) {
+	p, err := wire.Unmarshal(pkt.frame)
+	if err != nil {
+		c.countersMu.Lock()
+		c.counters.DecodeErrors++
+		c.countersMu.Unlock()
+		return
+	}
+	if seen[p.ID] {
+		c.countersMu.Lock()
+		c.counters.Duplicates++
+		c.countersMu.Unlock()
+		return
+	}
+	seen[p.ID] = true
+	c.mu.Lock()
+	c.proto.OnDeliver(h, p.From, p.Piggyback)
+	c.tr.RecordDeliver(p.ID, c.counts[h], 0)
+	c.mu.Unlock()
+	c.countersMu.Lock()
+	c.counters.Delivered++
+	c.countersMu.Unlock()
+}
+
+// switchCell moves the host to another station and takes the basic
+// checkpoint the mobile model mandates.
+func (c *Cluster) switchCell(h mobile.HostID, src *rng.Source) {
+	c.dirMu.Lock()
+	cur := c.station[h]
+	next := src.Intn(c.cfg.Stations - 1)
+	if next >= cur {
+		next++
+	}
+	c.station[h] = next
+	c.dirMu.Unlock()
+
+	c.mu.Lock()
+	c.proto.OnCellSwitch(h, mobile.MSSID(next))
+	c.mu.Unlock()
+
+	c.countersMu.Lock()
+	c.counters.Switches++
+	c.countersMu.Unlock()
+}
+
+// disconnect detaches the host (it stops receiving; its downlink keeps
+// buffering, which is the MSS parking messages).
+func (c *Cluster) disconnect(h mobile.HostID) {
+	c.mu.Lock()
+	c.proto.OnDisconnect(h)
+	c.mu.Unlock()
+	c.countersMu.Lock()
+	c.counters.Disconnect++
+	c.countersMu.Unlock()
+}
+
+// reconnect reattaches the host at its last station.
+func (c *Cluster) reconnect(h mobile.HostID) {
+	c.dirMu.Lock()
+	at := c.station[h]
+	c.dirMu.Unlock()
+	c.mu.Lock()
+	c.proto.OnReconnect(h, mobile.MSSID(at))
+	c.mu.Unlock()
+}

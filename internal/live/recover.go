@@ -1,0 +1,109 @@
+package live
+
+import (
+	"fmt"
+
+	"mobickpt/internal/mobile"
+	"mobickpt/internal/recovery"
+	"mobickpt/internal/statestore"
+)
+
+// RecoveryReport describes an executed rollback.
+type RecoveryReport struct {
+	Failed mobile.HostID
+	Cut    recovery.Cut
+	// Restored maps each rolled-back host to the checkpoint ordinal whose
+	// image was reinstalled.
+	Restored map[mobile.HostID]int
+	// BytesRestored is the state volume shipped from stations to hosts.
+	BytesRestored int64
+	// DominoSteps is the propagation work beyond the seed line.
+	DominoSteps int
+}
+
+// Recover executes a crash recovery on a finished cluster: host failed
+// loses its volatile state and the computation rolls back to a
+// consistent cut. The cut is seeded with the index-based recovery line
+// when the protocol carries indices, and refined by orphan-elimination
+// propagation over the recorded trace. Every rolled-back host's memory
+// image is located on the station group, checksum-verified, and
+// reinstalled into the host state; the host then takes a fresh full
+// checkpoint to re-baseline the incremental chain. The re-baseline is a
+// data-plane operation only: protocol control state (indices, phases)
+// restarts with the application when the computation resumes, exactly as
+// a restarted process would re-read it from the restored checkpoint.
+//
+// Call after Run has returned (the cluster is quiescent).
+func (c *Cluster) Recover(failed mobile.HostID) (*RecoveryReport, error) {
+	if int(failed) < 0 || int(failed) >= len(c.states) {
+		return nil, fmt.Errorf("live: no host %d", failed)
+	}
+	n := len(c.states)
+	seed := recovery.LatestIndexCut(c.store, n, failed)
+	if seed[failed] == recovery.End {
+		seed = recovery.FailureCut(c.store, n, failed)
+	}
+	cut, steps := recovery.Propagate(c.tr, seed)
+	if o := recovery.Orphans(c.tr, cut); o != 0 {
+		return nil, fmt.Errorf("live: recovery cut still has %d orphans", o)
+	}
+
+	rep := &RecoveryReport{
+		Failed:      failed,
+		Cut:         cut,
+		Restored:    make(map[mobile.HostID]int),
+		DominoSteps: steps,
+	}
+	for h, ord := range cut {
+		if ord == recovery.End {
+			continue
+		}
+		// In the live cluster checkpoint ordinals and data-plane sequence
+		// numbers coincide (both count checkpoints from 0).
+		im, _, err := c.group.FindImage(h, ord)
+		if err != nil {
+			return nil, fmt.Errorf("live: host %d: %w", h, err)
+		}
+		if err := im.Verify(); err != nil {
+			return nil, fmt.Errorf("live: host %d: %w", h, err)
+		}
+		if err := c.states[h].Restore(im.Data); err != nil {
+			return nil, fmt.Errorf("live: host %d: %w", h, err)
+		}
+		rep.BytesRestored += int64(len(im.Data))
+		rep.Restored[mobile.HostID(h)] = ord
+
+		// Re-baseline: the restored state becomes a fresh full checkpoint
+		// so the incremental chain continues gap-free after recovery.
+		seq := c.counts[h]
+		c.counts[h]++
+		delta := c.states[h].Checkpoint(seq, true)
+		if _, err := c.group.Station(c.station[h]).Apply(h, delta); err != nil {
+			return nil, fmt.Errorf("live: host %d re-baseline: %w", h, err)
+		}
+	}
+	return rep, nil
+}
+
+// VerifyImages checksum-verifies every image currently held by the
+// station group and reports the number checked. Tests call it to assert
+// end-to-end stable-storage integrity.
+func (c *Cluster) VerifyImages() (int, error) {
+	checked := 0
+	for h := 0; h < len(c.states); h++ {
+		for ord := 0; ord < c.counts[h]; ord++ {
+			im, _, err := c.group.FindImage(h, ord)
+			if err != nil {
+				return checked, err
+			}
+			if err := im.Verify(); err != nil {
+				return checked, err
+			}
+			checked++
+		}
+	}
+	return checked, nil
+}
+
+// stateOf exposes a host's live state for tests.
+func (c *Cluster) stateOf(h mobile.HostID) *statestore.HostState { return c.states[h] }

@@ -1,0 +1,113 @@
+package mobile
+
+import (
+	"fmt"
+
+	"mobickpt/internal/des"
+)
+
+// SwitchCell performs the hand-off of host id from its current cell to
+// station to. Per §5.1 the hand-off protocol sends two control messages:
+// one to the station being left, one to the station becoming current.
+// The OnCellSwitch hook fires after the move (the point where protocols
+// take a basic checkpoint).
+func (n *Network) SwitchCell(id HostID, to MSSID) error {
+	h := n.hosts[id]
+	if !h.connected {
+		return fmt.Errorf("mobile: host %d cannot switch cells while disconnected", id)
+	}
+	if to < 0 || int(to) >= len(n.stations) {
+		return fmt.Errorf("mobile: host %d switching to unknown station %d", id, to)
+	}
+	from := h.mss
+	if to == from {
+		return fmt.Errorf("mobile: host %d switching to its current station %d", id, to)
+	}
+
+	// Two hand-off control messages (leave + join), each over wireless.
+	n.counters.CtrlMessages += 2
+	n.counters.WirelessHops += 2
+
+	delete(n.stations[from].members, id)
+	n.stations[to].members[id] = true
+	h.mss = to
+	h.lastMSS = to
+	h.switches++
+	n.updateLocation(id, to)
+
+	if n.hooks.OnCellSwitch != nil {
+		n.hooks.OnCellSwitch(n.sim.Now(), h, from, to)
+	}
+	return nil
+}
+
+// Disconnect voluntarily detaches host id from the network. Per §5.1 the
+// disconnection protocol sends one control message to the current MSS.
+// While disconnected the host executes no send/receive operations and
+// arriving messages park at the MSS. The OnDisconnect hook fires at the
+// moment of detachment (the point where protocols take the basic
+// checkpoint that will represent the host in every recovery line
+// collected during the disconnection, §2.2).
+func (n *Network) Disconnect(id HostID) error {
+	h := n.hosts[id]
+	if !h.connected {
+		return fmt.Errorf("mobile: host %d is already disconnected", id)
+	}
+	n.counters.CtrlMessages++
+	n.counters.WirelessHops++
+
+	delete(n.stations[h.mss].members, id)
+	h.lastMSS = h.mss
+	h.mss = NoMSS
+	h.connected = false
+	h.disconnects++
+
+	if n.hooks.OnDisconnect != nil {
+		n.hooks.OnDisconnect(n.sim.Now(), h)
+	}
+	return nil
+}
+
+// Reconnect reattaches host id at station at. Messages parked during the
+// disconnection are flushed to the host's inbox: those parked at another
+// station pay one wired forwarding hop, and all pay the downlink, so they
+// become receivable shortly after reconnection. The OnReconnect hook
+// fires immediately.
+func (n *Network) Reconnect(id HostID, at MSSID) error {
+	h := n.hosts[id]
+	if h.connected {
+		return fmt.Errorf("mobile: host %d is already connected", id)
+	}
+	if at < 0 || int(at) >= len(n.stations) {
+		return fmt.Errorf("mobile: host %d reconnecting at unknown station %d", id, at)
+	}
+	n.counters.CtrlMessages++
+	n.counters.WirelessHops++
+
+	h.mss = at
+	h.connected = true
+	n.stations[at].members[id] = true
+	n.updateLocation(id, at)
+
+	parked := h.parked
+	h.parked = nil
+	for _, m := range parked {
+		var delay des.Time
+		if h.lastMSS != at {
+			// The parked messages follow the host over the wired network.
+			delay = n.cfg.WiredLatency
+			n.counters.WiredHops++
+			m.Hops++
+		}
+		mm := m
+		n.sim.After(delay, "flush-parked", func(sim *des.Simulator, now des.Time) {
+			n.arrive(mm, at, now)
+		})
+	}
+	h.lastMSS = at
+
+	if n.hooks.OnReconnect != nil {
+		n.hooks.OnReconnect(n.sim.Now(), h, at)
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package mobile
+
+import (
+	"fmt"
+
+	"mobickpt/internal/des"
+)
+
+// Message is an application message in flight or queued for delivery.
+// Payload is opaque to the network; the protocol layer stores piggybacked
+// control information there (sequence numbers for BCS/QBC, dependency
+// vectors for TP).
+type Message struct {
+	ID        uint64
+	From, To  HostID
+	SentAt    des.Time
+	ArrivedAt des.Time // when it became available at the recipient's MSS
+	Payload   any
+	Hops      int // total hops traversed (wireless + wired), for cost models
+}
+
+func (m *Message) String() string {
+	return fmt.Sprintf("msg#%d %d->%d sent=%.3f", m.ID, m.From, m.To, m.SentAt)
+}
+
+// reserveWireless books one transmission slot on station st's wireless
+// channel and returns its completion time. Without contention modeling
+// the channel has infinite capacity and the slot completes one
+// WirelessLatency from now; with contention (Config.Contention) each
+// cell is a FIFO server — concurrent transmissions queue, which is the
+// "high channel contention" of §2.1 point (b). Queueing time is
+// accumulated in Counters.ContentionDelay.
+func (n *Network) reserveWireless(st MSSID) des.Time {
+	n.counters.WirelessHops++
+	now := n.sim.Now()
+
+	// At-least-once loss model: each attempt is lost independently; the
+	// sender retries after the timeout, so a hop with k losses costs
+	// k*(latency+timeout) extra. The hop always completes eventually
+	// (LossProbability < 1).
+	var retryCost des.Time
+	if n.cfg.LossProbability > 0 && n.loss != nil {
+		for n.loss.Bernoulli(n.cfg.LossProbability) {
+			n.counters.Retransmissions++
+			retryCost += n.cfg.WirelessLatency + n.cfg.RetransmitTimeout
+		}
+	}
+
+	if !n.cfg.Contention {
+		return now + retryCost + n.cfg.WirelessLatency
+	}
+	start := now
+	if n.busy[st] > start {
+		start = n.busy[st]
+	}
+	end := start + retryCost + n.cfg.WirelessLatency
+	n.busy[st] = end
+	n.counters.ContentionDelay += start - now
+	return end
+}
+
+// Send transmits an application message from one host to another. The
+// sender must be connected (a disconnected MH cannot transmit). The
+// message takes the uplink into the sender's cell, crosses the wired
+// network if the recipient is in another cell, and then takes the
+// recipient cell's downlink into the host's inbox, where it waits for a
+// receive operation. If the recipient is disconnected on arrival the
+// message parks at the MSS until reconnection (the at-least-once
+// transport of §3 never loses messages); if it moved, the message
+// chases it over the wired network.
+//
+// It returns the message so callers (the trace recorder) can observe ids.
+func (n *Network) Send(from, to HostID, payload any) (*Message, error) {
+	src := n.hosts[from]
+	if !src.connected {
+		return nil, fmt.Errorf("mobile: host %d cannot send while disconnected", from)
+	}
+	if from == to {
+		return nil, fmt.Errorf("mobile: host %d sending to itself", from)
+	}
+	m := &Message{
+		ID:      n.nextMsg,
+		From:    from,
+		To:      to,
+		SentAt:  n.sim.Now(),
+		Payload: payload,
+	}
+	n.nextMsg++
+	n.counters.AppMessages++
+
+	// Uplink into the sender's cell.
+	m.Hops++
+	atMSS := n.reserveWireless(src.mss)
+
+	// The sender's MSS locates the recipient and forwards over the wired
+	// network if the recipient is (believed to be) in another cell.
+	dstMSS := n.Locate(to)
+	if dstMSS != src.mss {
+		n.counters.WiredHops++
+		m.Hops++
+		atMSS += n.cfg.WiredLatency
+	}
+
+	n.sim.At(atMSS, "at-mss", func(sim *des.Simulator, now des.Time) {
+		n.arrive(m, dstMSS, now)
+	})
+	return m, nil
+}
+
+// arrive lands message m at station at. If the recipient has moved the
+// message chases it with one more wired hop; if the recipient is
+// disconnected it parks; otherwise it takes the cell's downlink and is
+// appended to the inbox when the transmission completes.
+func (n *Network) arrive(m *Message, at MSSID, now des.Time) {
+	dst := n.hosts[m.To]
+	if !dst.connected {
+		m.ArrivedAt = now
+		n.counters.Parked++
+		dst.parked = append(dst.parked, m)
+		return
+	}
+	if dst.mss != at {
+		// The host switched cells while the message was in flight: the
+		// old MSS forwards it to the current one.
+		n.counters.Forwards++
+		n.counters.WiredHops++
+		m.Hops++
+		target := dst.mss
+		n.sim.After(n.cfg.WiredLatency, "forward", func(sim *des.Simulator, now des.Time) {
+			n.arrive(m, target, now)
+		})
+		return
+	}
+	// Downlink into the recipient's cell.
+	m.Hops++
+	done := n.reserveWireless(at)
+	n.sim.At(done, "downlink", func(sim *des.Simulator, now des.Time) {
+		// The host may have moved or disconnected while the downlink
+		// transmission was in progress; re-route if so.
+		if !dst.connected || dst.mss != at {
+			m.Hops-- // the failed downlink is re-attempted elsewhere
+			n.arrive(m, at, now)
+			return
+		}
+		m.ArrivedAt = now
+		dst.inbox = append(dst.inbox, m)
+	})
+}
+
+// TryReceive performs a receive operation for host id: it delivers the
+// earliest-arrived queued message, invoking the OnDeliver hook, and
+// returns it. It returns nil when no message is waiting (the operation
+// degenerates to an internal event, as in the workload model) or when the
+// host is disconnected.
+func (n *Network) TryReceive(id HostID) *Message {
+	h := n.hosts[id]
+	if !h.connected || len(h.inbox) == 0 {
+		return nil
+	}
+	m := h.inbox[0]
+	copy(h.inbox, h.inbox[1:])
+	h.inbox[len(h.inbox)-1] = nil
+	h.inbox = h.inbox[:len(h.inbox)-1]
+	n.counters.Delivered++
+	if n.hooks.OnDeliver != nil {
+		n.hooks.OnDeliver(n.sim.Now(), h, m)
+	}
+	return m
+}

@@ -1,0 +1,284 @@
+// Package mobile models the mobile computing environment of the paper's
+// §3: n mobile hosts (MHs) attached to r mobile support stations (MSSs)
+// through wireless cells, with a wired network between MSSs.
+//
+// The package provides the *mechanics* of the environment — message
+// routing through the current MSS, hand-off between cells, voluntary
+// disconnection/reconnection, message buffering for unreachable hosts,
+// and a home-agent location directory — while the stochastic *policies*
+// (when hosts move, when they communicate) live in internal/workload.
+//
+// Every action is accounted in Counters so higher layers can derive the
+// channel-contention and energy costs the paper discusses in §2.1.
+package mobile
+
+import (
+	"fmt"
+
+	"mobickpt/internal/des"
+)
+
+// HostID identifies a mobile host, 0-based.
+type HostID int
+
+// MSSID identifies a mobile support station (equivalently, its cell),
+// 0-based. The sentinel NoMSS marks a disconnected host.
+type MSSID int
+
+// NoMSS is the MSS of a disconnected host.
+const NoMSS MSSID = -1
+
+// Config describes the static environment.
+type Config struct {
+	NumHosts int // n mobile hosts
+	NumMSS   int // r mobile support stations
+
+	// WirelessLatency is the time for one message over a wireless cell
+	// (MH->MSS or MSS->MH). The paper uses 0.01 time units.
+	WirelessLatency des.Time
+	// WiredLatency is the time for one MSS->MSS transfer. The paper uses
+	// 0.01 time units.
+	WiredLatency des.Time
+
+	// Contention enables the finite-capacity wireless channel model of
+	// §2.1 point (b): each cell is a FIFO server, so simultaneous
+	// transmissions in one cell queue behind each other. The paper's
+	// experiments use the infinite-capacity model (false); the contention
+	// extension experiment turns it on.
+	Contention bool
+
+	// LossProbability is the chance one wireless transmission attempt is
+	// lost. The transport retries after RetransmitTimeout until the hop
+	// succeeds — the at-least-once delivery semantics the paper assumes
+	// (§3, citing [2]). Zero (the default) disables the loss model.
+	LossProbability float64
+	// RetransmitTimeout is the wait before a lost transmission is
+	// retried. Required positive when LossProbability > 0.
+	RetransmitTimeout des.Time
+}
+
+// DefaultConfig returns the environment of the paper's §5.1: 10 MHs,
+// 5 MSSs, 0.01 tu per hop.
+func DefaultConfig() Config {
+	return Config{NumHosts: 10, NumMSS: 5, WirelessLatency: 0.01, WiredLatency: 0.01}
+}
+
+// Validate reports a descriptive error for nonsensical configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.NumHosts <= 0:
+		return fmt.Errorf("mobile: NumHosts = %d, need > 0", c.NumHosts)
+	case c.NumMSS <= 0:
+		return fmt.Errorf("mobile: NumMSS = %d, need > 0", c.NumMSS)
+	case c.WirelessLatency < 0 || c.WiredLatency < 0:
+		return fmt.Errorf("mobile: negative latency")
+	case c.LossProbability < 0 || c.LossProbability >= 1:
+		return fmt.Errorf("mobile: LossProbability = %v out of [0,1)", c.LossProbability)
+	case c.LossProbability > 0 && c.RetransmitTimeout <= 0:
+		return fmt.Errorf("mobile: loss model requires RetransmitTimeout > 0")
+	}
+	return nil
+}
+
+// Hooks are upcalls from the network mechanics into the protocol layer.
+// Any hook may be nil.
+type Hooks struct {
+	// OnDeliver fires when a message is handed to the application by a
+	// receive operation (not when it merely arrives at the MSS).
+	OnDeliver func(now des.Time, h *Host, m *Message)
+	// OnCellSwitch fires after a hand-off completes, with the old and new
+	// stations. The paper mandates a basic checkpoint here.
+	OnCellSwitch func(now des.Time, h *Host, from, to MSSID)
+	// OnDisconnect fires when a host voluntarily disconnects. The paper
+	// mandates a basic checkpoint here.
+	OnDisconnect func(now des.Time, h *Host)
+	// OnReconnect fires when a host reconnects at station at.
+	OnReconnect func(now des.Time, h *Host, at MSSID)
+}
+
+// Counters accumulates the cost-relevant activity of the environment.
+type Counters struct {
+	AppMessages     int64 // application messages sent
+	CtrlMessages    int64 // control messages (hand-off, disconnect, location)
+	WirelessHops    int64 // messages crossing a wireless cell, either way
+	WiredHops       int64 // messages crossing an MSS-MSS link
+	Forwards        int64 // arrivals re-routed because the host moved
+	Parked          int64 // arrivals buffered because the host was disconnected
+	Delivered       int64 // messages handed to the application
+	LocationQueries int64 // home-agent lookups
+	LocationUpdates int64 // home-agent updates
+
+	// ContentionDelay is the total time messages spent queueing for a
+	// busy wireless channel (zero unless Config.Contention is set).
+	ContentionDelay des.Time
+
+	// Retransmissions counts wireless transmission attempts repeated
+	// after a loss (zero unless Config.LossProbability is set).
+	Retransmissions int64
+}
+
+// Host is a mobile host. Exported fields are stable identity/state read
+// by higher layers; mutation goes through Network methods.
+type Host struct {
+	ID HostID
+
+	mss       MSSID // current station, NoMSS while disconnected
+	connected bool
+	lastMSS   MSSID // station the host was attached to before disconnecting
+
+	inbox  []*Message // arrived, awaiting a receive operation; sorted by arrival
+	parked []*Message // arrived while disconnected; flushed on reconnect
+
+	switches    int // completed hand-offs
+	disconnects int // completed disconnections
+}
+
+// MSS reports the host's current station, or NoMSS when disconnected.
+func (h *Host) MSS() MSSID { return h.mss }
+
+// Connected reports whether the host is attached to a cell.
+func (h *Host) Connected() bool { return h.connected }
+
+// LastMSS returns the station the host is attached to, or — while
+// disconnected — the station it departed from (the one holding its
+// checkpoints and parked messages).
+func (h *Host) LastMSS() MSSID {
+	if h.connected {
+		return h.mss
+	}
+	return h.lastMSS
+}
+
+// QueueLen returns the number of arrived-but-undelivered messages.
+func (h *Host) QueueLen() int { return len(h.inbox) }
+
+// ParkedLen returns the number of messages buffered during disconnection.
+func (h *Host) ParkedLen() int { return len(h.parked) }
+
+// Switches returns the number of completed hand-offs.
+func (h *Host) Switches() int { return h.switches }
+
+// Disconnects returns the number of completed disconnections.
+func (h *Host) Disconnects() int { return h.disconnects }
+
+// Station is a mobile support station. It owns the per-cell bookkeeping;
+// checkpoint stable storage is layered on top by internal/storage.
+type Station struct {
+	ID      MSSID
+	members map[HostID]bool // hosts currently in this cell
+}
+
+// Members returns the number of hosts currently in the cell.
+func (s *Station) Members() int { return len(s.members) }
+
+// Network binds hosts and stations to a DES simulator.
+type Network struct {
+	sim      *des.Simulator
+	cfg      Config
+	hosts    []*Host
+	stations []*Station
+	homes    []MSSID    // home-agent directory: host -> believed current MSS
+	busy     []des.Time // per-station wireless channel busy-until (contention model)
+	loss     lossSource // variate source for the loss model; nil when disabled
+	hooks    Hooks
+	counters Counters
+	nextMsg  uint64
+}
+
+// New creates a network in which host i starts connected to station
+// i mod r (a deterministic initial placement; callers can move hosts
+// before starting the clock).
+func New(sim *des.Simulator, cfg Config, hooks Hooks) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{sim: sim, cfg: cfg, hooks: hooks}
+	n.busy = make([]des.Time, cfg.NumMSS)
+	n.stations = make([]*Station, cfg.NumMSS)
+	for i := range n.stations {
+		n.stations[i] = &Station{ID: MSSID(i), members: make(map[HostID]bool)}
+	}
+	n.hosts = make([]*Host, cfg.NumHosts)
+	n.homes = make([]MSSID, cfg.NumHosts)
+	for i := range n.hosts {
+		at := MSSID(i % cfg.NumMSS)
+		n.hosts[i] = &Host{ID: HostID(i), mss: at, connected: true, lastMSS: at}
+		n.stations[at].members[HostID(i)] = true
+		n.homes[i] = at
+	}
+	return n, nil
+}
+
+// Config returns the static configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Host returns host id. It panics on out-of-range ids (caller bug).
+func (n *Network) Host(id HostID) *Host { return n.hosts[id] }
+
+// Station returns station id.
+func (n *Network) Station(id MSSID) *Station { return n.stations[id] }
+
+// NumHosts returns the number of hosts.
+func (n *Network) NumHosts() int { return len(n.hosts) }
+
+// NumStations returns the number of stations.
+func (n *Network) NumStations() int { return len(n.stations) }
+
+// Counters returns a snapshot of the accumulated activity counters.
+func (n *Network) Counters() Counters { return n.counters }
+
+// lossSource is the slice of randomness the loss model needs; satisfied
+// by *rng.Source without importing it (keeping mobile free of policy
+// dependencies).
+type lossSource interface {
+	Bernoulli(p float64) bool
+}
+
+// SetLossSource installs the variate source driving the loss model.
+// Required before the first Send when Config.LossProbability > 0; the
+// source should be a dedicated stream so losses do not perturb the
+// workload's randomness.
+func (n *Network) SetLossSource(src lossSource) { n.loss = src }
+
+// Locate consults the home-agent directory for the believed station of
+// host id, counting one location query. The paper's point (d): locating
+// a roaming host has a cost.
+func (n *Network) Locate(id HostID) MSSID {
+	n.counters.LocationQueries++
+	return n.homes[id]
+}
+
+// updateLocation records host id's new station at its home agent.
+func (n *Network) updateLocation(id HostID, at MSSID) {
+	n.counters.LocationUpdates++
+	n.counters.CtrlMessages++
+	if n.homes[id] != at {
+		// Crossing to the home agent costs a wired hop unless the host's
+		// home is the station it just joined.
+		if MSSID(int(id)%n.cfg.NumMSS) != at {
+			n.counters.WiredHops++
+		}
+	}
+	n.homes[id] = at
+}
+
+// AddHost grows the computation by one mobile host, connected at station
+// at — the paper's §2.1 point (f): "a good protocol should be able to
+// add/remove processes from the application at the minimum cost". The
+// join itself costs one control message (registration with the station);
+// what it costs each checkpointing protocol is the interesting part,
+// measured by experiment E16. The new host's id is returned; ids stay
+// dense.
+func (n *Network) AddHost(at MSSID) (HostID, error) {
+	if at < 0 || int(at) >= len(n.stations) {
+		return 0, fmt.Errorf("mobile: joining unknown station %d", at)
+	}
+	id := HostID(len(n.hosts))
+	n.hosts = append(n.hosts, &Host{ID: id, mss: at, connected: true, lastMSS: at})
+	n.stations[at].members[id] = true
+	n.homes = append(n.homes, at)
+	n.counters.CtrlMessages++
+	n.counters.WirelessHops++
+	n.counters.LocationUpdates++
+	return id, nil
+}

@@ -1,0 +1,441 @@
+package mobile
+
+import (
+	"testing"
+
+	"mobickpt/internal/des"
+)
+
+func newNet(t *testing.T, hooks Hooks) (*des.Simulator, *Network) {
+	t.Helper()
+	sim := des.New()
+	n, err := New(sim, DefaultConfig(), hooks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, n
+}
+
+func TestInitialPlacement(t *testing.T) {
+	_, n := newNet(t, Hooks{})
+	if n.NumHosts() != 10 || n.NumStations() != 5 {
+		t.Fatalf("size %d/%d", n.NumHosts(), n.NumStations())
+	}
+	for i := 0; i < 10; i++ {
+		h := n.Host(HostID(i))
+		if h.MSS() != MSSID(i%5) {
+			t.Fatalf("host %d at %d", i, h.MSS())
+		}
+		if !h.Connected() {
+			t.Fatalf("host %d not connected", i)
+		}
+	}
+	for s := 0; s < 5; s++ {
+		if n.Station(MSSID(s)).Members() != 2 {
+			t.Fatalf("station %d has %d members", s, n.Station(MSSID(s)).Members())
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{NumHosts: 0, NumMSS: 5, WirelessLatency: 0.01, WiredLatency: 0.01},
+		{NumHosts: 10, NumMSS: 0, WirelessLatency: 0.01, WiredLatency: 0.01},
+		{NumHosts: 10, NumMSS: 5, WirelessLatency: -1, WiredLatency: 0.01},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Fatalf("config %d should fail validation", i)
+		}
+		if _, err := New(des.New(), c, Hooks{}); err == nil {
+			t.Fatalf("New with config %d should fail", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCrossCellLatency(t *testing.T) {
+	sim, n := newNet(t, Hooks{})
+	// Host 0 is at MSS 0, host 1 at MSS 1: uplink + wired + downlink.
+	m, err := n.Send(0, 1, "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(1)
+	if m.ArrivedAt != des.Time(0.03) {
+		t.Fatalf("cross-cell arrival at %v, want 0.03", m.ArrivedAt)
+	}
+	if m.Hops != 3 {
+		t.Fatalf("hops = %d, want 3", m.Hops)
+	}
+	got := n.TryReceive(1)
+	if got == nil || got.ID != m.ID || got.Payload != "hello" {
+		t.Fatalf("received %v", got)
+	}
+}
+
+func TestSendSameCellLatency(t *testing.T) {
+	sim, n := newNet(t, Hooks{})
+	// Hosts 0 and 5 share MSS 0: uplink + downlink only.
+	m, err := n.Send(0, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(1)
+	if m.ArrivedAt != des.Time(0.02) {
+		t.Fatalf("same-cell arrival at %v, want 0.02", m.ArrivedAt)
+	}
+	if m.Hops != 2 {
+		t.Fatalf("hops = %d, want 2", m.Hops)
+	}
+}
+
+func TestSendErrors(t *testing.T) {
+	_, n := newNet(t, Hooks{})
+	if _, err := n.Send(0, 0, nil); err == nil {
+		t.Fatal("self-send must fail")
+	}
+	if err := n.Disconnect(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Send(0, 1, nil); err == nil {
+		t.Fatal("send while disconnected must fail")
+	}
+}
+
+func TestReceiveFIFOAndHook(t *testing.T) {
+	delivered := []uint64{}
+	hooks := Hooks{OnDeliver: func(now des.Time, h *Host, m *Message) {
+		delivered = append(delivered, m.ID)
+	}}
+	sim, n := newNet(t, hooks)
+	m1, _ := n.Send(0, 1, nil)
+	sim.Run(0.1)
+	m2, _ := n.Send(2, 1, nil)
+	sim.Run(1)
+	if n.Host(1).QueueLen() != 2 {
+		t.Fatalf("queue len %d", n.Host(1).QueueLen())
+	}
+	r1 := n.TryReceive(1)
+	r2 := n.TryReceive(1)
+	r3 := n.TryReceive(1)
+	if r1.ID != m1.ID || r2.ID != m2.ID || r3 != nil {
+		t.Fatalf("receive order wrong: %v %v %v", r1, r2, r3)
+	}
+	if len(delivered) != 2 || delivered[0] != m1.ID || delivered[1] != m2.ID {
+		t.Fatalf("hook saw %v", delivered)
+	}
+	if n.Counters().Delivered != 2 {
+		t.Fatalf("delivered counter %d", n.Counters().Delivered)
+	}
+}
+
+func TestTryReceiveDisconnected(t *testing.T) {
+	sim, n := newNet(t, Hooks{})
+	n.Send(0, 1, nil)
+	sim.Run(1)
+	n.Disconnect(1)
+	if n.TryReceive(1) != nil {
+		t.Fatal("disconnected host must not receive")
+	}
+}
+
+func TestSwitchCell(t *testing.T) {
+	var gotFrom, gotTo MSSID
+	calls := 0
+	hooks := Hooks{OnCellSwitch: func(now des.Time, h *Host, from, to MSSID) {
+		calls++
+		gotFrom, gotTo = from, to
+	}}
+	_, n := newNet(t, hooks)
+	if err := n.SwitchCell(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 || gotFrom != 0 || gotTo != 3 {
+		t.Fatalf("hook calls=%d from=%d to=%d", calls, gotFrom, gotTo)
+	}
+	if n.Host(0).MSS() != 3 || n.Host(0).Switches() != 1 {
+		t.Fatal("host state not updated")
+	}
+	if n.Station(0).Members() != 1 || n.Station(3).Members() != 3 {
+		t.Fatal("membership not updated")
+	}
+	if n.Locate(0) != 3 {
+		t.Fatal("location directory stale")
+	}
+	c := n.Counters()
+	if c.CtrlMessages < 2 {
+		t.Fatalf("hand-off must cost >= 2 control messages, got %d", c.CtrlMessages)
+	}
+}
+
+func TestSwitchCellErrors(t *testing.T) {
+	_, n := newNet(t, Hooks{})
+	if err := n.SwitchCell(0, 0); err == nil {
+		t.Fatal("switch to same cell must fail")
+	}
+	if err := n.SwitchCell(0, 99); err == nil {
+		t.Fatal("switch to unknown cell must fail")
+	}
+	n.Disconnect(0)
+	if err := n.SwitchCell(0, 1); err == nil {
+		t.Fatal("switch while disconnected must fail")
+	}
+}
+
+func TestDisconnectReconnect(t *testing.T) {
+	events := []string{}
+	hooks := Hooks{
+		OnDisconnect: func(now des.Time, h *Host) { events = append(events, "disc") },
+		OnReconnect:  func(now des.Time, h *Host, at MSSID) { events = append(events, "reco") },
+	}
+	_, n := newNet(t, hooks)
+	if err := n.Disconnect(0); err != nil {
+		t.Fatal(err)
+	}
+	h := n.Host(0)
+	if h.Connected() || h.MSS() != NoMSS || h.Disconnects() != 1 {
+		t.Fatal("disconnect state wrong")
+	}
+	if err := n.Disconnect(0); err == nil {
+		t.Fatal("double disconnect must fail")
+	}
+	if err := n.Reconnect(0, 99); err == nil {
+		t.Fatal("reconnect at unknown station must fail")
+	}
+	if err := n.Reconnect(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Connected() || h.MSS() != 2 {
+		t.Fatal("reconnect state wrong")
+	}
+	if err := n.Reconnect(0, 2); err == nil {
+		t.Fatal("double reconnect must fail")
+	}
+	if len(events) != 2 || events[0] != "disc" || events[1] != "reco" {
+		t.Fatalf("hook order %v", events)
+	}
+	if n.Station(0).Members() != 1 || n.Station(2).Members() != 3 {
+		t.Fatal("membership wrong after reconnect")
+	}
+}
+
+func TestParkingDuringDisconnection(t *testing.T) {
+	sim, n := newNet(t, Hooks{})
+	n.Disconnect(1)
+	m, _ := n.Send(0, 1, "parked")
+	sim.Run(1)
+	if n.Host(1).ParkedLen() != 1 || n.Host(1).QueueLen() != 0 {
+		t.Fatal("message should be parked")
+	}
+	if n.Counters().Parked != 1 {
+		t.Fatal("parked counter not incremented")
+	}
+	// Reconnect at a different station: the parked message pays a wired
+	// forward plus a downlink and then becomes receivable.
+	n.Reconnect(1, 4)
+	sim.Run(2)
+	if n.Host(1).ParkedLen() != 0 || n.Host(1).QueueLen() != 1 {
+		t.Fatal("parked message not flushed")
+	}
+	got := n.TryReceive(1)
+	if got == nil || got.ID != m.ID {
+		t.Fatal("wrong message delivered")
+	}
+	if got.ArrivedAt <= 1.0 {
+		t.Fatalf("flushed arrival %v must be after reconnect", got.ArrivedAt)
+	}
+}
+
+func TestForwardingChasesMovingHost(t *testing.T) {
+	sim, n := newNet(t, Hooks{})
+	m, _ := n.Send(0, 1, nil) // host 1 is at MSS 1; arrival due at 0.03
+	// Before the message lands, host 1 moves to MSS 2.
+	sim.Run(0.02)
+	if err := n.SwitchCell(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(1)
+	if n.Counters().Forwards != 1 {
+		t.Fatalf("forwards = %d, want 1", n.Counters().Forwards)
+	}
+	if n.Host(1).QueueLen() != 1 {
+		t.Fatal("message lost in forwarding")
+	}
+	if m.ArrivedAt <= 0.03 {
+		t.Fatalf("forwarded arrival %v must be later than direct 0.03", m.ArrivedAt)
+	}
+}
+
+func TestLocationQueryCounting(t *testing.T) {
+	_, n := newNet(t, Hooks{})
+	before := n.Counters().LocationQueries
+	n.Locate(3)
+	n.Locate(4)
+	if n.Counters().LocationQueries != before+2 {
+		t.Fatal("location queries not counted")
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	m := &Message{ID: 7, From: 1, To: 2, SentAt: 3.5}
+	if m.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestContentionSerializesCell(t *testing.T) {
+	sim := des.New()
+	cfg := DefaultConfig()
+	cfg.Contention = true
+	n, err := New(sim, cfg, Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hosts 0 and 5 share MSS 0 and both transmit at t=0: the second
+	// uplink must queue behind the first.
+	m1, _ := n.Send(0, 1, nil)
+	m2, _ := n.Send(5, 1, nil)
+	sim.Run(1)
+	if m1.ArrivedAt >= m2.ArrivedAt {
+		t.Fatalf("FIFO violated: %v vs %v", m1.ArrivedAt, m2.ArrivedAt)
+	}
+	if m2.ArrivedAt-m1.ArrivedAt < 0.009 {
+		t.Fatalf("second message did not queue: %v vs %v", m1.ArrivedAt, m2.ArrivedAt)
+	}
+	if n.Counters().ContentionDelay <= 0 {
+		t.Fatal("contention delay not accounted")
+	}
+}
+
+func TestNoContentionNoDelay(t *testing.T) {
+	sim, n := newNet(t, Hooks{})
+	n.Send(0, 1, nil)
+	n.Send(5, 1, nil)
+	sim.Run(1)
+	if n.Counters().ContentionDelay != 0 {
+		t.Fatal("infinite-capacity model must not accumulate contention delay")
+	}
+}
+
+func TestContentionPreservesDelivery(t *testing.T) {
+	sim := des.New()
+	cfg := DefaultConfig()
+	cfg.Contention = true
+	n, err := New(sim, cfg, Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A burst of messages into one cell must all be delivered despite
+	// queueing.
+	const burst = 20
+	for i := 0; i < burst; i++ {
+		if _, err := n.Send(0, 5, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run(10)
+	if n.Host(5).QueueLen() != burst {
+		t.Fatalf("queue = %d, want %d", n.Host(5).QueueLen(), burst)
+	}
+	// Arrivals are spaced by at least the channel service time.
+	var prev des.Time = -1
+	for i := 0; i < burst; i++ {
+		m := n.TryReceive(5)
+		if m.ArrivedAt < prev {
+			t.Fatal("arrivals out of order")
+		}
+		prev = m.ArrivedAt
+	}
+}
+
+type alwaysLose struct{ left int }
+
+func (a *alwaysLose) Bernoulli(p float64) bool {
+	if a.left > 0 {
+		a.left--
+		return true
+	}
+	return false
+}
+
+func TestLossModelRetransmits(t *testing.T) {
+	sim := des.New()
+	cfg := DefaultConfig()
+	cfg.LossProbability = 0.5
+	cfg.RetransmitTimeout = 0.1
+	n, err := New(sim, cfg, Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetLossSource(&alwaysLose{left: 2}) // exactly two losses, then clean
+	m, _ := n.Send(0, 1, nil)
+	sim.Run(10)
+	// Two retransmissions on the uplink: 2*(0.01+0.1) extra over the
+	// clean 0.03 cross-cell latency.
+	want := des.Time(0.03 + 2*(0.01+0.1))
+	if diff := m.ArrivedAt - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("arrival %v, want %v", m.ArrivedAt, want)
+	}
+	if n.Counters().Retransmissions != 2 {
+		t.Fatalf("retransmissions = %d", n.Counters().Retransmissions)
+	}
+}
+
+func TestLossModelValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LossProbability = 1.0
+	if cfg.Validate() == nil {
+		t.Fatal("p=1 must fail (hop would never complete)")
+	}
+	cfg.LossProbability = 0.5
+	cfg.RetransmitTimeout = 0
+	if cfg.Validate() == nil {
+		t.Fatal("loss without timeout must fail")
+	}
+}
+
+func TestLossModelDisabledByDefault(t *testing.T) {
+	sim, n := newNet(t, Hooks{})
+	n.SetLossSource(&alwaysLose{left: 100}) // ignored: LossProbability is 0
+	m, _ := n.Send(0, 1, nil)
+	sim.Run(1)
+	if m.ArrivedAt != des.Time(0.03) || n.Counters().Retransmissions != 0 {
+		t.Fatalf("loss model leaked: arrival %v, retrans %d", m.ArrivedAt, n.Counters().Retransmissions)
+	}
+}
+
+func TestAddHost(t *testing.T) {
+	sim, n := newNet(t, Hooks{})
+	id, err := n.AddHost(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 10 || n.NumHosts() != 11 {
+		t.Fatalf("id=%d hosts=%d", id, n.NumHosts())
+	}
+	h := n.Host(id)
+	if !h.Connected() || h.MSS() != 3 {
+		t.Fatal("new host state wrong")
+	}
+	if n.Station(3).Members() != 3 {
+		t.Fatalf("membership = %d", n.Station(3).Members())
+	}
+	if n.Locate(id) != 3 {
+		t.Fatal("directory missing the new host")
+	}
+	// The new host participates fully.
+	m, err := n.Send(0, id, "welcome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(1)
+	if got := n.TryReceive(id); got == nil || got.ID != m.ID {
+		t.Fatal("new host cannot receive")
+	}
+	if _, err := n.AddHost(99); err == nil {
+		t.Fatal("unknown station must fail")
+	}
+}

@@ -1,0 +1,104 @@
+package mobile
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mobickpt/internal/des"
+	"mobickpt/internal/rng"
+)
+
+// checkInvariants asserts the structural invariants of the network:
+// every connected host is a member of exactly its current station and of
+// no other; disconnected hosts are members of none; the location
+// directory agrees with reality for connected hosts.
+func checkInvariants(t *testing.T, n *Network) {
+	t.Helper()
+	for i := 0; i < n.NumHosts(); i++ {
+		h := n.Host(HostID(i))
+		memberships := 0
+		for s := 0; s < n.NumStations(); s++ {
+			if n.Station(MSSID(s)).members[h.ID] {
+				memberships++
+				if !h.Connected() {
+					t.Fatalf("disconnected host %d is a member of station %d", i, s)
+				}
+				if h.MSS() != MSSID(s) {
+					t.Fatalf("host %d member of %d but MSS() = %d", i, s, h.MSS())
+				}
+			}
+		}
+		switch {
+		case h.Connected() && memberships != 1:
+			t.Fatalf("connected host %d has %d memberships", i, memberships)
+		case !h.Connected() && memberships != 0:
+			t.Fatalf("disconnected host %d has %d memberships", i, memberships)
+		}
+		if h.Connected() && n.homes[i] != h.MSS() {
+			t.Fatalf("directory says host %d at %d, actually at %d", i, n.homes[i], h.MSS())
+		}
+	}
+}
+
+// TestPropertyMembershipInvariants drives random operation sequences and
+// checks the structural invariants after every step.
+func TestPropertyMembershipInvariants(t *testing.T) {
+	f := func(ops []uint16, seed uint64) bool {
+		src := rng.New(seed)
+		sim := des.New()
+		n, err := New(sim, DefaultConfig(), Hooks{})
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			h := HostID(int(op) % n.NumHosts())
+			host := n.Host(h)
+			switch op % 5 {
+			case 0: // send to someone (if possible)
+				to := HostID(src.Intn(n.NumHosts()))
+				if to != h && host.Connected() {
+					if _, err := n.Send(h, to, nil); err != nil {
+						return false
+					}
+				}
+			case 1: // switch cell
+				if host.Connected() {
+					to := MSSID(src.Intn(n.NumStations()))
+					if to != host.MSS() {
+						if err := n.SwitchCell(h, to); err != nil {
+							return false
+						}
+					}
+				}
+			case 2: // disconnect
+				if host.Connected() {
+					if err := n.Disconnect(h); err != nil {
+						return false
+					}
+				}
+			case 3: // reconnect
+				if !host.Connected() {
+					if err := n.Reconnect(h, MSSID(src.Intn(n.NumStations()))); err != nil {
+						return false
+					}
+				}
+			case 4: // let time pass and receive
+				sim.Run(sim.Now() + 0.1)
+				n.TryReceive(h)
+			}
+			checkInvariants(t, n)
+		}
+		// Drain everything; every sent message must end up delivered,
+		// queued, or parked — never lost.
+		sim.Run(sim.Now() + 100)
+		c := n.Counters()
+		queued := int64(0)
+		for i := 0; i < n.NumHosts(); i++ {
+			queued += int64(n.Host(HostID(i)).QueueLen() + n.Host(HostID(i)).ParkedLen())
+		}
+		return c.AppMessages == c.Delivered+queued
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

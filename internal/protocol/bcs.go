@@ -1,0 +1,95 @@
+package protocol
+
+import (
+	"mobickpt/internal/mobile"
+	"mobickpt/internal/storage"
+)
+
+// IndexPiggyback is the single integer (the sender's checkpoint sequence
+// number) that the index-based protocols attach to application messages.
+// Its constant size is why BCS and QBC "scale well with respect to the
+// number of hosts" (§4.2).
+type IndexPiggyback int
+
+// BCS is the index-based protocol of Briatico, Ciuffoletti and Simoncini
+// (§4.2): every checkpoint carries a sequence number sn; receiving a
+// message with m.sn > sn_i forces a checkpoint with index m.sn; every
+// basic checkpoint (cell switch, disconnection) increments sn_i.
+// Checkpoints with the same sequence number form a recovery line.
+type BCS struct {
+	ckpt      Checkpointer
+	sn        []int
+	piggyback int64
+}
+
+// NewBCS creates a BCS instance for n hosts.
+func NewBCS(n int, ckpt Checkpointer) *BCS {
+	return &BCS{ckpt: ckpt, sn: make([]int, n)}
+}
+
+// Name implements Protocol.
+func (b *BCS) Name() string { return "BCS" }
+
+// Init implements Protocol: the first checkpoint of every host gets
+// sequence number 0.
+func (b *BCS) Init() {
+	for i := range b.sn {
+		b.sn[i] = 0
+		b.ckpt(mobile.HostID(i), 0, storage.Initial)
+	}
+}
+
+// OnSend implements Protocol: the current sequence number rides on the
+// message.
+func (b *BCS) OnSend(from, to mobile.HostID) any {
+	b.piggyback += intSize
+	return IndexPiggyback(b.sn[from])
+}
+
+// OnDeliver implements Protocol: a message from the future (m.sn > sn_i)
+// forces a checkpoint with the sender's index, taken before the message
+// is processed so the message cannot become orphan with respect to the
+// recovery line of that index.
+func (b *BCS) OnDeliver(h, from mobile.HostID, pb any) {
+	msn := int(pb.(IndexPiggyback))
+	if msn > b.sn[h] {
+		b.sn[h] = msn
+		b.ckpt(h, b.sn[h], storage.Forced)
+	}
+}
+
+// OnCellSwitch implements Protocol: basic checkpoint with incremented
+// index.
+func (b *BCS) OnCellSwitch(h mobile.HostID, newMSS mobile.MSSID) {
+	b.sn[h]++
+	b.ckpt(h, b.sn[h], storage.Basic)
+}
+
+// OnDisconnect implements Protocol: same rule as a cell switch.
+func (b *BCS) OnDisconnect(h mobile.HostID) {
+	b.sn[h]++
+	b.ckpt(h, b.sn[h], storage.Basic)
+}
+
+// OnReconnect implements Protocol (no action).
+func (b *BCS) OnReconnect(h mobile.HostID, at mobile.MSSID) {}
+
+// PiggybackBytes implements Protocol.
+func (b *BCS) PiggybackBytes() int64 { return b.piggyback }
+
+// OnJoin implements Dynamic. BCS admits a host for free: it starts at
+// index 0 with its initial checkpoint, and the first message carrying a
+// higher index forces it into the current recovery line — the
+// scalability property §4.2 highlights ("the BCS protocol scales well
+// with respect to the number of hosts").
+func (b *BCS) OnJoin(h mobile.HostID) int64 {
+	if int(h) != len(b.sn) {
+		panic("protocol: BCS join with non-dense host id")
+	}
+	b.sn = append(b.sn, 0)
+	b.ckpt(h, 0, storage.Initial)
+	return 0
+}
+
+// SequenceNumber returns host h's current index (for tests and tracing).
+func (b *BCS) SequenceNumber(h mobile.HostID) int { return b.sn[h] }

@@ -1,0 +1,93 @@
+package protocol
+
+import (
+	"mobickpt/internal/mobile"
+	"mobickpt/internal/storage"
+)
+
+// Periodic is implemented by protocols that take timer-driven local
+// checkpoints in addition to mobility-driven ones. Unlike Initiator, no
+// control messages travel: OnTick is a purely local event the
+// environment delivers to every host each period.
+type Periodic interface {
+	OnTick(h mobile.HostID)
+}
+
+// MS is an extension beyond the paper: an index-based protocol in the
+// style of Manivannan–Singhal's quasi-synchronous checkpointing, the
+// shape the index protocols take in *wired* systems where no mobility
+// events exist to drive basic checkpoints. Each host increments its
+// index on a local timer (OnTick) as well as at mobility events, and
+// forces on m.sn > sn_i exactly like BCS. Comparing MS against BCS
+// isolates how much of the index protocols' checkpoint count comes from
+// the mobile setting itself.
+type MS struct {
+	ckpt      Checkpointer
+	sn        []int
+	piggyback int64
+}
+
+// NewMS creates an MS instance for n hosts.
+func NewMS(n int, ckpt Checkpointer) *MS {
+	return &MS{ckpt: ckpt, sn: make([]int, n)}
+}
+
+// Name implements Protocol.
+func (m *MS) Name() string { return "MS" }
+
+// Init implements Protocol.
+func (m *MS) Init() {
+	for i := range m.sn {
+		m.sn[i] = 0
+		m.ckpt(mobile.HostID(i), 0, storage.Initial)
+	}
+}
+
+// OnSend implements Protocol.
+func (m *MS) OnSend(from, to mobile.HostID) any {
+	m.piggyback += intSize
+	return IndexPiggyback(m.sn[from])
+}
+
+// OnDeliver implements Protocol: BCS's forcing rule.
+func (m *MS) OnDeliver(h, from mobile.HostID, pb any) {
+	msn := int(pb.(IndexPiggyback))
+	if msn > m.sn[h] {
+		m.sn[h] = msn
+		m.ckpt(h, m.sn[h], storage.Forced)
+	}
+}
+
+// bump takes a basic checkpoint with an incremented index.
+func (m *MS) bump(h mobile.HostID) {
+	m.sn[h]++
+	m.ckpt(h, m.sn[h], storage.Basic)
+}
+
+// OnCellSwitch implements Protocol.
+func (m *MS) OnCellSwitch(h mobile.HostID, newMSS mobile.MSSID) { m.bump(h) }
+
+// OnDisconnect implements Protocol.
+func (m *MS) OnDisconnect(h mobile.HostID) { m.bump(h) }
+
+// OnReconnect implements Protocol (no action).
+func (m *MS) OnReconnect(h mobile.HostID, at mobile.MSSID) {}
+
+// OnTick implements Periodic: the timer-driven basic checkpoint.
+func (m *MS) OnTick(h mobile.HostID) { m.bump(h) }
+
+// PiggybackBytes implements Protocol.
+func (m *MS) PiggybackBytes() int64 { return m.piggyback }
+
+// OnJoin implements Dynamic (free, as for BCS).
+func (m *MS) OnJoin(h mobile.HostID) int64 {
+	if int(h) != len(m.sn) {
+		panic("protocol: MS join with non-dense host id")
+	}
+	m.sn = append(m.sn, 0)
+	m.ckpt(h, 0, storage.Initial)
+	return 0
+}
+
+// SequenceNumber returns host h's current index.
+func (m *MS) SequenceNumber(h mobile.HostID) int { return m.sn[h] }

@@ -1,0 +1,178 @@
+package protocol
+
+import (
+	"mobickpt/internal/mobile"
+	"mobickpt/internal/storage"
+	"mobickpt/internal/vclock"
+)
+
+// Phase is TP's per-host mode bit.
+type Phase int
+
+const (
+	// RECV: the host has not sent since its last checkpoint (or delivery).
+	RECV Phase = iota
+	// SEND: the host has sent at least one message; receiving now would
+	// create a state that is both "after a send" and "after a receive",
+	// which Russell's rule forbids inside one checkpoint interval.
+	SEND
+)
+
+func (p Phase) String() string {
+	if p == SEND {
+		return "SEND"
+	}
+	return "RECV"
+}
+
+// TPPiggyback is the control information the TP protocol attaches to
+// every application message: the sender's transitive dependency vectors
+// over checkpoint intervals (Ckpt) and over checkpoint locations (Loc).
+// Both have one entry per host, which is why the paper concludes TP
+// "does not scale while changing the number of hosts".
+type TPPiggyback struct {
+	Ckpt vclock.Vector
+	Loc  vclock.Vector
+}
+
+// TP is the two-phase protocol of Acharya–Badrinath (§4.1), an adaptation
+// of Russell's protocol to mobile systems: a forced checkpoint is taken
+// whenever a message is received while the host is in the SEND phase.
+type TP struct {
+	ckpt  Checkpointer
+	mssOf func(mobile.HostID) mobile.MSSID
+
+	phase []Phase
+	// ckptVec[i][j] = index of the last checkpoint of host j that host
+	// i's current state transitively depends on. ckptVec[i][i] is the
+	// index of i's current checkpoint interval.
+	ckptVec []vclock.Vector
+	// locVec[i][j] = MSS storing that checkpoint of host j.
+	locVec []vclock.Vector
+
+	// recorded vectors, per checkpoint record: the on-stable-storage copy
+	// used to assemble a recovery line during rollback.
+	meta map[*storage.Record]TPPiggyback
+
+	piggyback int64
+}
+
+// NewTP creates a TP instance for n hosts. ckpt records checkpoints;
+// mssOf reports a host's current station (used to maintain LOC; for a
+// disconnected host it must return the station holding its checkpoints,
+// which mobile.Host guarantees via the last MSS).
+func NewTP(n int, ckpt Checkpointer, mssOf func(mobile.HostID) mobile.MSSID) *TP {
+	t := &TP{
+		ckpt:    ckpt,
+		mssOf:   mssOf,
+		phase:   make([]Phase, n),
+		ckptVec: make([]vclock.Vector, n),
+		locVec:  make([]vclock.Vector, n),
+		meta:    make(map[*storage.Record]TPPiggyback),
+	}
+	for i := range t.ckptVec {
+		t.ckptVec[i] = vclock.New(n, -1)
+		t.locVec[i] = vclock.New(n, -1)
+	}
+	return t
+}
+
+// Name implements Protocol.
+func (t *TP) Name() string { return "TP" }
+
+// Init implements Protocol: every host starts in RECV phase with its
+// initial checkpoint (interval 0) on stable storage.
+func (t *TP) Init() {
+	for i := range t.phase {
+		t.phase[i] = RECV
+		t.takeCheckpoint(mobile.HostID(i), storage.Initial)
+	}
+}
+
+// takeCheckpoint advances host h into a new checkpoint interval and
+// records the dependency vectors alongside the checkpoint.
+func (t *TP) takeCheckpoint(h mobile.HostID, kind storage.Kind) {
+	t.ckptVec[h][h]++
+	t.locVec[h][h] = int(t.mssOf(h))
+	rec := t.ckpt(h, t.ckptVec[h][h], kind)
+	t.meta[rec] = TPPiggyback{Ckpt: t.ckptVec[h].Clone(), Loc: t.locVec[h].Clone()}
+}
+
+// OnSend implements Protocol: sending flips the host into the SEND phase
+// and piggybacks both dependency vectors.
+func (t *TP) OnSend(from, to mobile.HostID) any {
+	t.phase[from] = SEND
+	t.piggyback += int64(2 * len(t.ckptVec) * intSize)
+	return TPPiggyback{Ckpt: t.ckptVec[from].Clone(), Loc: t.locVec[from].Clone()}
+}
+
+// OnDeliver implements Protocol: a delivery in SEND phase forces a
+// checkpoint *before* the message is processed, then the sender's
+// dependencies are merged into the receiver's vectors.
+func (t *TP) OnDeliver(h, from mobile.HostID, pb any) {
+	if t.phase[h] == SEND {
+		t.takeCheckpoint(h, storage.Forced)
+		t.phase[h] = RECV
+	}
+	p := pb.(TPPiggyback)
+	t.ckptVec[h].MergeWithLocations(t.locVec[h], p.Ckpt, p.Loc)
+}
+
+// OnCellSwitch implements Protocol: a hand-off takes a basic checkpoint
+// (now stored at the new station).
+func (t *TP) OnCellSwitch(h mobile.HostID, newMSS mobile.MSSID) {
+	t.takeCheckpoint(h, storage.Basic)
+}
+
+// OnDisconnect implements Protocol: disconnection takes a basic
+// checkpoint, left at the station being departed.
+func (t *TP) OnDisconnect(h mobile.HostID) {
+	t.takeCheckpoint(h, storage.Basic)
+}
+
+// OnReconnect implements Protocol. TP takes no action: the disconnection
+// checkpoint already represents the host.
+func (t *TP) OnReconnect(h mobile.HostID, at mobile.MSSID) {}
+
+// PiggybackBytes implements Protocol.
+func (t *TP) PiggybackBytes() int64 { return t.piggyback }
+
+// OnJoin implements Dynamic. Admitting a host into TP is expensive:
+// every existing host's dependency vectors gain a component, which in a
+// real deployment means a membership-change control message to each of
+// them (the reason the paper judges TP unable to scale in an open
+// system, §4.1/§2.2 point (3)).
+func (t *TP) OnJoin(h mobile.HostID) int64 {
+	if int(h) != len(t.phase) {
+		panic("protocol: TP join with non-dense host id")
+	}
+	n := len(t.phase) + 1
+	t.phase = append(t.phase, RECV)
+	for i := range t.ckptVec {
+		t.ckptVec[i] = t.ckptVec[i].Grow(n, -1)
+		t.locVec[i] = t.locVec[i].Grow(n, -1)
+	}
+	t.ckptVec = append(t.ckptVec, vclock.New(n, -1))
+	t.locVec = append(t.locVec, vclock.New(n, -1))
+	t.takeCheckpoint(h, storage.Initial)
+	return int64(n - 1) // one membership notification per existing host
+}
+
+// Meta returns the dependency vectors recorded with checkpoint rec, and
+// whether rec belongs to this protocol instance. The recovery package
+// uses them to assemble the consistent global checkpoint a local
+// checkpoint belongs to: if Ckpt[j] = p and Loc[j] = q, the line through
+// rec includes the p-th checkpoint of host j, stored at station q.
+func (t *TP) Meta(rec *storage.Record) (TPPiggyback, bool) {
+	m, ok := t.meta[rec]
+	return m, ok
+}
+
+// Phase returns host h's current phase (exported for tests and tracing).
+func (t *TP) PhaseOf(h mobile.HostID) Phase { return t.phase[h] }
+
+// DependencyVector returns a copy of host h's current CKPT vector.
+func (t *TP) DependencyVector(h mobile.HostID) vclock.Vector { return t.ckptVec[h].Clone() }
+
+// LocationVector returns a copy of host h's current LOC vector.
+func (t *TP) LocationVector(h mobile.HostID) vclock.Vector { return t.locVec[h].Clone() }

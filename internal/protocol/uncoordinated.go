@@ -1,0 +1,70 @@
+package protocol
+
+import (
+	"mobickpt/internal/mobile"
+	"mobickpt/internal/storage"
+)
+
+// Uncoordinated is the baseline of the paper's first protocol class (§2):
+// hosts take only the checkpoints mobility forces on them (basic
+// checkpoints at cell switches and disconnections) and never coordinate.
+// It is the floor on N_tot — no protocol can take fewer checkpoints in
+// the mobile model — but it provides no recovery-line guarantee: the
+// recovery analysis (internal/recovery) demonstrates the domino effect
+// on its checkpoints.
+type Uncoordinated struct {
+	ckpt Checkpointer
+	// ordinal numbers double as indices; they carry no consistency
+	// meaning.
+	next []int
+}
+
+// NewUncoordinated creates the baseline for n hosts.
+func NewUncoordinated(n int, ckpt Checkpointer) *Uncoordinated {
+	return &Uncoordinated{ckpt: ckpt, next: make([]int, n)}
+}
+
+// Name implements Protocol.
+func (u *Uncoordinated) Name() string { return "UNC" }
+
+// Init implements Protocol.
+func (u *Uncoordinated) Init() {
+	for i := range u.next {
+		u.ckpt(mobile.HostID(i), 0, storage.Initial)
+		u.next[i] = 1
+	}
+}
+
+// OnSend implements Protocol: nothing is piggybacked.
+func (u *Uncoordinated) OnSend(from, to mobile.HostID) any { return nil }
+
+// OnDeliver implements Protocol: no forced checkpoints, ever.
+func (u *Uncoordinated) OnDeliver(h, from mobile.HostID, pb any) {}
+
+// OnCellSwitch implements Protocol.
+func (u *Uncoordinated) OnCellSwitch(h mobile.HostID, newMSS mobile.MSSID) {
+	u.ckpt(h, u.next[h], storage.Basic)
+	u.next[h]++
+}
+
+// OnDisconnect implements Protocol.
+func (u *Uncoordinated) OnDisconnect(h mobile.HostID) {
+	u.ckpt(h, u.next[h], storage.Basic)
+	u.next[h]++
+}
+
+// OnReconnect implements Protocol (no action).
+func (u *Uncoordinated) OnReconnect(h mobile.HostID, at mobile.MSSID) {}
+
+// OnJoin implements Dynamic (free; there is no coordination to update).
+func (u *Uncoordinated) OnJoin(h mobile.HostID) int64 {
+	if int(h) != len(u.next) {
+		panic("protocol: UNC join with non-dense host id")
+	}
+	u.ckpt(h, 0, storage.Initial)
+	u.next = append(u.next, 1)
+	return 0
+}
+
+// PiggybackBytes implements Protocol: always zero.
+func (u *Uncoordinated) PiggybackBytes() int64 { return 0 }

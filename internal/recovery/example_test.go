@@ -1,0 +1,52 @@
+package recovery_test
+
+import (
+	"fmt"
+
+	"mobickpt/internal/recovery"
+	"mobickpt/internal/storage"
+	"mobickpt/internal/trace"
+)
+
+// Detect and eliminate an orphan message by rollback propagation.
+func ExamplePropagate() {
+	// Two hosts. A checkpoints, sends a message; B receives it and only
+	// then checkpoints. If A rolls back to its checkpoint, the message
+	// becomes orphan and B must roll back too.
+	st := storage.NewStore(storage.DefaultCostModel())
+	st.Take(0, 0, 0, storage.Initial, 0) // A's initial (ordinal 0)
+	st.Take(1, 0, 0, storage.Initial, 0) // B's initial
+	st.Take(0, 0, 1, storage.Basic, 1)   // A's checkpoint (ordinal 1)
+	tr := trace.New(2)
+	tr.RecordSend(0, 0, 1, 2, 2.0)     // A has taken 2 checkpoints when sending
+	tr.RecordDeliver(0, 1, 2.5)        // B has taken 1 when receiving
+	st.Take(1, 0, 1, storage.Basic, 3) // B's later checkpoint
+
+	seed := recovery.FailureCut(st, 2, 0) // A crashes
+	fmt.Println("orphans before:", recovery.Orphans(tr, seed))
+	cut, steps := recovery.Propagate(tr, seed)
+	fmt.Println("orphans after:", recovery.Orphans(tr, cut))
+	fmt.Println("propagation steps:", steps)
+	fmt.Println("B restores ordinal:", cut[1])
+	// Output:
+	// orphans before: 1
+	// orphans after: 0
+	// propagation steps: 1
+	// B restores ordinal: 0
+}
+
+// Build the index-based recovery line of BCS/QBC.
+func ExampleIndexCut() {
+	st := storage.NewStore(storage.DefaultCostModel())
+	st.Take(0, 0, 0, storage.Initial, 0)
+	st.Take(0, 0, 2, storage.Forced, 1) // index jumped 0 -> 2
+	st.Take(1, 0, 0, storage.Initial, 0)
+	st.Take(1, 0, 1, storage.Basic, 1)
+
+	cut := recovery.IndexCut(st, 2, 1)
+	fmt.Println("host 0 restores ordinal:", cut[0]) // first index >= 1
+	fmt.Println("host 1 restores ordinal:", cut[1])
+	// Output:
+	// host 0 restores ordinal: 1
+	// host 1 restores ordinal: 1
+}

@@ -1,0 +1,50 @@
+package recovery
+
+import (
+	"mobickpt/internal/mobile"
+	"mobickpt/internal/storage"
+)
+
+// StableIndex returns the garbage-collection frontier of an index-based
+// protocol's store: the smallest "latest live index" across hosts. Any
+// future failure makes some host f restore its latest checkpoint, whose
+// index x_f is at least this value; every other host then restores its
+// first checkpoint with index >= x_f. Checkpoints strictly before a
+// host's first checkpoint with index >= StableIndex can therefore never
+// appear in any future recovery line and are safe to discard — the
+// mobile setting's answer to limited MSS storage.
+//
+// It returns 0 for an empty store (nothing can be collected).
+func StableIndex(store *storage.Store, n int) int {
+	stable := -1
+	for h := 0; h < n; h++ {
+		rec := store.LatestLive(mobile.HostID(h))
+		if rec == nil {
+			return 0
+		}
+		if stable == -1 || rec.Index < stable {
+			stable = rec.Index
+		}
+	}
+	if stable < 0 {
+		return 0
+	}
+	return stable
+}
+
+// CollectGarbage prunes every checkpoint that cannot appear in any
+// future recovery line (see StableIndex) and returns the number of
+// records and the state volume reclaimed across all hosts.
+func CollectGarbage(store *storage.Store, n int) (records int, units int64) {
+	stable := StableIndex(store, n)
+	for h := 0; h < n; h++ {
+		keep := store.FirstWithIndexAtLeast(mobile.HostID(h), stable)
+		if keep == nil {
+			continue
+		}
+		r, u := store.PruneBefore(mobile.HostID(h), keep.Ordinal)
+		records += r
+		units += u
+	}
+	return records, units
+}

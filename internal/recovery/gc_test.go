@@ -1,0 +1,75 @@
+package recovery
+
+import (
+	"testing"
+
+	"mobickpt/internal/storage"
+)
+
+func TestStableIndex(t *testing.T) {
+	st := storage.NewStore(storage.DefaultCostModel())
+	st.Take(0, 0, 0, storage.Initial, 0)
+	st.Take(0, 0, 3, storage.Forced, 1)
+	st.Take(1, 0, 0, storage.Initial, 0)
+	st.Take(1, 0, 1, storage.Basic, 1)
+	if got := StableIndex(st, 2); got != 1 {
+		t.Fatalf("stable index = %d, want 1 (the laggard's latest)", got)
+	}
+	// A host with no checkpoints pins the frontier at 0.
+	if got := StableIndex(st, 3); got != 0 {
+		t.Fatalf("stable index = %d, want 0", got)
+	}
+}
+
+func TestCollectGarbage(t *testing.T) {
+	st := storage.NewStore(storage.DefaultCostModel())
+	// Host 0: indices 0,1,2,3. Host 1: indices 0,2.
+	for i := 0; i <= 3; i++ {
+		kind := storage.Basic
+		if i == 0 {
+			kind = storage.Initial
+		}
+		st.Take(0, 0, i, kind, 0)
+	}
+	st.Take(1, 0, 0, storage.Initial, 0)
+	st.Take(1, 0, 2, storage.Forced, 1)
+
+	// Stable index = min(3, 2) = 2. Host 0 keeps ordinals >= 2 (its first
+	// index >= 2); host 1 keeps its index-2 checkpoint (ordinal 1).
+	records, units := CollectGarbage(st, 2)
+	if records != 3 {
+		t.Fatalf("reclaimed %d records, want 3", records)
+	}
+	if units <= 0 {
+		t.Fatal("no volume reclaimed")
+	}
+	if st.LiveRecords(-1) != 3 {
+		t.Fatalf("live records = %d, want 3", st.LiveRecords(-1))
+	}
+	// Every surviving recovery line is intact: for each x from the stable
+	// index up, each host still has its line member.
+	for x := 2; x <= 3; x++ {
+		if st.FirstWithIndexAtLeast(0, x) == nil {
+			t.Fatalf("host 0 lost its line member for index %d", x)
+		}
+	}
+	if st.FirstWithIndexAtLeast(1, 2) == nil {
+		t.Fatal("host 1 lost its line member for index 2")
+	}
+	// GC is idempotent.
+	if r, _ := CollectGarbage(st, 2); r != 0 {
+		t.Fatalf("second GC reclaimed %d records", r)
+	}
+}
+
+func TestCollectGarbagePreservesLatest(t *testing.T) {
+	st := storage.NewStore(storage.DefaultCostModel())
+	st.Take(0, 0, 0, storage.Initial, 0)
+	st.Take(1, 0, 0, storage.Initial, 0)
+	CollectGarbage(st, 2)
+	for h := 0; h < 2; h++ {
+		if st.LatestLive(0) == nil {
+			t.Fatalf("host %d lost its only checkpoint", h)
+		}
+	}
+}

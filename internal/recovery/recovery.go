@@ -1,0 +1,261 @@
+// Package recovery builds and validates recovery lines over recorded
+// executions. The paper's §6 leaves "the evaluation of the recovery time
+// and of the amount of undone computation" as future work; this package
+// implements that evaluation as an extension experiment (E8 in
+// DESIGN.md).
+//
+// Three constructions are provided:
+//
+//   - IndexCut: the same-sequence-number rule of the index-based
+//     protocols (BCS/QBC, §4.2) — each host contributes its first live
+//     checkpoint with index >= x; hosts that never reached index x do
+//     not roll back.
+//   - VectorCut: the dependency-vector rule of TP (§4.1) used as a
+//     rollback starting point.
+//   - Propagate: the classic orphan-elimination fixpoint. Starting from
+//     any cut it repeatedly rolls receivers of orphan messages back
+//     until no orphan remains; the result is consistent by construction.
+//     On uncoordinated checkpoints it exhibits the domino effect the
+//     paper warns about.
+//
+// Consistency of any cut can be checked independently with Orphans.
+package recovery
+
+import (
+	"math"
+
+	"mobickpt/internal/des"
+	"mobickpt/internal/mobile"
+	"mobickpt/internal/storage"
+	"mobickpt/internal/trace"
+)
+
+// End marks a host that does not roll back: its entire history, volatile
+// state included, is kept.
+const End = math.MaxInt
+
+// Cut is a restoration target: Cut[h] is the ordinal of the checkpoint
+// host h restores (its events after that checkpoint are undone), or End
+// if h does not roll back.
+type Cut []int
+
+// NewCut returns a cut of n hosts, all at End.
+func NewCut(n int) Cut {
+	c := make(Cut, n)
+	for i := range c {
+		c[i] = End
+	}
+	return c
+}
+
+// Clone returns an independent copy.
+func (c Cut) Clone() Cut {
+	o := make(Cut, len(c))
+	copy(o, c)
+	return o
+}
+
+// RolledBack returns the number of hosts with a finite restore point.
+func (c Cut) RolledBack() int {
+	n := 0
+	for _, x := range c {
+		if x != End {
+			n++
+		}
+	}
+	return n
+}
+
+// Orphans counts the messages of tr that are orphan with respect to cut:
+// send undone (SendCount > cut[from]) but receive kept
+// (RecvCount <= cut[to]). A cut is consistent iff Orphans returns 0.
+func Orphans(tr *trace.Trace, cut Cut) int {
+	n := 0
+	for _, ev := range tr.Events() {
+		if ev.SendCount > cut[ev.From] && ev.RecvCount <= cut[ev.To] {
+			n++
+		}
+	}
+	return n
+}
+
+// Propagate runs orphan-elimination to a fixpoint: while some message's
+// send is undone but its receive kept, the receiver rolls back to the
+// checkpoint preceding the receive (ordinal RecvCount-1, which always
+// exists because every host takes an initial checkpoint). It returns the
+// resulting consistent cut and the number of elimination steps (extra
+// rollbacks beyond the seed — the domino measure).
+func Propagate(tr *trace.Trace, seed Cut) (Cut, int) {
+	cut := seed.Clone()
+	steps := 0
+	for {
+		changed := false
+		for _, ev := range tr.Events() {
+			if ev.SendCount > cut[ev.From] && ev.RecvCount <= cut[ev.To] {
+				cut[ev.To] = ev.RecvCount - 1
+				steps++
+				changed = true
+			}
+		}
+		if !changed {
+			return cut, steps
+		}
+	}
+}
+
+// FailureCut seeds recovery after a crash of host failed: the failed host
+// restores its latest live checkpoint (its volatile state is lost); every
+// other host initially keeps everything. Run Propagate on the result to
+// obtain a consistent cut.
+func FailureCut(store *storage.Store, n int, failed mobile.HostID) Cut {
+	cut := NewCut(n)
+	if rec := store.LatestLive(failed); rec != nil {
+		cut[failed] = rec.Ordinal
+	} else {
+		cut[failed] = 0
+	}
+	return cut
+}
+
+// IndexCut builds the recovery line of the index-based protocols for
+// index x: each host restores its first live checkpoint with index >= x;
+// hosts whose chain never reaches x keep everything (their state cannot
+// depend on any index >= x, §4.2). The line is consistent by the theorem
+// of [7]; tests verify Orphans == 0 on random executions.
+func IndexCut(store *storage.Store, n int, x int) Cut {
+	cut := NewCut(n)
+	for h := 0; h < n; h++ {
+		if rec := store.FirstWithIndexAtLeast(mobile.HostID(h), x); rec != nil {
+			cut[h] = rec.Ordinal
+		}
+	}
+	return cut
+}
+
+// LatestIndexCut returns the most recent index-based recovery line that
+// involves the failed host: the line at the index of the failed host's
+// latest live checkpoint, which is the line the host restores after a
+// crash.
+func LatestIndexCut(store *storage.Store, n int, failed mobile.HostID) Cut {
+	rec := store.LatestLive(failed)
+	if rec == nil {
+		return NewCut(n)
+	}
+	cut := IndexCut(store, n, rec.Index)
+	// The failed host itself restores that latest checkpoint even if an
+	// earlier one shares the index (cannot happen for live chains, whose
+	// indices strictly increase; kept for defense in depth).
+	cut[failed] = rec.Ordinal
+	return cut
+}
+
+// VectorMeta exposes the dependency vectors TP records with each
+// checkpoint without importing the protocol package (which would invert
+// the dependency direction).
+type VectorMeta interface {
+	// Vectors returns the CKPT dependency vector stored with rec, or
+	// ok=false if rec is unknown.
+	Vectors(rec *storage.Record) (ckpt []int, ok bool)
+}
+
+// VectorCut seeds recovery for TP after a crash of host failed: the
+// failed host restores its latest checkpoint C; every other host j aims
+// at its first checkpoint with index > CKPT[j] (the first checkpoint
+// taken after the last event of j that C depends on), or keeps everything
+// if no such checkpoint exists. The seed already eliminates the orphans
+// the dependency vectors can see; Propagate removes any residue (bounded,
+// by Russell's receive-before-send interval structure).
+func VectorCut(store *storage.Store, meta VectorMeta, n int, failed mobile.HostID) Cut {
+	cut := NewCut(n)
+	rec := store.LatestLive(failed)
+	if rec == nil {
+		cut[failed] = 0
+		return cut
+	}
+	cut[failed] = rec.Ordinal
+	ckpt, ok := meta.Vectors(rec)
+	if !ok {
+		return cut
+	}
+	for j := 0; j < n; j++ {
+		if mobile.HostID(j) == failed {
+			continue
+		}
+		if r := store.FirstWithIndexAtLeast(mobile.HostID(j), ckpt[j]+1); r != nil {
+			cut[j] = r.Ordinal
+		}
+	}
+	return cut
+}
+
+// Metrics quantifies the cost of restoring a cut — the figures the
+// paper's future work calls for.
+type Metrics struct {
+	// RolledBackHosts is the number of hosts with a finite restore point.
+	RolledBackHosts int
+	// UndoneTime is the total computation time lost, summed over hosts:
+	// failure time minus the restored checkpoint's timestamp.
+	UndoneTime des.Time
+	// MaxRollback is the largest single-host rollback in time units.
+	MaxRollback des.Time
+	// UndoneMessages counts delivered messages whose receive was undone.
+	UndoneMessages int
+	// DominoSteps is the number of orphan-elimination steps Propagate
+	// needed beyond the seed (0 for an on-the-fly consistent line).
+	DominoSteps int
+}
+
+// Measure computes Metrics for cut over an execution that failed at
+// failTime. chains supplies each host's checkpoint chain (in creation
+// order); dominoSteps is threaded through from Propagate.
+func Measure(tr *trace.Trace, cut Cut, chains func(mobile.HostID) []*storage.Record, failTime des.Time, dominoSteps int) Metrics {
+	m := Metrics{DominoSteps: dominoSteps}
+	for h, x := range cut {
+		if x == End {
+			continue
+		}
+		m.RolledBackHosts++
+		chain := chains(mobile.HostID(h))
+		var restoredAt des.Time
+		if x < len(chain) {
+			restoredAt = chain[x].TakenAt
+		}
+		lost := failTime - restoredAt
+		m.UndoneTime += lost
+		if lost > m.MaxRollback {
+			m.MaxRollback = lost
+		}
+	}
+	for _, ev := range tr.Events() {
+		if ev.RecvCount > cut[ev.To] {
+			m.UndoneMessages++
+		}
+	}
+	return m
+}
+
+// MaximalCut computes the best possible recovery line after a crash of
+// host failed: the supremum of all consistent cuts in which the failed
+// host restores its latest live checkpoint and every other host keeps as
+// much as possible. Orphan elimination is monotone on the lattice of
+// cuts and FailureCut dominates every admissible cut, so the propagation
+// fixpoint from that seed *is* the maximum — the yardstick protocol
+// recovery lines are measured against (no protocol can undo less).
+func MaximalCut(tr *trace.Trace, store *storage.Store, n int, failed mobile.HostID) Cut {
+	cut, _ := Propagate(tr, FailureCut(store, n, failed))
+	return cut
+}
+
+// Dominates reports whether cut keeps at least as much computation as
+// other on every host (cut[h] >= other[h], with End as infinity).
+func (c Cut) Dominates(other Cut) bool {
+	if len(c) != len(other) {
+		panic("recovery: cut width mismatch")
+	}
+	for h := range c {
+		if c[h] < other[h] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,44 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"mobickpt/internal/sim"
+)
+
+// Run the paper's environment once and compare the three protocols on
+// the same trace.
+func ExampleRun() {
+	cfg := sim.DefaultConfig()
+	cfg.Horizon = 5000
+	cfg.Workload.TSwitch = 500
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	tp := res.Protocol(sim.TP)
+	qbc := res.Protocol(sim.QBC)
+	fmt.Println("TP takes more checkpoints than QBC:", tp.Ntot > qbc.Ntot)
+	fmt.Println("identical basic checkpoints:", tp.Basic == qbc.Basic)
+	// Output:
+	// TP takes more checkpoints than QBC: true
+	// identical basic checkpoints: true
+}
+
+// Replicate a configuration over several seeds, as the paper does.
+func ExampleReplicate() {
+	cfg := sim.DefaultConfig()
+	cfg.Horizon = 2000
+
+	sum, err := sim.Replicate(cfg, sim.Seeds(1, 3))
+	if err != nil {
+		panic(err)
+	}
+	bcs := sum.Protocol(sim.BCS)
+	fmt.Println("runs:", bcs.Ntot.N())
+	fmt.Println("mean is positive:", bcs.Ntot.Mean() > 0)
+	// Output:
+	// runs: 3
+	// mean is positive: true
+}

@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"fmt"
+
+	"mobickpt/internal/des"
+	"mobickpt/internal/energy"
+	"mobickpt/internal/stats"
+)
+
+// This file holds the extension-experiment builders (E7, E9, E11, E12,
+// E14, E15, E16 of DESIGN.md). cmd/figures is a thin flag wrapper around
+// them, so every experiment is exercised by the test suite.
+
+// GainsTable evaluates E7: per figure, the maximum gain of the index
+// protocols over TP and of QBC over BCS, with the T_switch at which each
+// occurs (paper: up to 90% and up to 15%/23%).
+func GainsTable(base Config, seeds []uint64) (*stats.Table, error) {
+	tab := stats.NewTable("Headline gains (E7; paper: index-over-TP up to 90%, QBC-over-BCS up to 15%/23%)",
+		"figure", "index over TP", "at Tswitch", "QBC over BCS", "at Tswitch")
+	for _, spec := range PaperFigures() {
+		rep, err := Gains(spec, base, seeds)
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRow(
+			fmt.Sprintf("Fig %d (Pswitch=%.1f H=%.0f%%)", spec.ID, spec.PSwitch, spec.H*100),
+			fmt.Sprintf("%.1f%%", rep.TPOverIndexMax*100),
+			fmt.Sprintf("%.0f", rep.TPOverIndexAt),
+			fmt.Sprintf("%.1f%%", rep.QBCOverBCSMax*100),
+			fmt.Sprintf("%.0f", rep.QBCOverBCSAt),
+		)
+	}
+	return tab, nil
+}
+
+// OverheadTable evaluates E9: for every protocol (including the
+// coordinated baselines of §2), the checkpoint count, piggyback volume,
+// control messages and derived energy at the default operating point.
+func OverheadTable(base Config, seeds []uint64) (*stats.Table, error) {
+	cfg := base
+	cfg.Protocols = AllProtocols()
+	cfg.Workload.PSwitch = 0.8
+	tab := stats.NewTable(
+		fmt.Sprintf("Protocol overhead (E9; Tswitch=%.0f, Pswitch=%.2f, snapshot period %.0f)",
+			cfg.Workload.TSwitch, cfg.Workload.PSwitch, float64(cfg.SnapshotPeriod)),
+		"protocol", "Ntot", "piggyback(B)", "ctrlMsgs", "MH energy", "channel load")
+	type acc struct {
+		ntot, piggy, ctrl, energy, channel stats.Mean
+	}
+	accs := make([]acc, len(cfg.Protocols))
+	for _, s := range seeds {
+		c := cfg
+		c.Seed = s
+		res, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		for i, pr := range res.Protocols {
+			accs[i].ntot.Add(float64(pr.Ntot))
+			accs[i].piggy.Add(float64(pr.PiggybackBytes))
+			accs[i].ctrl.Add(float64(pr.CtrlMessages))
+			accs[i].energy.Add(pr.Energy.MHEnergy)
+			accs[i].channel.Add(pr.Energy.ChannelLoad)
+		}
+	}
+	for i, p := range cfg.Protocols {
+		tab.AddRow(string(p),
+			fmt.Sprintf("%.0f", accs[i].ntot.Mean()),
+			fmt.Sprintf("%.0f", accs[i].piggy.Mean()),
+			fmt.Sprintf("%.0f", accs[i].ctrl.Mean()),
+			fmt.Sprintf("%.0f", accs[i].energy.Mean()),
+			fmt.Sprintf("%.0f", accs[i].channel.Mean()))
+	}
+	return tab, nil
+}
+
+// GCTable evaluates E11: with stable-index garbage collection running
+// periodically, how much of each index protocol's stable storage is live
+// at any time versus the total ever written.
+func GCTable(base Config, seeds []uint64) (*stats.Table, error) {
+	cfg := base
+	cfg.Workload.PSwitch = 0.8
+	cfg.Protocols = []ProtocolName{BCS, QBC}
+	cfg.GCInterval = 500
+	tab := stats.NewTable(
+		fmt.Sprintf("Stable-storage garbage collection (E11; GC every %.0f tu, Tswitch=%.0f, Pswitch=%.2f)",
+			float64(cfg.GCInterval), cfg.Workload.TSwitch, cfg.Workload.PSwitch),
+		"protocol", "checkpoints taken", "reclaimed by GC", "peak live", "peak/total")
+	type acc struct{ total, reclaimed, peak stats.Mean }
+	accs := make([]acc, len(cfg.Protocols))
+	for _, s := range seeds {
+		c := cfg
+		c.Seed = s
+		res, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		for i, pr := range res.Protocols {
+			accs[i].total.Add(float64(pr.Ntot + pr.Initial))
+			accs[i].reclaimed.Add(float64(pr.GCReclaimedRecords))
+			accs[i].peak.Add(float64(pr.PeakLiveRecords))
+		}
+	}
+	for i, p := range cfg.Protocols {
+		total, peak := accs[i].total.Mean(), accs[i].peak.Mean()
+		ratio := 0.0
+		if total > 0 {
+			ratio = peak / total
+		}
+		tab.AddRow(string(p),
+			fmt.Sprintf("%.0f", total),
+			fmt.Sprintf("%.0f", accs[i].reclaimed.Mean()),
+			fmt.Sprintf("%.0f", peak),
+			fmt.Sprintf("%.1f%%", ratio*100))
+	}
+	return tab, nil
+}
+
+// ContentionTable evaluates E12: with the finite-capacity wireless
+// channel model (§2.1 point b), how much queueing delay the offered load
+// causes per cell, sweeping the communication probability.
+func ContentionTable(base Config, seeds []uint64) (*stats.Table, error) {
+	tab := stats.NewTable(
+		fmt.Sprintf("Wireless channel contention (E12; per-cell FIFO model, Tswitch=%.0f)", base.Workload.TSwitch),
+		"PComm", "messages", "total queueing (tu)", "mean per message (tu)")
+	for _, pcomm := range []float64{0.05, 0.2, 0.5, 1.0} {
+		var msgs, delay stats.Mean
+		for _, s := range seeds {
+			cfg := base
+			cfg.Seed = s
+			cfg.Mobile.Contention = true
+			cfg.Workload.PComm = pcomm
+			cfg.Protocols = []ProtocolName{QBC}
+			res, err := Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			msgs.Add(float64(res.Network.AppMessages))
+			delay.Add(float64(res.Network.ContentionDelay))
+		}
+		per := 0.0
+		if msgs.Mean() > 0 {
+			per = delay.Mean() / msgs.Mean()
+		}
+		tab.AddRow(fmt.Sprintf("%.2f", pcomm),
+			fmt.Sprintf("%.0f", msgs.Mean()),
+			fmt.Sprintf("%.1f", delay.Mean()),
+			fmt.Sprintf("%.5f", per))
+	}
+	return tab, nil
+}
+
+// ScalabilityTable evaluates E14: the paper's §2.1 point (f) — per-
+// message piggyback bytes and per-host N_tot while sweeping the host
+// count (stations scale along, 2 hosts per cell).
+func ScalabilityTable(base Config, seeds []uint64) (*stats.Table, error) {
+	tab := stats.NewTable(
+		fmt.Sprintf("Scalability in the number of hosts (E14; Tswitch=%.0f, Pswitch=0.8)", base.Workload.TSwitch),
+		"hosts", "TP piggyback B/msg", "BCS piggyback B/msg", "TP Ntot/host", "BCS Ntot/host", "QBC Ntot/host")
+	for _, n := range []int{5, 10, 20, 50, 100} {
+		var tpPB, bcsPB, tpN, bcsN, qbcN stats.Mean
+		for _, s := range seeds {
+			cfg := base
+			cfg.Seed = s
+			cfg.Mobile.NumHosts = n
+			cfg.Mobile.NumMSS = (n + 1) / 2
+			cfg.Workload.PSwitch = 0.8
+			cfg.Protocols = PaperProtocols()
+			res, err := Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			msgs := float64(res.Network.AppMessages)
+			if msgs == 0 {
+				continue
+			}
+			tpPB.Add(float64(res.Protocol(TP).PiggybackBytes) / msgs)
+			bcsPB.Add(float64(res.Protocol(BCS).PiggybackBytes) / msgs)
+			tpN.Add(float64(res.Protocol(TP).Ntot) / float64(n))
+			bcsN.Add(float64(res.Protocol(BCS).Ntot) / float64(n))
+			qbcN.Add(float64(res.Protocol(QBC).Ntot) / float64(n))
+		}
+		tab.AddRow(fmt.Sprint(n),
+			fmt.Sprintf("%.0f", tpPB.Mean()),
+			fmt.Sprintf("%.0f", bcsPB.Mean()),
+			fmt.Sprintf("%.1f", tpN.Mean()),
+			fmt.Sprintf("%.1f", bcsN.Mean()),
+			fmt.Sprintf("%.1f", qbcN.Mean()))
+	}
+	return tab, nil
+}
+
+// ProxyTable evaluates E15: §2.1 point (b)'s client-server structure —
+// MH energy with the protocol control state proxied at the MSS versus
+// kept at the MH. The saving is exactly the piggyback term.
+func ProxyTable(base Config, seeds []uint64) (*stats.Table, error) {
+	model := energy.DefaultModel()
+	tab := stats.NewTable(
+		"MSS proxying of protocol control information (E15)",
+		"protocol", "MH energy (at MH)", "MH energy (proxied)", "saving")
+	cfg := base
+	cfg.Workload.PSwitch = 0.8
+	type acc struct{ at, proxied stats.Mean }
+	accs := make([]acc, len(cfg.Protocols))
+	for _, s := range seeds {
+		c := cfg
+		c.Seed = s
+		res, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		for i, pr := range res.Protocols {
+			accs[i].at.Add(pr.Energy.MHEnergy)
+			proxied := energy.Assess(model, res.Network, pr.Storage, 0)
+			accs[i].proxied.Add(proxied.MHEnergy)
+		}
+	}
+	for i, p := range cfg.Protocols {
+		at, px := accs[i].at.Mean(), accs[i].proxied.Mean()
+		tab.AddRow(string(p),
+			fmt.Sprintf("%.0f", at),
+			fmt.Sprintf("%.0f", px),
+			fmt.Sprintf("%.1f%%", stats.Gain(at, px)*100))
+	}
+	return tab, nil
+}
+
+// JoinsTable evaluates E16: §2.1 point (f) — the cost of hosts joining a
+// running computation, per protocol.
+func JoinsTable(base Config, seeds []uint64) (*stats.Table, error) {
+	cfg := base
+	cfg.Workload.PSwitch = 0.8
+	const joins = 20
+	cfg.JoinTimes = nil
+	for i := 0; i < joins; i++ {
+		cfg.JoinTimes = append(cfg.JoinTimes, cfg.Horizon*des.Time(i+1)/des.Time(joins+1))
+	}
+	tab := stats.NewTable(
+		fmt.Sprintf("Dynamic membership (E16; %d hosts join a %d-host computation)", joins, cfg.Mobile.NumHosts),
+		"protocol", "join ctrl msgs", "Ntot", "final piggyback B/msg")
+	type acc struct{ ctrl, ntot, pb stats.Mean }
+	accs := make([]acc, len(cfg.Protocols))
+	for _, s := range seeds {
+		c := cfg
+		c.Seed = s
+		res, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		for i, pr := range res.Protocols {
+			accs[i].ctrl.Add(float64(pr.JoinCtrlMessages))
+			accs[i].ntot.Add(float64(pr.Ntot))
+			if res.Network.AppMessages > 0 {
+				accs[i].pb.Add(float64(pr.PiggybackBytes) / float64(res.Network.AppMessages))
+			}
+		}
+	}
+	for i, p := range cfg.Protocols {
+		tab.AddRow(string(p),
+			fmt.Sprintf("%.0f", accs[i].ctrl.Mean()),
+			fmt.Sprintf("%.0f", accs[i].ntot.Mean()),
+			fmt.Sprintf("%.0f", accs[i].pb.Mean()))
+	}
+	return tab, nil
+}

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// benchScale trims the default config to keep the experiment builders
+// fast under test while still producing meaningful numbers.
+func benchScale() (Config, []uint64) {
+	c := DefaultConfig()
+	c.Horizon = 3000
+	c.Workload.TSwitch = 300
+	return c, Seeds(1, 2)
+}
+
+func cell(t *testing.T, tab interface {
+	Cell(i, j int) string
+	NumRows() int
+}, i, j int) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(tab.Cell(i, j), "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric", i, j, tab.Cell(i, j))
+	}
+	return v
+}
+
+func TestOverheadTable(t *testing.T) {
+	base, seeds := benchScale()
+	tab, err := OverheadTable(base, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != len(AllProtocols()) {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	// TP's piggyback dwarfs BCS's (rows follow AllProtocols order).
+	if cell(t, tab, 0, 2) <= cell(t, tab, 1, 2) {
+		t.Fatal("TP piggyback must exceed BCS's")
+	}
+	// The coordinated baselines report control messages.
+	if cell(t, tab, 4, 3) == 0 {
+		t.Fatal("CL reported no control messages")
+	}
+}
+
+func TestGCTableShowsBoundedStorage(t *testing.T) {
+	base, seeds := benchScale()
+	tab, err := GCTable(base, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tab.NumRows(); i++ {
+		if cell(t, tab, i, 2) == 0 {
+			t.Fatalf("row %d: GC reclaimed nothing", i)
+		}
+		if cell(t, tab, i, 3) >= cell(t, tab, i, 1) {
+			t.Fatalf("row %d: peak live not below total", i)
+		}
+	}
+}
+
+func TestContentionTableMonotoneLoad(t *testing.T) {
+	base, seeds := benchScale()
+	tab, err := ContentionTable(base, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More load, more total queueing.
+	first := cell(t, tab, 0, 2)
+	last := cell(t, tab, tab.NumRows()-1, 2)
+	if last <= first {
+		t.Fatalf("queueing did not grow with load: %v vs %v", first, last)
+	}
+}
+
+func TestScalabilityTableLinearTP(t *testing.T) {
+	base, seeds := benchScale()
+	tab, err := ScalabilityTable(base, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TP piggyback per message is 16 bytes per host: exactly linear.
+	for i, n := range []float64{5, 10, 20, 50, 100} {
+		if got := cell(t, tab, i, 1); got != 16*n {
+			t.Fatalf("TP piggyback at n=%v is %v, want %v", n, got, 16*n)
+		}
+		if got := cell(t, tab, i, 2); got != 8 {
+			t.Fatalf("BCS piggyback at n=%v is %v, want 8", n, got)
+		}
+	}
+}
+
+func TestProxyTableSavesMostForTP(t *testing.T) {
+	base, seeds := benchScale()
+	tab, err := ProxyTable(base, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row order follows base.Protocols = TP, BCS, QBC.
+	if cell(t, tab, 0, 3) <= cell(t, tab, 1, 3) {
+		t.Fatal("proxying must save more for TP than for BCS")
+	}
+}
+
+func TestJoinsTableCosts(t *testing.T) {
+	base, seeds := benchScale()
+	tab, err := JoinsTable(base, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell(t, tab, 0, 1) == 0 {
+		t.Fatal("TP joins must cost control messages")
+	}
+	if cell(t, tab, 1, 1) != 0 || cell(t, tab, 2, 1) != 0 {
+		t.Fatal("index-protocol joins must be free")
+	}
+}
+
+func TestGainsTableAllFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps all six figures")
+	}
+	base, seeds := benchScale()
+	tab, err := GainsTable(base, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 6 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	for i := 0; i < 6; i++ {
+		if cell(t, tab, i, 1) <= 0 {
+			t.Fatalf("figure row %d shows no index-over-TP gain", i)
+		}
+	}
+}

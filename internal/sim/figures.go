@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"fmt"
+
+	"mobickpt/internal/stats"
+)
+
+// FigureSpec encodes one of the paper's figures: N_tot as a function of
+// T_switch under fixed P_s, P_switch and heterogeneity H.
+type FigureSpec struct {
+	ID      int
+	Title   string
+	PSend   float64
+	PSwitch float64
+	H       float64
+	// TSwitch values swept along the x axis (the paper varies the mean
+	// permanence time of the *slowest* hosts from 100 to 10000).
+	TSwitch []float64
+}
+
+// paperTSwitch is the sweep used by every figure.
+func paperTSwitch() []float64 {
+	return []float64{100, 200, 500, 1000, 2000, 5000, 10000}
+}
+
+// PaperFigures returns the six figures of §5.2.
+func PaperFigures() []FigureSpec {
+	mk := func(id int, pswitch, h float64) FigureSpec {
+		return FigureSpec{
+			ID:      id,
+			Title:   fmt.Sprintf("Figure %d: Ntot vs Tswitch (Ps=0.4, Pswitch=%.1f, H=%.0f%%)", id, pswitch, h*100),
+			PSend:   0.4,
+			PSwitch: pswitch,
+			H:       h,
+			TSwitch: paperTSwitch(),
+		}
+	}
+	return []FigureSpec{
+		mk(1, 1.0, 0),
+		mk(2, 0.8, 0),
+		mk(3, 1.0, 0.50),
+		mk(4, 0.8, 0.50),
+		mk(5, 1.0, 0.30),
+		mk(6, 0.8, 0.30),
+	}
+}
+
+// Figure returns the spec with the given id, or an error.
+func Figure(id int) (FigureSpec, error) {
+	for _, f := range PaperFigures() {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	return FigureSpec{}, fmt.Errorf("sim: no figure %d (paper has 1..6)", id)
+}
+
+// Apply overlays the figure's parameters onto a base configuration for
+// one T_switch point.
+func (f FigureSpec) Apply(base Config, tswitch float64) Config {
+	c := base
+	c.Workload.PSend = f.PSend
+	c.Workload.PSwitch = f.PSwitch
+	c.Workload.Heterogeneity = f.H
+	c.Workload.TSwitch = tswitch
+	return c
+}
+
+// FigureSeries sweeps the figure's T_switch values, replicating each
+// point over the given seeds, and returns the x values and one mean-N_tot
+// series per configured protocol.
+func FigureSeries(f FigureSpec, base Config, seeds []uint64) (xs []float64, series [][]float64, err error) {
+	series = make([][]float64, len(base.Protocols))
+	for _, ts := range f.TSwitch {
+		sum, err := ReplicateParallel(f.Apply(base, ts), seeds, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		xs = append(xs, ts)
+		for i := range sum.Protocols {
+			series[i] = append(series[i], sum.Protocols[i].Ntot.Mean())
+		}
+	}
+	return xs, series, nil
+}
+
+// RunFigure sweeps the figure's T_switch values, replicating each point
+// over the given seeds, and returns a table with one row per point and
+// one N_tot column per protocol (mean across seeds, as in the paper).
+func RunFigure(f FigureSpec, base Config, seeds []uint64) (*stats.Table, error) {
+	xs, series, err := FigureSeries(f, base, seeds)
+	if err != nil {
+		return nil, err
+	}
+	cols := []string{"Tswitch"}
+	for _, p := range base.Protocols {
+		cols = append(cols, string(p))
+	}
+	tab := stats.NewTable(f.Title, cols...)
+	for i, ts := range xs {
+		vals := make([]float64, 0, len(series))
+		for _, s := range series {
+			vals = append(vals, s[i])
+		}
+		tab.AddFloatRow(fmt.Sprintf("%.0f", ts), vals...)
+	}
+	return tab, nil
+}
+
+// PlotFigure renders a figure's series as the paper-style log-log ASCII
+// chart.
+func PlotFigure(f FigureSpec, base Config, seeds []uint64) (*stats.Plot, error) {
+	xs, series, err := FigureSeries(f, base, seeds)
+	if err != nil {
+		return nil, err
+	}
+	p := stats.NewPlot(f.Title + "  (log-log)")
+	for i, name := range base.Protocols {
+		if err := p.Add(string(name), name[0], xs, series[i]); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// GainReport holds the §5.2 headline comparisons (experiment E7).
+type GainReport struct {
+	// TPOverIndexMax is the largest gain of the best index protocol over
+	// TP across the sweep: (TP - min(BCS,QBC)) / TP. The paper reports
+	// "up to 90%" at T_switch = 10000.
+	TPOverIndexMax float64
+	// TPOverIndexAt is the T_switch where it occurred.
+	TPOverIndexAt float64
+	// QBCOverBCSMax is the largest gain of QBC over BCS: (BCS-QBC)/BCS.
+	// The paper reports up to 15% (homogeneous, P_switch = 0.8) and up to
+	// 23% (H = 30%, P_switch = 0.8).
+	QBCOverBCSMax float64
+	// QBCOverBCSAt is the T_switch where it occurred.
+	QBCOverBCSAt float64
+}
+
+// Gains sweeps one figure and extracts the headline gains. The base
+// config must include TP, BCS and QBC.
+func Gains(f FigureSpec, base Config, seeds []uint64) (GainReport, error) {
+	var rep GainReport
+	for _, ts := range f.TSwitch {
+		sum, err := ReplicateParallel(f.Apply(base, ts), seeds, 0)
+		if err != nil {
+			return rep, err
+		}
+		tp, bcs, qbc := sum.Protocol(TP), sum.Protocol(BCS), sum.Protocol(QBC)
+		if tp == nil || bcs == nil || qbc == nil {
+			return rep, fmt.Errorf("sim: Gains requires TP, BCS and QBC in the config")
+		}
+		best := bcs.Ntot.Mean()
+		if q := qbc.Ntot.Mean(); q < best {
+			best = q
+		}
+		if g := stats.Gain(tp.Ntot.Mean(), best); g > rep.TPOverIndexMax {
+			rep.TPOverIndexMax, rep.TPOverIndexAt = g, ts
+		}
+		if g := stats.Gain(bcs.Ntot.Mean(), qbc.Ntot.Mean()); g > rep.QBCOverBCSMax {
+			rep.QBCOverBCSMax, rep.QBCOverBCSAt = g, ts
+		}
+	}
+	return rep, nil
+}

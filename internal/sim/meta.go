@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"mobickpt/internal/protocol"
+	"mobickpt/internal/recovery"
+	"mobickpt/internal/storage"
+)
+
+// tpMeta adapts protocol.TP's recorded dependency vectors to the
+// recovery package's VectorMeta interface.
+type tpMeta struct{ tp *protocol.TP }
+
+// Vectors implements recovery.VectorMeta.
+func (m tpMeta) Vectors(rec *storage.Record) ([]int, bool) {
+	pb, ok := m.tp.Meta(rec)
+	if !ok {
+		return nil, false
+	}
+	return pb.Ckpt, true
+}
+
+// TPMeta returns the recovery metadata view of a TP protocol result, or
+// nil if the result is not a TP instance (or has no live instance).
+func TPMeta(pr *ProtocolResult) recovery.VectorMeta {
+	if pr == nil {
+		return nil
+	}
+	tp, ok := pr.Instance.(*protocol.TP)
+	if !ok {
+		return nil
+	}
+	return tpMeta{tp: tp}
+}

@@ -1,0 +1,542 @@
+// Package sim is the experiment engine: it wires the DES clock, the
+// mobile network, the workload drivers, the checkpoint stores and the
+// checkpointing protocols into one run, and reproduces the paper's
+// methodology.
+//
+// A key property (shared with the paper's study): checkpoint insertion is
+// instantaneous and does not perturb the application, so the message and
+// mobility trace of a run depends only on the seed — never on the
+// protocol. The engine exploits that by evaluating *all requested
+// protocols simultaneously over the same trace*: each application message
+// carries one piggyback slot per protocol, and each protocol keeps its
+// own checkpoint store. This gives an exact like-for-like comparison in a
+// single pass (the ablation bench verifies it matches per-protocol
+// re-simulation).
+package sim
+
+import (
+	"fmt"
+
+	"mobickpt/internal/des"
+	"mobickpt/internal/energy"
+	"mobickpt/internal/mobile"
+	"mobickpt/internal/protocol"
+	"mobickpt/internal/recovery"
+	"mobickpt/internal/rng"
+	"mobickpt/internal/storage"
+	"mobickpt/internal/trace"
+	"mobickpt/internal/workload"
+)
+
+// ProtocolName selects a protocol implementation.
+type ProtocolName string
+
+// The protocols of the study (§4) and the baselines of §2.
+const (
+	TP  ProtocolName = "TP"  // Acharya–Badrinath two-phase
+	BCS ProtocolName = "BCS" // Briatico–Ciuffoletti–Simoncini
+	QBC ProtocolName = "QBC" // Quaglia–Baldoni–Ciciani
+	UNC ProtocolName = "UNC" // uncoordinated baseline
+	CL  ProtocolName = "CL"  // Chandy–Lamport-style coordinated baseline
+	PS  ProtocolName = "PS"  // Prakash–Singhal-style coordinated baseline
+	MS  ProtocolName = "MS"  // timer-driven index protocol (extension)
+)
+
+// AllProtocols lists every selectable protocol.
+func AllProtocols() []ProtocolName {
+	return []ProtocolName{TP, BCS, QBC, UNC, CL, PS, MS}
+}
+
+// PaperProtocols lists the three protocols the paper's figures compare.
+func PaperProtocols() []ProtocolName { return []ProtocolName{TP, BCS, QBC} }
+
+// Config describes one simulation run.
+type Config struct {
+	Mobile   mobile.Config
+	Workload workload.Config
+	Cost     storage.CostModel
+
+	// Horizon is the simulated run length (the paper's runs are 100,000
+	// time units).
+	Horizon des.Time
+	// Seed determines the entire trace.
+	Seed uint64
+	// Protocols are evaluated simultaneously over the same trace.
+	Protocols []ProtocolName
+	// SnapshotPeriod drives the coordinated baselines (CL, PS); ignored
+	// for communication-induced protocols.
+	SnapshotPeriod des.Time
+	// CheckpointLatency models a non-negligible time for taking a
+	// checkpoint: after each checkpoint the host's next operation is
+	// delayed by this much. Because the delay perturbs the trace, it is
+	// only allowed when exactly one protocol is selected (otherwise the
+	// single-trace comparison would charge every protocol for the
+	// union of all checkpoints). The paper (§5.1) reports that a
+	// non-negligible checkpoint time has no remarkable impact on N_tot;
+	// TestCheckpointLatencyClaim verifies that.
+	CheckpointLatency des.Time
+
+	// RecordTrace keeps the full message history per protocol for
+	// recovery analysis. It costs memory proportional to the number of
+	// delivered messages; leave false for N_tot sweeps.
+	RecordTrace bool
+
+	// JoinTimes schedules dynamic membership (E16): at each listed time a
+	// new mobile host joins the computation at station (id mod NumMSS)
+	// and immediately starts communicating and roaming. Protocols admit
+	// it through their Dynamic interface; the per-protocol join cost is
+	// reported in ProtocolResult.JoinCtrlMessages.
+	JoinTimes []des.Time
+
+	// GCInterval, when positive, runs stable-index garbage collection on
+	// every index-based protocol's store at that period (E11): checkpoints
+	// no future recovery line can use are reclaimed, bounding per-MSS
+	// stable storage over arbitrarily long runs.
+	GCInterval des.Time
+}
+
+// DefaultConfig returns the paper's §5.1 environment at T_switch = 1000,
+// P_switch = 1.0, H = 0, comparing TP, BCS and QBC.
+func DefaultConfig() Config {
+	return Config{
+		Mobile:         mobile.DefaultConfig(),
+		Workload:       workload.DefaultConfig(),
+		Cost:           storage.DefaultCostModel(),
+		Horizon:        100000,
+		Seed:           1,
+		Protocols:      PaperProtocols(),
+		SnapshotPeriod: 100,
+	}
+}
+
+// Validate reports a descriptive error for bad configurations.
+func (c Config) Validate() error {
+	if err := c.Mobile.Validate(); err != nil {
+		return err
+	}
+	if err := c.Workload.Validate(); err != nil {
+		return err
+	}
+	if c.Horizon <= 0 {
+		return fmt.Errorf("sim: Horizon = %v, need > 0", c.Horizon)
+	}
+	if len(c.Protocols) == 0 {
+		return fmt.Errorf("sim: no protocols selected")
+	}
+	seen := map[ProtocolName]bool{}
+	for _, p := range c.Protocols {
+		if seen[p] {
+			return fmt.Errorf("sim: protocol %s selected twice", p)
+		}
+		seen[p] = true
+		switch p {
+		case TP, BCS, QBC, UNC, CL, PS, MS:
+		default:
+			return fmt.Errorf("sim: unknown protocol %q", p)
+		}
+		if (p == CL || p == PS || p == MS) && c.SnapshotPeriod <= 0 {
+			return fmt.Errorf("sim: %s requires SnapshotPeriod > 0", p)
+		}
+	}
+	if c.CheckpointLatency < 0 {
+		return fmt.Errorf("sim: negative CheckpointLatency")
+	}
+	if c.CheckpointLatency > 0 && len(c.Protocols) != 1 {
+		return fmt.Errorf("sim: CheckpointLatency requires exactly one protocol (it perturbs the trace)")
+	}
+	if c.GCInterval < 0 {
+		return fmt.Errorf("sim: negative GCInterval")
+	}
+	for _, at := range c.JoinTimes {
+		if at <= 0 || at > c.Horizon {
+			return fmt.Errorf("sim: join time %v outside (0, horizon]", at)
+		}
+	}
+	return nil
+}
+
+// ProtocolResult holds one protocol's outcome over the run.
+type ProtocolResult struct {
+	Name ProtocolName
+
+	// Ntot is the paper's measured quantity: basic + forced checkpoints
+	// (the initial checkpoints, identical across protocols, are reported
+	// separately).
+	Ntot    int64
+	Initial int64
+	Basic   int64
+	Forced  int64
+
+	// PiggybackBytes is the control-information volume piggybacked on
+	// application messages; CtrlMessages counts coordination markers
+	// (zero for communication-induced protocols).
+	PiggybackBytes int64
+	CtrlMessages   int64
+
+	// JoinCtrlMessages is the number of control messages dynamic joins
+	// cost this protocol (zero for the index-based protocols, O(n) per
+	// join for TP).
+	JoinCtrlMessages int64
+
+	// PeakLiveRecords is the largest number of unreclaimed checkpoints on
+	// stable storage at any GC tick (only sampled when Config.GCInterval
+	// is set; the paper's point (a): MSS storage is a managed resource).
+	PeakLiveRecords int
+	// GCReclaimedRecords is the total number of checkpoints pruned by
+	// periodic garbage collection.
+	GCReclaimedRecords int
+
+	// Storage aggregates stable-storage transfer activity.
+	Storage storage.Counters
+	// Energy is the derived battery/channel cost (E9).
+	Energy energy.Report
+
+	// Store and Trace expose the raw material for recovery analysis.
+	// Trace is nil unless Config.RecordTrace was set.
+	Store *storage.Store
+	Trace *trace.Trace
+
+	// Instance is the live protocol state machine (e.g. *protocol.TP for
+	// vector metadata); nil after deserialization.
+	Instance protocol.Protocol
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Config    Config
+	Network   mobile.Counters
+	Workload  workload.Counters
+	Protocols []ProtocolResult
+	// FinalHosts is the host count at the horizon (it exceeds
+	// Config.Mobile.NumHosts when JoinTimes admitted new hosts).
+	FinalHosts int
+	// EventsFired is the number of DES events executed (engine load).
+	EventsFired uint64
+}
+
+// Protocol returns the result for the named protocol, or nil.
+func (r *Result) Protocol(name ProtocolName) *ProtocolResult {
+	for i := range r.Protocols {
+		if r.Protocols[i].Name == name {
+			return &r.Protocols[i]
+		}
+	}
+	return nil
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.run(), nil
+}
+
+// engine is the wired-up run state.
+type engine struct {
+	cfg    Config
+	sim    *des.Simulator
+	net    *mobile.Network
+	driver *workload.Driver
+
+	protos []protocol.Protocol
+	stores []*storage.Store
+	traces []*trace.Trace
+	counts [][]int // [proto][host] checkpoints taken (incl. initial)
+
+	// pendingLatency accumulates checkpoint time to charge against each
+	// host's next operation (only with a single protocol selected).
+	pendingLatency []des.Time
+
+	peakLive    []int   // per protocol, max live records seen at GC ticks
+	gcReclaimed []int   // per protocol, total records pruned
+	joinCtrl    []int64 // per protocol, control messages spent on joins
+}
+
+// payload is what one application message carries: the per-protocol
+// piggybacks, parallel to cfg.Protocols.
+type payload struct {
+	piggyback []any
+}
+
+func newEngine(cfg Config) (*engine, error) {
+	e := &engine{cfg: cfg, sim: des.New()}
+
+	n := cfg.Mobile.NumHosts
+	hooks := mobile.Hooks{
+		OnDeliver: e.onDeliver,
+		OnCellSwitch: func(now des.Time, h *mobile.Host, from, to mobile.MSSID) {
+			for _, p := range e.protos {
+				p.OnCellSwitch(h.ID, to)
+			}
+		},
+		OnDisconnect: func(now des.Time, h *mobile.Host) {
+			for _, p := range e.protos {
+				p.OnDisconnect(h.ID)
+			}
+		},
+		OnReconnect: func(now des.Time, h *mobile.Host, at mobile.MSSID) {
+			for _, p := range e.protos {
+				p.OnReconnect(h.ID, at)
+			}
+		},
+	}
+	net, err := mobile.New(e.sim, cfg.Mobile, hooks)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Mobile.LossProbability > 0 {
+		// A dedicated stream: losses must not perturb the workload's
+		// randomness, or traces would stop being loss-model-independent.
+		net.SetLossSource(rng.NewStream(cfg.Seed, 1<<32))
+	}
+	e.net = net
+
+	mssOf := func(h mobile.HostID) mobile.MSSID { return net.Host(h).LastMSS() }
+
+	e.protos = make([]protocol.Protocol, len(cfg.Protocols))
+	e.stores = make([]*storage.Store, len(cfg.Protocols))
+	e.traces = make([]*trace.Trace, len(cfg.Protocols))
+	e.counts = make([][]int, len(cfg.Protocols))
+	for i, name := range cfg.Protocols {
+		e.stores[i] = storage.NewStore(cfg.Cost)
+		e.counts[i] = make([]int, n)
+		if cfg.RecordTrace {
+			e.traces[i] = trace.New(n)
+		}
+		ck := e.checkpointer(i)
+		switch name {
+		case TP:
+			e.protos[i] = protocol.NewTP(n, ck, mssOf)
+		case BCS:
+			e.protos[i] = protocol.NewBCS(n, ck)
+		case QBC:
+			e.protos[i] = protocol.NewQBC(n, ck, e.stores[i])
+		case UNC:
+			e.protos[i] = protocol.NewUncoordinated(n, ck)
+		case CL:
+			e.protos[i] = protocol.NewChandyLamport(n, ck)
+		case PS:
+			e.protos[i] = protocol.NewPrakashSinghal(n, ck)
+		case MS:
+			e.protos[i] = protocol.NewMS(n, ck)
+		}
+	}
+
+	e.pendingLatency = make([]des.Time, n)
+	e.peakLive = make([]int, len(cfg.Protocols))
+	e.gcReclaimed = make([]int, len(cfg.Protocols))
+	e.joinCtrl = make([]int64, len(cfg.Protocols))
+	cb := workload.Callbacks{
+		Send:    e.send,
+		Receive: func(h mobile.HostID) bool { return net.TryReceive(h) != nil },
+	}
+	if cfg.CheckpointLatency > 0 {
+		cb.ExtraDelay = func(h mobile.HostID) des.Time {
+			d := e.pendingLatency[h]
+			e.pendingLatency[h] = 0
+			return d
+		}
+	}
+	driver, err := workload.NewDriver(e.sim, net, cfg.Workload, cfg.Seed, cb)
+	if err != nil {
+		return nil, err
+	}
+	e.driver = driver
+	return e, nil
+}
+
+// checkpointer builds the Checkpointer for protocol slot i.
+func (e *engine) checkpointer(i int) protocol.Checkpointer {
+	return func(h mobile.HostID, index int, kind storage.Kind) *storage.Record {
+		rec := e.stores[i].Take(h, e.net.Host(h).LastMSS(), index, kind, e.sim.Now())
+		e.counts[i][h]++
+		e.pendingLatency[h] += e.cfg.CheckpointLatency
+		return rec
+	}
+}
+
+// send runs every protocol's OnSend, assembles the piggyback slots and
+// hands the message to the network.
+func (e *engine) send(from, to mobile.HostID) {
+	pl := payload{piggyback: make([]any, len(e.protos))}
+	for i, p := range e.protos {
+		pl.piggyback[i] = p.OnSend(from, to)
+	}
+	m, err := e.net.Send(from, to, pl)
+	if err != nil {
+		panic("sim: " + err.Error()) // the driver only sends from connected hosts
+	}
+	for i, tr := range e.traces {
+		if tr != nil {
+			tr.RecordSend(m.ID, from, to, e.counts[i][from], e.sim.Now())
+		}
+	}
+}
+
+// onDeliver dispatches a delivered message to every protocol and records
+// the receiver-side trace positions (after any forced checkpoint).
+func (e *engine) onDeliver(now des.Time, h *mobile.Host, m *mobile.Message) {
+	pl := m.Payload.(payload)
+	for i, p := range e.protos {
+		p.OnDeliver(h.ID, m.From, pl.piggyback[i])
+		if tr := e.traces[i]; tr != nil {
+			tr.RecordDeliver(m.ID, e.counts[i][h.ID], now)
+		}
+	}
+}
+
+// scheduleSnapshots drives the coordinated baselines: every period the
+// initiator picks its targets and markers travel to currently connected
+// hosts (a disconnected host is represented by its disconnection
+// checkpoint, §2.2, so it skips the round).
+func (e *engine) scheduleSnapshots(i int, init protocol.Initiator) {
+	period := e.cfg.SnapshotPeriod
+	markerLatency := e.cfg.Mobile.WiredLatency + e.cfg.Mobile.WirelessLatency
+	var tick func(sim *des.Simulator, now des.Time)
+	tick = func(sim *des.Simulator, now des.Time) {
+		for _, h := range init.BeginSnapshot() {
+			h := h
+			// One location query per marker: the paper's drawback (1).
+			e.net.Locate(h)
+			if !e.net.Host(h).Connected() {
+				continue
+			}
+			sim.After(markerLatency, "marker", func(sim *des.Simulator, now des.Time) {
+				if e.net.Host(h).Connected() {
+					init.OnMarker(h)
+				}
+			})
+		}
+		sim.After(period, "snapshot", tick)
+	}
+	e.sim.After(period, "snapshot", tick)
+}
+
+// scheduleTicks drives a Periodic protocol: every SnapshotPeriod each
+// connected host takes its timer-driven local checkpoint. No control
+// messages travel — the tick is local to the host.
+func (e *engine) scheduleTicks(per protocol.Periodic) {
+	period := e.cfg.SnapshotPeriod
+	var tick func(sim *des.Simulator, now des.Time)
+	tick = func(sim *des.Simulator, now des.Time) {
+		for h := 0; h < e.cfg.Mobile.NumHosts; h++ {
+			if e.net.Host(mobile.HostID(h)).Connected() {
+				per.OnTick(mobile.HostID(h))
+			}
+		}
+		sim.After(period, "tick", tick)
+	}
+	e.sim.After(period, "tick", tick)
+}
+
+// scheduleGC periodically reclaims unreachable checkpoints from every
+// index-based protocol's store (E11). Garbage collection is sound only
+// for protocols whose recovery lines are index cuts, so other protocols
+// are skipped.
+func (e *engine) scheduleGC() {
+	n := e.cfg.Mobile.NumHosts
+	var tick func(sim *des.Simulator, now des.Time)
+	tick = func(sim *des.Simulator, now des.Time) {
+		for i, name := range e.cfg.Protocols {
+			switch name {
+			case BCS, QBC, MS:
+			default:
+				continue
+			}
+			records, _ := recovery.CollectGarbage(e.stores[i], n)
+			e.gcReclaimed[i] += records
+			if live := e.stores[i].LiveRecords(-1); live > e.peakLive[i] {
+				e.peakLive[i] = live
+			}
+		}
+		sim.After(e.cfg.GCInterval, "gc", tick)
+	}
+	e.sim.After(e.cfg.GCInterval, "gc", tick)
+}
+
+// join admits one new host: into the network, into every protocol (via
+// Dynamic) and into the workload. Hosts joining mid-run immediately
+// communicate and roam like any other.
+func (e *engine) join() {
+	at := mobile.MSSID(e.net.NumHosts() % e.cfg.Mobile.NumMSS)
+	id, err := e.net.AddHost(at)
+	if err != nil {
+		panic("sim: " + err.Error())
+	}
+	e.pendingLatency = append(e.pendingLatency, 0)
+	for i, p := range e.protos {
+		d, ok := p.(protocol.Dynamic)
+		if !ok {
+			panic(fmt.Sprintf("sim: protocol %s does not support dynamic joins", e.cfg.Protocols[i]))
+		}
+		e.counts[i] = append(e.counts[i], 0)
+		e.joinCtrl[i] += d.OnJoin(id)
+		if tr := e.traces[i]; tr != nil {
+			tr.AddHost()
+		}
+	}
+	e.driver.AddHost(id, e.cfg.Seed)
+}
+
+// run executes the configured horizon and assembles the result.
+func (e *engine) run() *Result {
+	for _, p := range e.protos {
+		p.Init()
+	}
+	for i, p := range e.protos {
+		if init, ok := p.(protocol.Initiator); ok {
+			e.scheduleSnapshots(i, init)
+		}
+		if per, ok := p.(protocol.Periodic); ok {
+			e.scheduleTicks(per)
+		}
+	}
+	if e.cfg.GCInterval > 0 {
+		e.scheduleGC()
+	}
+	for _, at := range e.cfg.JoinTimes {
+		e.sim.At(at, "join", func(sim *des.Simulator, now des.Time) {
+			e.join()
+		})
+	}
+	e.driver.Start()
+	e.sim.Run(e.cfg.Horizon)
+
+	res := &Result{
+		Config:      e.cfg,
+		Network:     e.net.Counters(),
+		Workload:    e.driver.Counters(),
+		FinalHosts:  e.net.NumHosts(),
+		EventsFired: e.sim.Fired(),
+	}
+	model := energy.DefaultModel()
+	for i, p := range e.protos {
+		initial, basic, forced := e.stores[i].CountByKind(-1)
+		pr := ProtocolResult{
+			Name:           e.cfg.Protocols[i],
+			Ntot:           int64(basic + forced),
+			Initial:        int64(initial),
+			Basic:          int64(basic),
+			Forced:         int64(forced),
+			PiggybackBytes: p.PiggybackBytes(),
+			Storage:        e.stores[i].Counters(),
+			Store:          e.stores[i],
+			Trace:          e.traces[i],
+			Instance:       p,
+		}
+		if init, ok := p.(protocol.Initiator); ok {
+			pr.CtrlMessages = init.ControlMessages()
+		}
+		pr.PeakLiveRecords = e.peakLive[i]
+		pr.GCReclaimedRecords = e.gcReclaimed[i]
+		pr.JoinCtrlMessages = e.joinCtrl[i]
+		pr.Energy = energy.Assess(model, res.Network, pr.Storage, pr.PiggybackBytes)
+		res.Protocols = append(res.Protocols, pr)
+	}
+	return res
+}

@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Plot renders series as an ASCII line chart, the form the paper's
+// figures take (N_tot against T_switch, log-log). It is deliberately
+// simple: one character cell per grid point, one symbol per series,
+// collisions resolved in series order.
+type Plot struct {
+	Title  string
+	Width  int // grid columns (default 64)
+	Height int // grid rows (default 20)
+	LogX   bool
+	LogY   bool
+
+	series []plotSeries
+}
+
+type plotSeries struct {
+	name   string
+	symbol byte
+	xs, ys []float64
+}
+
+// NewPlot creates an empty plot.
+func NewPlot(title string) *Plot {
+	return &Plot{Title: title, Width: 64, Height: 20, LogX: true, LogY: true}
+}
+
+// Add appends a named series drawn with the given symbol. xs and ys must
+// have equal length; non-positive values are dropped in log scale.
+func (p *Plot) Add(name string, symbol byte, xs, ys []float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("stats: series %q has %d xs but %d ys", name, len(xs), len(ys))
+	}
+	p.series = append(p.series, plotSeries{
+		name: name, symbol: symbol,
+		xs: append([]float64(nil), xs...),
+		ys: append([]float64(nil), ys...),
+	})
+	return nil
+}
+
+// scale maps v into [0, cells-1] under the given bounds and scale.
+func scale(v, lo, hi float64, cells int, logScale bool) (int, bool) {
+	if logScale {
+		if v <= 0 || lo <= 0 {
+			return 0, false
+		}
+		v, lo, hi = math.Log10(v), math.Log10(lo), math.Log10(hi)
+	}
+	if hi == lo {
+		return 0, true
+	}
+	i := int(math.Round(float64(cells-1) * (v - lo) / (hi - lo)))
+	if i < 0 || i >= cells {
+		return 0, false
+	}
+	return i, true
+}
+
+// String renders the chart with axes and a legend.
+func (p *Plot) String() string {
+	var xs, ys []float64
+	for _, s := range p.series {
+		for i := range s.xs {
+			if (p.LogX && s.xs[i] <= 0) || (p.LogY && s.ys[i] <= 0) {
+				continue
+			}
+			xs = append(xs, s.xs[i])
+			ys = append(ys, s.ys[i])
+		}
+	}
+	if len(xs) == 0 {
+		return p.Title + "\n(no data)\n"
+	}
+	sort.Float64s(xs)
+	sort.Float64s(ys)
+	xlo, xhi := xs[0], xs[len(xs)-1]
+	ylo, yhi := ys[0], ys[len(ys)-1]
+
+	grid := make([][]byte, p.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", p.Width))
+	}
+	for _, s := range p.series {
+		var prevC, prevR = -1, -1
+		for i := range s.xs {
+			c, okc := scale(s.xs[i], xlo, xhi, p.Width, p.LogX)
+			r, okr := scale(s.ys[i], ylo, yhi, p.Height, p.LogY)
+			if !okc || !okr {
+				continue
+			}
+			row := p.Height - 1 - r
+			grid[row][c] = s.symbol
+			// Sparse linear interpolation between consecutive points so
+			// the curve reads as a line, not as scattered dots.
+			if prevC >= 0 && c > prevC+1 {
+				for cc := prevC + 1; cc < c; cc++ {
+					rr := prevR + (row-prevR)*(cc-prevC)/(c-prevC)
+					if grid[rr][cc] == ' ' {
+						grid[rr][cc] = '.'
+					}
+				}
+			}
+			prevC, prevR = c, row
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		b.WriteString(p.Title)
+		b.WriteByte('\n')
+	}
+	yLabel := func(row int) float64 {
+		frac := float64(p.Height-1-row) / float64(p.Height-1)
+		if p.LogY {
+			llo, lhi := math.Log10(ylo), math.Log10(yhi)
+			return math.Pow(10, llo+frac*(lhi-llo))
+		}
+		return ylo + frac*(yhi-ylo)
+	}
+	for r := 0; r < p.Height; r++ {
+		if r%5 == 0 || r == p.Height-1 {
+			fmt.Fprintf(&b, "%9.3g |", yLabel(r))
+		} else {
+			b.WriteString("          |")
+		}
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	b.WriteString("          +" + strings.Repeat("-", p.Width) + "\n")
+	fmt.Fprintf(&b, "%11s%-*.3g%*.3g\n", "", p.Width/2, xlo, p.Width/2, xhi)
+	for _, s := range p.series {
+		fmt.Fprintf(&b, "  %c = %s\n", s.symbol, s.name)
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotRendersSeries(t *testing.T) {
+	p := NewPlot("Figure 1")
+	xs := []float64{100, 1000, 10000}
+	if err := p.Add("TP", 'T', xs, []float64{20000, 10000, 9500}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add("BCS", 'B', xs, []float64{13000, 3200, 700}); err != nil {
+		t.Fatal(err)
+	}
+	out := p.String()
+	if !strings.Contains(out, "Figure 1") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "T") || !strings.Contains(out, "B") {
+		t.Fatal("missing series symbols")
+	}
+	if !strings.Contains(out, "T = TP") || !strings.Contains(out, "B = BCS") {
+		t.Fatal("missing legend")
+	}
+	if !strings.Contains(out, "+-") {
+		t.Fatal("missing x axis")
+	}
+}
+
+func TestPlotLengthMismatch(t *testing.T) {
+	p := NewPlot("x")
+	if err := p.Add("s", 's', []float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	p := NewPlot("empty")
+	if out := p.String(); !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot output %q", out)
+	}
+	// All-non-positive values in log scale are dropped too.
+	p.Add("s", 's', []float64{0, -1}, []float64{0, -1})
+	if out := p.String(); !strings.Contains(out, "no data") {
+		t.Fatalf("log-scale zero plot output %q", out)
+	}
+}
+
+func TestPlotLinearScale(t *testing.T) {
+	p := NewPlot("linear")
+	p.LogX, p.LogY = false, false
+	p.Add("s", '*', []float64{0, 1, 2}, []float64{0, 5, 10})
+	out := p.String()
+	if !strings.Contains(out, "*") {
+		t.Fatal("missing points")
+	}
+}
+
+func TestPlotSinglePoint(t *testing.T) {
+	p := NewPlot("single")
+	p.Add("s", '*', []float64{5}, []float64{5})
+	out := p.String()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("missing the single point:\n%s", out)
+	}
+}
+
+func TestPlotTopAndBottomRowsUsed(t *testing.T) {
+	p := NewPlot("range")
+	p.Add("s", '*', []float64{1, 100}, []float64{1, 1000})
+	out := p.String()
+	lines := strings.Split(out, "\n")
+	// First grid line holds the max, last grid line the min.
+	if !strings.Contains(lines[1], "*") {
+		t.Fatalf("max not on top row:\n%s", out)
+	}
+	if !strings.Contains(lines[p.Height], "*") {
+		t.Fatalf("min not on bottom row:\n%s", out)
+	}
+}

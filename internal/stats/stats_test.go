@@ -1,0 +1,230 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanBasic(t *testing.T) {
+	var m Mean
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		m.Add(v)
+	}
+	if m.N() != 5 {
+		t.Fatalf("N = %d", m.N())
+	}
+	if !almostEqual(m.Mean(), 3, 1e-12) {
+		t.Fatalf("mean = %v", m.Mean())
+	}
+	if !almostEqual(m.Variance(), 2.5, 1e-12) {
+		t.Fatalf("variance = %v", m.Variance())
+	}
+	if !almostEqual(m.Sum(), 15, 1e-9) {
+		t.Fatalf("sum = %v", m.Sum())
+	}
+}
+
+func TestMeanEmptyAndSingle(t *testing.T) {
+	var m Mean
+	if m.Mean() != 0 || m.Variance() != 0 || m.StdDev() != 0 {
+		t.Fatal("empty accumulator not zero")
+	}
+	m.Add(7)
+	if m.Mean() != 7 || m.Variance() != 0 {
+		t.Fatalf("single-value accumulator: mean=%v var=%v", m.Mean(), m.Variance())
+	}
+}
+
+func TestMeanMatchesDirectComputation(t *testing.T) {
+	f := func(vals []float64) bool {
+		var m Mean
+		sum := 0.0
+		ok := true
+		for _, v := range vals {
+			// Keep values sane so the direct two-pass formula is stable.
+			v = math.Mod(v, 1e6)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			m.Add(v)
+			sum += v
+		}
+		if m.N() == 0 {
+			return true
+		}
+		direct := sum / float64(m.N())
+		if !almostEqual(m.Mean(), direct, 1e-6*(1+math.Abs(direct))) {
+			ok = false
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicationSummary(t *testing.T) {
+	var r Replication
+	for _, v := range []float64{98, 100, 102} {
+		r.Add(v)
+	}
+	if r.N() != 3 || r.Min() != 98 || r.Max() != 102 {
+		t.Fatalf("summary wrong: n=%d min=%v max=%v", r.N(), r.Min(), r.Max())
+	}
+	if !almostEqual(r.Mean(), 100, 1e-12) {
+		t.Fatalf("mean = %v", r.Mean())
+	}
+	if !almostEqual(r.RelSpread(), 0.04, 1e-12) {
+		t.Fatalf("relspread = %v", r.RelSpread())
+	}
+	if !almostEqual(r.Median(), 100, 1e-12) {
+		t.Fatalf("median = %v", r.Median())
+	}
+	if r.CI95() <= 0 {
+		t.Fatalf("CI95 = %v", r.CI95())
+	}
+}
+
+func TestReplicationMedianEven(t *testing.T) {
+	var r Replication
+	for _, v := range []float64{4, 1, 3, 2} {
+		r.Add(v)
+	}
+	if !almostEqual(r.Median(), 2.5, 1e-12) {
+		t.Fatalf("median = %v", r.Median())
+	}
+}
+
+func TestReplicationEmpty(t *testing.T) {
+	var r Replication
+	if r.Min() != 0 || r.Max() != 0 || r.Median() != 0 || r.RelSpread() != 0 || r.CI95() != 0 {
+		t.Fatal("empty replication should return zeros")
+	}
+}
+
+func TestGain(t *testing.T) {
+	if !almostEqual(Gain(100, 10), 0.9, 1e-12) {
+		t.Fatalf("Gain(100,10) = %v", Gain(100, 10))
+	}
+	if !almostEqual(Gain(100, 100), 0, 1e-12) {
+		t.Fatal("no gain expected")
+	}
+	if Gain(0, 5) != 0 {
+		t.Fatal("zero base must yield 0")
+	}
+	if Gain(100, 120) >= 0 {
+		t.Fatal("regression must be negative")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for i := 0; i < 10; i++ {
+		if h.Bucket(i) != 1 {
+			t.Fatalf("bucket %d = %d", i, h.Bucket(i))
+		}
+	}
+	if h.N() != 10 || h.Buckets() != 10 {
+		t.Fatalf("n=%d buckets=%d", h.N(), h.Buckets())
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(-5)
+	h.Add(100)
+	if h.Bucket(0) != 1 || h.Bucket(9) != 1 {
+		t.Fatal("out-of-range values must clamp to edge buckets")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	q50 := h.Quantile(0.5)
+	if q50 < 45 || q50 > 55 {
+		t.Fatalf("median estimate %v", q50)
+	}
+	if h.Quantile(0) > h.Quantile(1) {
+		t.Fatal("quantiles not monotone")
+	}
+	empty := NewHistogram(0, 1, 4)
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(1, 1, 4)
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Inc("forced", 3)
+	c.Inc("basic", 1)
+	c.Inc("forced", 2)
+	if c.Get("forced") != 5 || c.Get("basic") != 1 || c.Get("missing") != 0 {
+		t.Fatal("counter values wrong")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "basic" || names[1] != "forced" {
+		t.Fatalf("names = %v", names)
+	}
+	if !strings.Contains(c.String(), "forced=5") {
+		t.Fatalf("string = %q", c.String())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Figure 1", "Tswitch", "TP", "BCS", "QBC")
+	tab.AddFloatRow("100", 40000, 9000, 8500)
+	tab.AddRow("200", "30000", "5000")
+	s := tab.String()
+	if !strings.Contains(s, "Figure 1") || !strings.Contains(s, "Tswitch") {
+		t.Fatalf("missing header in %q", s)
+	}
+	if !strings.Contains(s, "4e+04") && !strings.Contains(s, "40000") {
+		t.Fatalf("missing data in %q", s)
+	}
+	if tab.NumRows() != 2 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	if tab.Cell(1, 1) != "30000" || tab.Cell(1, 3) != "" {
+		t.Fatalf("cells wrong: %q %q", tab.Cell(1, 1), tab.Cell(1, 3))
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow(`x,"y`, "z")
+	csv := tab.CSV()
+	want := "a,b\n\"x,\"\"y\",z\n"
+	if csv != want {
+		t.Fatalf("csv = %q, want %q", csv, want)
+	}
+}
+
+func TestTableExtraCellsDropped(t *testing.T) {
+	tab := NewTable("", "a")
+	tab.AddRow("1", "2", "3")
+	if tab.Cell(0, 0) != "1" {
+		t.Fatal("first cell must survive")
+	}
+	if len(tab.rows[0]) != 1 {
+		t.Fatal("extra cells must be dropped")
+	}
+}

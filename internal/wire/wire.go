@@ -1,0 +1,146 @@
+// Package wire defines the binary encoding of application packets and
+// protocol piggybacks. The DES engine passes piggybacks as Go values;
+// the live runtime (internal/live) marshals them through this package so
+// the protocols' control information demonstrably survives a real wire —
+// and so the piggyback sizes the energy model charges (8 bytes per
+// integer, §4) correspond to actual encoded bytes.
+//
+// Format (big endian):
+//
+//	packet  := id:u64 from:u16 to:u16 piggyback
+//	piggyback := tag:u8 body
+//	  tag 0 (none)   := -
+//	  tag 1 (index)  := sn:i64                         (BCS, QBC)
+//	  tag 2 (vector) := n:u16 ckpt:[n]i64 loc:[n]i64   (TP)
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mobickpt/internal/mobile"
+	"mobickpt/internal/protocol"
+	"mobickpt/internal/vclock"
+)
+
+// Piggyback type tags.
+const (
+	TagNone byte = iota
+	TagIndex
+	TagVector
+)
+
+// AppendPiggyback encodes pb (nil, protocol.IndexPiggyback or
+// protocol.TPPiggyback) onto buf and returns the extended slice.
+func AppendPiggyback(buf []byte, pb any) ([]byte, error) {
+	switch v := pb.(type) {
+	case nil:
+		return append(buf, TagNone), nil
+	case protocol.IndexPiggyback:
+		buf = append(buf, TagIndex)
+		return binary.BigEndian.AppendUint64(buf, uint64(int64(v))), nil
+	case protocol.TPPiggyback:
+		if len(v.Ckpt) != len(v.Loc) {
+			return nil, fmt.Errorf("wire: vector widths differ: %d vs %d", len(v.Ckpt), len(v.Loc))
+		}
+		if len(v.Ckpt) > math.MaxUint16 {
+			return nil, fmt.Errorf("wire: vector too wide: %d", len(v.Ckpt))
+		}
+		buf = append(buf, TagVector)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(v.Ckpt)))
+		for _, x := range v.Ckpt {
+			buf = binary.BigEndian.AppendUint64(buf, uint64(int64(x)))
+		}
+		for _, x := range v.Loc {
+			buf = binary.BigEndian.AppendUint64(buf, uint64(int64(x)))
+		}
+		return buf, nil
+	default:
+		return nil, fmt.Errorf("wire: unsupported piggyback type %T", pb)
+	}
+}
+
+// DecodePiggyback decodes one piggyback from b, returning the value and
+// the number of bytes consumed.
+func DecodePiggyback(b []byte) (any, int, error) {
+	if len(b) < 1 {
+		return nil, 0, fmt.Errorf("wire: empty piggyback")
+	}
+	switch b[0] {
+	case TagNone:
+		return nil, 1, nil
+	case TagIndex:
+		if len(b) < 9 {
+			return nil, 0, fmt.Errorf("wire: truncated index piggyback")
+		}
+		return protocol.IndexPiggyback(int64(binary.BigEndian.Uint64(b[1:]))), 9, nil
+	case TagVector:
+		if len(b) < 3 {
+			return nil, 0, fmt.Errorf("wire: truncated vector header")
+		}
+		n := int(binary.BigEndian.Uint16(b[1:]))
+		need := 3 + 16*n
+		if len(b) < need {
+			return nil, 0, fmt.Errorf("wire: truncated vectors: have %d, need %d", len(b), need)
+		}
+		ckpt := vclock.New(n, 0)
+		loc := vclock.New(n, 0)
+		off := 3
+		for i := 0; i < n; i++ {
+			ckpt[i] = int(int64(binary.BigEndian.Uint64(b[off:])))
+			off += 8
+		}
+		for i := 0; i < n; i++ {
+			loc[i] = int(int64(binary.BigEndian.Uint64(b[off:])))
+			off += 8
+		}
+		return protocol.TPPiggyback{Ckpt: ckpt, Loc: loc}, need, nil
+	default:
+		return nil, 0, fmt.Errorf("wire: unknown piggyback tag %d", b[0])
+	}
+}
+
+// Packet is the application-message envelope.
+type Packet struct {
+	ID        uint64
+	From, To  mobile.HostID
+	Piggyback any
+}
+
+// packetHeader is id + from + to.
+const packetHeader = 8 + 2 + 2
+
+// Marshal encodes the packet.
+func (p *Packet) Marshal() ([]byte, error) {
+	if p.From < 0 || p.From > math.MaxUint16 || p.To < 0 || p.To > math.MaxUint16 {
+		return nil, fmt.Errorf("wire: host id out of range: %d -> %d", p.From, p.To)
+	}
+	buf := make([]byte, 0, packetHeader+8)
+	buf = binary.BigEndian.AppendUint64(buf, p.ID)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(p.From))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(p.To))
+	return AppendPiggyback(buf, p.Piggyback)
+}
+
+// Unmarshal decodes a packet produced by Marshal. Trailing bytes are an
+// error: the transport delivers whole packets.
+func Unmarshal(b []byte) (*Packet, error) {
+	if len(b) < packetHeader {
+		return nil, fmt.Errorf("wire: truncated packet: %d bytes", len(b))
+	}
+	p := &Packet{
+		ID:   binary.BigEndian.Uint64(b),
+		From: mobile.HostID(binary.BigEndian.Uint16(b[8:])),
+		To:   mobile.HostID(binary.BigEndian.Uint16(b[10:])),
+	}
+	pb, n, err := DecodePiggyback(b[packetHeader:])
+	if err != nil {
+		return nil, err
+	}
+	if packetHeader+n != len(b) {
+		return nil, fmt.Errorf("wire: %d trailing bytes", len(b)-packetHeader-n)
+	}
+	p.Piggyback = pb
+	return p, nil
+}

@@ -1,0 +1,308 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"mobickpt/internal/des"
+	"mobickpt/internal/mobile"
+)
+
+func passthroughCallbacks(net *mobile.Network) Callbacks {
+	return Callbacks{
+		Send: func(from, to mobile.HostID) {
+			if _, err := net.Send(from, to, nil); err != nil {
+				panic(err)
+			}
+		},
+		Receive: func(h mobile.HostID) bool { return net.TryReceive(h) != nil },
+	}
+}
+
+func run(t *testing.T, cfg Config, seed uint64, horizon des.Time) (*Driver, *mobile.Network) {
+	t.Helper()
+	sim := des.New()
+	net, err := mobile.New(sim, mobile.DefaultConfig(), mobile.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDriver(sim, net, cfg, seed, passthroughCallbacks(net))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	sim.Run(horizon)
+	return d, net
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.PComm = -0.1 },
+		func(c *Config) { c.PComm = 1.5 },
+		func(c *Config) { c.PSend = -0.1 },
+		func(c *Config) { c.PSend = 1.1 },
+		func(c *Config) { c.OperationMean = 0 },
+		func(c *Config) { c.TSwitch = 0 },
+		func(c *Config) { c.PSwitch = 2 },
+		func(c *Config) { c.DisconnectMean = 0 },
+		func(c *Config) { c.Heterogeneity = -1 },
+		func(c *Config) { c.FastFactor = 0.5 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig()
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Fatalf("mutation %d should fail validation", i)
+		}
+	}
+}
+
+func TestDriverRequiresCallbacks(t *testing.T) {
+	sim := des.New()
+	net, _ := mobile.New(sim, mobile.DefaultConfig(), mobile.Hooks{})
+	if _, err := NewDriver(sim, net, DefaultConfig(), 1, Callbacks{}); err == nil {
+		t.Fatal("missing callbacks must fail")
+	}
+}
+
+func TestPermanenceMeanHeterogeneity(t *testing.T) {
+	c := DefaultConfig()
+	c.TSwitch = 1000
+	c.Heterogeneity = 0.3
+	// With 10 hosts, hosts 0..2 are fast.
+	fast, slow := 0, 0
+	for h := mobile.HostID(0); h < 10; h++ {
+		switch c.PermanenceMean(h, 10) {
+		case 100:
+			fast++
+		case 1000:
+			slow++
+		default:
+			t.Fatalf("unexpected mean for host %d", h)
+		}
+	}
+	if fast != 3 || slow != 7 {
+		t.Fatalf("fast=%d slow=%d", fast, slow)
+	}
+	c.Heterogeneity = 0
+	if c.PermanenceMean(0, 10) != 1000 {
+		t.Fatal("H=0 must make all hosts slow")
+	}
+}
+
+func TestSendReceiveMix(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PComm = 1.0   // every operation communicates
+	cfg.TSwitch = 1e9 // effectively no mobility
+	d, _ := run(t, cfg, 42, 20000)
+	c := d.Counters()
+	ops := c.Sends + c.Receives + c.EmptyReceives + c.Internal
+	if ops < 150000 {
+		t.Fatalf("too few operations: %d", ops)
+	}
+	sendRate := float64(c.Sends) / float64(ops)
+	if math.Abs(sendRate-0.4) > 0.02 {
+		t.Fatalf("send rate %.3f, want ~0.4", sendRate)
+	}
+	// With P_s < 0.5 the queues drain: nearly every sent message is
+	// eventually received.
+	if c.Receives < c.Sends*9/10 {
+		t.Fatalf("receives %d lag sends %d", c.Receives, c.Sends)
+	}
+}
+
+func TestHandoffRateMatchesTSwitch(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TSwitch = 500
+	cfg.PSwitch = 1.0
+	d, _ := run(t, cfg, 7, 50000)
+	c := d.Counters()
+	// Expected ~ 10 hosts * 50000 / 500 = 1000 hand-offs.
+	if c.Handoffs < 800 || c.Handoffs > 1200 {
+		t.Fatalf("handoffs = %d, want ~1000", c.Handoffs)
+	}
+	if c.Disconnects != 0 {
+		t.Fatalf("disconnects = %d with PSwitch=1", c.Disconnects)
+	}
+}
+
+func TestDisconnectionLifecycle(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TSwitch = 300
+	cfg.PSwitch = 0.0 // always disconnect: stay Exp(100), gone Exp(1000)
+	d, net := run(t, cfg, 11, 30000)
+	c := d.Counters()
+	if c.Disconnects == 0 {
+		t.Fatal("no disconnections happened")
+	}
+	// Reconnections track disconnections (the last one may be pending).
+	if c.Reconnects < c.Disconnects-10 || c.Reconnects > c.Disconnects {
+		t.Fatalf("reconnects=%d disconnects=%d", c.Reconnects, c.Disconnects)
+	}
+	// Each cycle is ~100 connected + ~1000 disconnected, so hosts spend
+	// most time disconnected; the network must reflect a mix by the end.
+	connected := 0
+	for i := 0; i < net.NumHosts(); i++ {
+		if net.Host(mobile.HostID(i)).Connected() {
+			connected++
+		}
+	}
+	if connected == net.NumHosts() {
+		t.Fatal("expected some hosts to be disconnected at the horizon")
+	}
+}
+
+func TestOperationLoopPausesWhileDisconnected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TSwitch = 30
+	cfg.PSwitch = 0.0
+	cfg.DisconnectMean = 1e7 // never comes back within the horizon
+	d, net := run(t, cfg, 3, 5000)
+	for i := 0; i < net.NumHosts(); i++ {
+		if net.Host(mobile.HostID(i)).Connected() {
+			t.Fatalf("host %d should be disconnected", i)
+		}
+	}
+	// Operations must have stopped: with loops still running we would see
+	// ~10*5000 ops; with pausing we see only the pre-disconnect fraction.
+	c := d.Counters()
+	ops := c.Sends + c.Receives + c.EmptyReceives + c.Internal
+	if ops > 3000 {
+		t.Fatalf("operation loop kept running while disconnected: %d ops", ops)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PSwitch = 0.8
+	cfg.TSwitch = 200
+	d1, _ := run(t, cfg, 99, 10000)
+	d2, _ := run(t, cfg, 99, 10000)
+	if d1.Counters() != d2.Counters() {
+		t.Fatalf("same seed diverged: %+v vs %+v", d1.Counters(), d2.Counters())
+	}
+	d3, _ := run(t, cfg, 100, 10000)
+	if d1.Counters() == d3.Counters() {
+		t.Fatal("different seeds produced identical counters (suspicious)")
+	}
+}
+
+func TestDestinationsAreUniform(t *testing.T) {
+	sim := des.New()
+	net, _ := mobile.New(sim, mobile.DefaultConfig(), mobile.Hooks{})
+	counts := make(map[mobile.HostID]int)
+	cb := Callbacks{
+		Send: func(from, to mobile.HostID) {
+			if from == to {
+				t.Fatal("self-send")
+			}
+			counts[to]++
+		},
+		Receive: func(h mobile.HostID) bool { return false },
+	}
+	cfg := DefaultConfig()
+	cfg.PComm = 1.0
+	cfg.TSwitch = 1e9
+	d, err := NewDriver(sim, net, cfg, 5, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	sim.Run(20000)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	want := total / 10
+	for h, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Fatalf("destination %d chosen %d times, want ~%d", h, c, want)
+		}
+	}
+}
+
+func TestRingTopologyOnlyAdjacent(t *testing.T) {
+	moves := []struct{ from, to mobile.MSSID }{}
+	sim := des.New()
+	net, _ := mobile.New(sim, mobile.DefaultConfig(), mobile.Hooks{
+		OnCellSwitch: func(now des.Time, h *mobile.Host, from, to mobile.MSSID) {
+			moves = append(moves, struct{ from, to mobile.MSSID }{from, to})
+		},
+	})
+	cfg := DefaultConfig()
+	cfg.CellTopology = Ring
+	cfg.TSwitch = 20
+	cfg.PSwitch = 1.0
+	d, err := NewDriver(sim, net, cfg, 3, passthroughCallbacks(net))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	sim.Run(2000)
+	if len(moves) < 100 {
+		t.Fatalf("too few moves: %d", len(moves))
+	}
+	r := net.NumStations()
+	for _, m := range moves {
+		diff := (int(m.to) - int(m.from) + r) % r
+		if diff != 1 && diff != r-1 {
+			t.Fatalf("non-adjacent move %d -> %d", m.from, m.to)
+		}
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	c := DefaultConfig()
+	c.CellTopology = Topology(9)
+	if c.Validate() == nil {
+		t.Fatal("unknown topology must fail")
+	}
+}
+
+func TestSingleStationWorldDoesNotPanic(t *testing.T) {
+	sim := des.New()
+	cfg := mobile.DefaultConfig()
+	cfg.NumMSS = 1
+	net, err := mobile.New(sim, cfg, mobile.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcfg := DefaultConfig()
+	wcfg.TSwitch = 50
+	wcfg.PSwitch = 1.0
+	d, err := NewDriver(sim, net, wcfg, 1, passthroughCallbacks(net))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	sim.Run(2000) // would panic on Intn(0) without the guard
+	if d.Counters().Handoffs != 0 {
+		t.Fatalf("handoffs = %d in a single-cell world", d.Counters().Handoffs)
+	}
+	if d.Counters().Sends == 0 {
+		t.Fatal("communication should continue")
+	}
+}
+
+func TestSingleHostWorld(t *testing.T) {
+	sim := des.New()
+	cfg := mobile.DefaultConfig()
+	cfg.NumHosts = 1
+	net, err := mobile.New(sim, cfg, mobile.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDriver(sim, net, DefaultConfig(), 1, passthroughCallbacks(net))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	sim.Run(2000)
+	c := d.Counters()
+	if c.Sends != 0 {
+		t.Fatalf("a lone host sent %d messages", c.Sends)
+	}
+}
