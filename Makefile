@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench figures results clean
+.PHONY: all build test test-short race bench check figures results clean
 
 all: build test
 
@@ -12,6 +12,13 @@ build:
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
+
+# The CI gate: vet, build, and the full suite under the race detector
+# (the engine tests run with the invariant checker enabled).
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
 
 test-short:
 	$(GO) test -short ./...

@@ -34,6 +34,8 @@ func main() {
 		snapshot   = flag.Float64("snapshot", 100, "snapshot period for CL/PS")
 		verbose    = flag.Bool("v", false, "print substrate counters and energy details")
 		jsonOut    = flag.Bool("json", false, "emit the single-run result as JSON")
+		checks     = flag.Bool("checks", false, "run the invariant checker during the simulation (fails on any violation)")
+		audit      = flag.Bool("audit", false, "run the determinism/ablation audit: re-run each protocol alone and require exact agreement with the shared trace")
 	)
 	flag.Parse()
 
@@ -48,9 +50,25 @@ func main() {
 	cfg.Workload.Heterogeneity = *het
 	cfg.Horizon = des.Time(*horizon)
 	cfg.SnapshotPeriod = des.Time(*snapshot)
+	cfg.Checks = *checks
 	cfg.Protocols = nil
 	for _, p := range strings.Split(*protos, ",") {
 		cfg.Protocols = append(cfg.Protocols, sim.ProtocolName(strings.TrimSpace(p)))
+	}
+
+	if *audit {
+		cfg.Checks = true
+		n := *seeds
+		if n < 1 {
+			n = 1
+		}
+		if err := sim.Audit(cfg, sim.Seeds(*seed, n)); err != nil {
+			fmt.Fprintln(os.Stderr, "mhsim: audit failed:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("audit passed: %d protocol(s), %d seed(s), shared trace == solo re-simulation\n",
+			len(cfg.Protocols), n)
+		return
 	}
 
 	if *seeds <= 1 {

@@ -1,0 +1,62 @@
+package check
+
+import "fmt"
+
+// Outcome is the scalar fingerprint of one protocol's run that the
+// ablation audit compares: if any of these differ between the
+// shared-trace evaluation and a solo re-simulation on the same seed, the
+// engine's single-trace claim is broken.
+type Outcome struct {
+	Protocol       string
+	Ntot           int64
+	Basic          int64
+	Forced         int64
+	PiggybackBytes int64
+}
+
+// Runner abstracts the simulation engine for the ablation audit. It is
+// an interface (rather than a direct dependency on internal/sim) because
+// sim imports this package for the runtime invariants; sim provides the
+// concrete adapter via sim.AblationRunner.
+type Runner interface {
+	// Joint evaluates every configured protocol simultaneously over the
+	// shared trace and returns one Outcome per protocol.
+	Joint() ([]Outcome, error)
+	// Solo re-runs exactly one protocol alone on the same seed and
+	// configuration.
+	Solo(protocol string) (Outcome, error)
+}
+
+// Ablation is the determinism audit: it runs the shared-trace evaluation
+// once, then re-runs every protocol alone on the same seed and requires
+// exact equality of Ntot, Basic, Forced and PiggybackBytes. A mismatch
+// means the trace is no longer protocol-independent (some protocol
+// perturbed the execution) and is reported as an error naming the
+// protocol and the first differing quantity.
+func Ablation(r Runner) error {
+	joint, err := r.Joint()
+	if err != nil {
+		return fmt.Errorf("check: ablation joint run: %w", err)
+	}
+	for _, want := range joint {
+		got, err := r.Solo(want.Protocol)
+		if err != nil {
+			return fmt.Errorf("check: ablation solo run of %s: %w", want.Protocol, err)
+		}
+		for _, q := range []struct {
+			name         string
+			solo, shared int64
+		}{
+			{"Ntot", got.Ntot, want.Ntot},
+			{"Basic", got.Basic, want.Basic},
+			{"Forced", got.Forced, want.Forced},
+			{"PiggybackBytes", got.PiggybackBytes, want.PiggybackBytes},
+		} {
+			if q.solo != q.shared {
+				return fmt.Errorf("check: ablation: %s %s = %d solo but %d on the shared trace",
+					want.Protocol, q.name, q.solo, q.shared)
+			}
+		}
+	}
+	return nil
+}

@@ -9,19 +9,23 @@ import (
 // without the in-memory stores/traces (export those separately with
 // trace.Export if needed).
 type exportedResult struct {
-	Seed       uint64             `json:"seed"`
-	Horizon    float64            `json:"horizon"`
-	Hosts      int                `json:"hosts"`
-	FinalHosts int                `json:"final_hosts"`
-	Stations   int                `json:"stations"`
-	TSwitch    float64            `json:"t_switch"`
-	PSwitch    float64            `json:"p_switch"`
-	PSend      float64            `json:"p_send"`
-	PComm      float64            `json:"p_comm"`
-	H          float64            `json:"heterogeneity"`
-	Workload   exportedWorkload   `json:"workload"`
-	Network    exportedNetwork    `json:"network"`
-	Protocols  []exportedProtocol `json:"protocols"`
+	Seed           uint64             `json:"seed"`
+	Horizon        float64            `json:"horizon"`
+	Hosts          int                `json:"hosts"`
+	FinalHosts     int                `json:"final_hosts"`
+	Stations       int                `json:"stations"`
+	TSwitch        float64            `json:"t_switch"`
+	PSwitch        float64            `json:"p_switch"`
+	PSend          float64            `json:"p_send"`
+	PComm          float64            `json:"p_comm"`
+	H              float64            `json:"heterogeneity"`
+	SnapshotPeriod float64            `json:"snapshot_period"`
+	GCInterval     float64            `json:"gc_interval"`
+	JoinTimes      []float64          `json:"join_times,omitempty"`
+	EventsFired    uint64             `json:"events_fired"`
+	Workload       exportedWorkload   `json:"workload"`
+	Network        exportedNetwork    `json:"network"`
+	Protocols      []exportedProtocol `json:"protocols"`
 }
 
 type exportedWorkload struct {
@@ -70,6 +74,10 @@ func (r *Result) ExportJSON(w io.Writer) error {
 		PSend:      r.Config.Workload.PSend,
 		PComm:      r.Config.Workload.PComm,
 		H:          r.Config.Workload.Heterogeneity,
+
+		SnapshotPeriod: float64(r.Config.SnapshotPeriod),
+		GCInterval:     float64(r.Config.GCInterval),
+		EventsFired:    r.EventsFired,
 		Workload: exportedWorkload{
 			Sends:       r.Workload.Sends,
 			Receives:    r.Workload.Receives,
@@ -84,6 +92,9 @@ func (r *Result) ExportJSON(w io.Writer) error {
 			ContentionDelay: float64(r.Network.ContentionDelay),
 			Retransmissions: r.Network.Retransmissions,
 		},
+	}
+	for _, at := range r.Config.JoinTimes {
+		out.JoinTimes = append(out.JoinTimes, float64(at))
 	}
 	for _, pr := range r.Protocols {
 		out.Protocols = append(out.Protocols, exportedProtocol{

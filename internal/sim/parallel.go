@@ -36,7 +36,7 @@ func ReplicateParallel(cfg Config, seeds []uint64, workers int) (*Summary, error
 			for i := range next {
 				c := cfg
 				c.Seed = seeds[i]
-				res, err := Run(c)
+				res, err := runSim(c)
 				if err != nil {
 					errs[i] = err
 					continue

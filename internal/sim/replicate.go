@@ -32,6 +32,11 @@ func (s *Summary) Protocol(name ProtocolName) *Replicated {
 	return nil
 }
 
+// runSim is the run entry point used by the replication drivers; a
+// package variable so tests can inject per-seed failures (Run itself
+// only errors on seed-independent configuration problems).
+var runSim = Run
+
 // Replicate runs cfg once per seed and aggregates N_tot per protocol.
 func Replicate(cfg Config, seeds []uint64) (*Summary, error) {
 	if len(seeds) == 0 {
@@ -45,7 +50,7 @@ func Replicate(cfg Config, seeds []uint64) (*Summary, error) {
 	for _, seed := range seeds {
 		c := cfg
 		c.Seed = seed
-		res, err := Run(c)
+		res, err := runSim(c)
 		if err != nil {
 			return nil, err
 		}

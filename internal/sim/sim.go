@@ -17,6 +17,7 @@ package sim
 import (
 	"fmt"
 
+	"mobickpt/internal/check"
 	"mobickpt/internal/des"
 	"mobickpt/internal/energy"
 	"mobickpt/internal/mobile"
@@ -93,6 +94,16 @@ type Config struct {
 	// no future recovery line can use are reclaimed, bounding per-MSS
 	// stable storage over arbitrarily long runs.
 	GCInterval des.Time
+
+	// Checks enables the runtime invariant checker (internal/check): every
+	// protocol event is verified against a shadow model of the protocol's
+	// rules, the engine's counters are reconciled against the stable-storage
+	// chains at the horizon, and (with RecordTrace) every index-based
+	// recovery line is checked for orphan messages. Violations make Run
+	// return a structured error naming protocol, host and time. The
+	// overhead is a constant factor on protocol events; leave false for
+	// large performance sweeps.
+	Checks bool
 }
 
 // DefaultConfig returns the paper's §5.1 environment at T_switch = 1000,
@@ -224,7 +235,9 @@ func (r *Result) Protocol(name ProtocolName) *ProtocolResult {
 	return nil
 }
 
-// Run executes one simulation.
+// Run executes one simulation. With Config.Checks set, a run that
+// violates a protocol invariant returns the (partial) result together
+// with a check.Violations error describing every broken rule.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -233,7 +246,13 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.run(), nil
+	res := e.run()
+	if e.checks != nil {
+		if err := e.finishChecks(res); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
 }
 
 // engine is the wired-up run state.
@@ -246,7 +265,8 @@ type engine struct {
 	protos []protocol.Protocol
 	stores []*storage.Store
 	traces []*trace.Trace
-	counts [][]int // [proto][host] checkpoints taken (incl. initial)
+	counts [][]int          // [proto][host] checkpoints taken (incl. initial)
+	checks []*check.Runtime // nil unless Config.Checks
 
 	// pendingLatency accumulates checkpoint time to charge against each
 	// host's next operation (only with a single protocol selected).
@@ -254,6 +274,7 @@ type engine struct {
 
 	peakLive    []int   // per protocol, max live records seen at GC ticks
 	gcReclaimed []int   // per protocol, total records pruned
+	gcFrontier  []int   // per protocol, highest stable index any GC pruned at
 	joinCtrl    []int64 // per protocol, control messages spent on joins
 }
 
@@ -270,18 +291,27 @@ func newEngine(cfg Config) (*engine, error) {
 	hooks := mobile.Hooks{
 		OnDeliver: e.onDeliver,
 		OnCellSwitch: func(now des.Time, h *mobile.Host, from, to mobile.MSSID) {
-			for _, p := range e.protos {
+			for i, p := range e.protos {
 				p.OnCellSwitch(h.ID, to)
+				if e.checks != nil {
+					e.checks[i].AfterCellSwitch(h.ID)
+				}
 			}
 		},
 		OnDisconnect: func(now des.Time, h *mobile.Host) {
-			for _, p := range e.protos {
+			for i, p := range e.protos {
 				p.OnDisconnect(h.ID)
+				if e.checks != nil {
+					e.checks[i].AfterDisconnect(h.ID)
+				}
 			}
 		},
 		OnReconnect: func(now des.Time, h *mobile.Host, at mobile.MSSID) {
-			for _, p := range e.protos {
+			for i, p := range e.protos {
 				p.OnReconnect(h.ID, at)
+				if e.checks != nil {
+					e.checks[i].AfterReconnect(h.ID)
+				}
 			}
 		},
 	}
@@ -326,10 +356,17 @@ func newEngine(cfg Config) (*engine, error) {
 			e.protos[i] = protocol.NewMS(n, ck)
 		}
 	}
+	if cfg.Checks {
+		e.checks = make([]*check.Runtime, len(cfg.Protocols))
+		for i, name := range cfg.Protocols {
+			e.checks[i] = check.NewRuntime(string(name), e.protos[i], e.stores[i], e.sim.Now)
+		}
+	}
 
 	e.pendingLatency = make([]des.Time, n)
 	e.peakLive = make([]int, len(cfg.Protocols))
 	e.gcReclaimed = make([]int, len(cfg.Protocols))
+	e.gcFrontier = make([]int, len(cfg.Protocols))
 	e.joinCtrl = make([]int64, len(cfg.Protocols))
 	cb := workload.Callbacks{
 		Send:    e.send,
@@ -366,6 +403,9 @@ func (e *engine) send(from, to mobile.HostID) {
 	pl := payload{piggyback: make([]any, len(e.protos))}
 	for i, p := range e.protos {
 		pl.piggyback[i] = p.OnSend(from, to)
+		if e.checks != nil {
+			e.checks[i].AfterSend(from, pl.piggyback[i])
+		}
 	}
 	m, err := e.net.Send(from, to, pl)
 	if err != nil {
@@ -384,6 +424,9 @@ func (e *engine) onDeliver(now des.Time, h *mobile.Host, m *mobile.Message) {
 	pl := m.Payload.(payload)
 	for i, p := range e.protos {
 		p.OnDeliver(h.ID, m.From, pl.piggyback[i])
+		if e.checks != nil {
+			e.checks[i].AfterDeliver(h.ID, m.From, pl.piggyback[i])
+		}
 		if tr := e.traces[i]; tr != nil {
 			tr.RecordDeliver(m.ID, e.counts[i][h.ID], now)
 		}
@@ -409,6 +452,9 @@ func (e *engine) scheduleSnapshots(i int, init protocol.Initiator) {
 			sim.After(markerLatency, "marker", func(sim *des.Simulator, now des.Time) {
 				if e.net.Host(h).Connected() {
 					init.OnMarker(h)
+					if e.checks != nil {
+						e.checks[i].AfterMarker(h)
+					}
 				}
 			})
 		}
@@ -420,13 +466,16 @@ func (e *engine) scheduleSnapshots(i int, init protocol.Initiator) {
 // scheduleTicks drives a Periodic protocol: every SnapshotPeriod each
 // connected host takes its timer-driven local checkpoint. No control
 // messages travel — the tick is local to the host.
-func (e *engine) scheduleTicks(per protocol.Periodic) {
+func (e *engine) scheduleTicks(i int, per protocol.Periodic) {
 	period := e.cfg.SnapshotPeriod
 	var tick func(sim *des.Simulator, now des.Time)
 	tick = func(sim *des.Simulator, now des.Time) {
 		for h := 0; h < e.cfg.Mobile.NumHosts; h++ {
 			if e.net.Host(mobile.HostID(h)).Connected() {
 				per.OnTick(mobile.HostID(h))
+				if e.checks != nil {
+					e.checks[i].AfterTick(mobile.HostID(h))
+				}
 			}
 		}
 		sim.After(period, "tick", tick)
@@ -439,14 +488,20 @@ func (e *engine) scheduleTicks(per protocol.Periodic) {
 // for protocols whose recovery lines are index cuts, so other protocols
 // are skipped.
 func (e *engine) scheduleGC() {
-	n := e.cfg.Mobile.NumHosts
 	var tick func(sim *des.Simulator, now des.Time)
 	tick = func(sim *des.Simulator, now des.Time) {
+		// The frontier must cover every current host: a host joined after
+		// Start sits at a low index, and pruning past it would destroy the
+		// lines its failure still needs.
+		n := e.net.NumHosts()
 		for i, name := range e.cfg.Protocols {
 			switch name {
 			case BCS, QBC, MS:
 			default:
 				continue
+			}
+			if stable := recovery.StableIndex(e.stores[i], n); stable > e.gcFrontier[i] {
+				e.gcFrontier[i] = stable
 			}
 			records, _ := recovery.CollectGarbage(e.stores[i], n)
 			e.gcReclaimed[i] += records
@@ -476,6 +531,9 @@ func (e *engine) join() {
 		}
 		e.counts[i] = append(e.counts[i], 0)
 		e.joinCtrl[i] += d.OnJoin(id)
+		if e.checks != nil {
+			e.checks[i].AfterJoin(id)
+		}
 		if tr := e.traces[i]; tr != nil {
 			tr.AddHost()
 		}
@@ -485,15 +543,18 @@ func (e *engine) join() {
 
 // run executes the configured horizon and assembles the result.
 func (e *engine) run() *Result {
-	for _, p := range e.protos {
+	for i, p := range e.protos {
 		p.Init()
+		if e.checks != nil {
+			e.checks[i].AfterInit(e.cfg.Mobile.NumHosts)
+		}
 	}
 	for i, p := range e.protos {
 		if init, ok := p.(protocol.Initiator); ok {
 			e.scheduleSnapshots(i, init)
 		}
 		if per, ok := p.(protocol.Periodic); ok {
-			e.scheduleTicks(per)
+			e.scheduleTicks(i, per)
 		}
 	}
 	if e.cfg.GCInterval > 0 {
@@ -539,4 +600,44 @@ func (e *engine) run() *Result {
 		res.Protocols = append(res.Protocols, pr)
 	}
 	return res
+}
+
+// finishChecks runs the end-of-run reconciliation of the invariant
+// checker — engine tallies vs stable-storage chains, Ntot arithmetic,
+// one initial checkpoint per (possibly joined) host — plus the post-run
+// recovery-line sweep over recorded traces. It returns a
+// check.Violations error when any invariant broke.
+func (e *engine) finishChecks(res *Result) error {
+	var all check.Violations
+	for i, ck := range e.checks {
+		all = append(all, ck.Finish(e.counts[i])...)
+		pr := &res.Protocols[i]
+		if pr.Ntot != pr.Basic+pr.Forced {
+			all = append(all, &check.Violation{
+				Protocol: string(pr.Name), Time: e.sim.Now(), Rule: "reconcile",
+				Detail: fmt.Sprintf("Ntot %d != basic %d + forced %d", pr.Ntot, pr.Basic, pr.Forced),
+			})
+		}
+		if pr.Initial != int64(res.FinalHosts) {
+			all = append(all, &check.Violation{
+				Protocol: string(pr.Name), Time: e.sim.Now(), Rule: "reconcile",
+				Detail: fmt.Sprintf("%d initial checkpoints for %d hosts", pr.Initial, res.FinalHosts),
+			})
+		}
+		if tr := e.traces[i]; tr != nil {
+			switch e.cfg.Protocols[i] {
+			case BCS, QBC, MS:
+				// Lines below the highest frontier any GC pass pruned at
+				// lost members by design and are exempt; everything above it
+				// must still be consistent (with dynamic joins the
+				// end-of-run stable index can sit below that frontier, so
+				// the frontier is tracked per pass, not recomputed here).
+				all = append(all, check.RecoveryLines(string(pr.Name), e.stores[i], tr, res.FinalHosts, e.gcFrontier[i])...)
+			}
+		}
+	}
+	if len(all) > 0 {
+		return all
+	}
+	return nil
 }

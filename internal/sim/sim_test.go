@@ -3,8 +3,11 @@ package sim
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"math"
+	"strings"
 	"testing"
+	"time"
 
 	"mobickpt/internal/des"
 	"mobickpt/internal/mobile"
@@ -13,13 +16,16 @@ import (
 )
 
 // testConfig is a scaled-down environment that keeps tests fast while
-// exercising every mechanism (hand-offs, disconnections, forcing).
+// exercising every mechanism (hand-offs, disconnections, forcing). The
+// runtime invariant checker is on: every engine test doubles as an
+// invariant test, and any violation fails the run.
 func testConfig() Config {
 	c := DefaultConfig()
 	c.Horizon = 2000
 	c.Workload.TSwitch = 200
 	c.Workload.PSwitch = 0.8
 	c.Workload.DisconnectMean = 300
+	c.Checks = true
 	return c
 }
 
@@ -475,6 +481,53 @@ func TestReplicateParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// A run failing mid-batch must surface its error deterministically (the
+// earliest failing seed in seed order, not completion order) and must
+// not deadlock the feeder goroutine while workers bail out.
+func TestReplicateParallelSeedErrors(t *testing.T) {
+	c := testConfig()
+	seeds := Seeds(1, 8)
+	real := runSim
+	t.Cleanup(func() { runSim = real })
+	runSim = func(cc Config) (*Result, error) {
+		if cc.Seed == seeds[2] || cc.Seed == seeds[5] {
+			return nil, fmt.Errorf("injected failure for seed %d", cc.Seed)
+		}
+		return real(cc)
+	}
+
+	for _, workers := range []int{1, 3, 8} {
+		done := make(chan struct{})
+		var sum *Summary
+		var err error
+		go func() {
+			sum, err = ReplicateParallel(c, seeds, workers)
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("workers=%d: ReplicateParallel deadlocked on a failing seed", workers)
+		}
+		if err == nil {
+			t.Fatalf("workers=%d: injected failure not reported", workers)
+		}
+		if want := fmt.Sprint(seeds[2]); !strings.Contains(err.Error(), want) {
+			t.Fatalf("workers=%d: error %q does not name the earliest failing seed %s",
+				workers, err, want)
+		}
+		if sum != nil {
+			t.Fatalf("workers=%d: summary returned alongside an error", workers)
+		}
+	}
+
+	// Sequential Replicate reports the same failure.
+	if _, err := Replicate(c, seeds); err == nil ||
+		!strings.Contains(err.Error(), fmt.Sprint(seeds[2])) {
+		t.Fatalf("sequential error mismatch: %v", err)
+	}
+}
+
 // No protocol's recovery line can keep more computation than the maximal
 // consistent cut over its own checkpoints.
 func TestProtocolLinesBoundedByMaximalCut(t *testing.T) {
@@ -732,6 +785,51 @@ func TestExportJSON(t *testing.T) {
 	}
 	if decoded["final_hosts"].(float64) != float64(c.Mobile.NumHosts) {
 		t.Fatalf("final_hosts: %v", decoded["final_hosts"])
+	}
+}
+
+// Every run parameter the JSON export carries must survive a round
+// trip; regression for the silently-dropped EventsFired, SnapshotPeriod,
+// GCInterval and JoinTimes fields.
+func TestExportJSONRoundTrip(t *testing.T) {
+	c := testConfig()
+	c.Horizon = 1500
+	c.SnapshotPeriod = 75
+	c.GCInterval = 300
+	c.JoinTimes = []des.Time{400, 900}
+	res := mustRun(t, c)
+	var buf bytes.Buffer
+	if err := res.ExportJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got exportedResult
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.EventsFired != res.EventsFired || got.EventsFired == 0 {
+		t.Fatalf("events_fired = %d, want %d", got.EventsFired, res.EventsFired)
+	}
+	if got.SnapshotPeriod != 75 || got.GCInterval != 300 {
+		t.Fatalf("periods = %v/%v, want 75/300", got.SnapshotPeriod, got.GCInterval)
+	}
+	if len(got.JoinTimes) != 2 || got.JoinTimes[0] != 400 || got.JoinTimes[1] != 900 {
+		t.Fatalf("join_times = %v", got.JoinTimes)
+	}
+	if got.FinalHosts != res.FinalHosts || got.Seed != c.Seed {
+		t.Fatalf("identity fields drifted: %+v", got)
+	}
+	// Without joins the field is omitted, not an empty array.
+	res2 := mustRun(t, testConfig())
+	buf.Reset()
+	if err := res2.ExportJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := raw["join_times"]; present {
+		t.Fatal("join_times must be omitted when no joins are configured")
 	}
 }
 

@@ -35,12 +35,19 @@ func (m *Mean) N() int { return m.n }
 // Mean returns the sample mean, or 0 for an empty accumulator.
 func (m *Mean) Mean() float64 { return m.mean }
 
-// Variance returns the unbiased sample variance (0 for n < 2).
+// Variance returns the unbiased sample variance (0 for n < 2). The
+// result is clamped at 0: floating-point cancellation on near-constant
+// samples can leave m2 a hair below zero, and a negative variance would
+// turn StdDev and CI95 into NaN.
 func (m *Mean) Variance() float64 {
 	if m.n < 2 {
 		return 0
 	}
-	return m.m2 / float64(m.n-1)
+	v := m.m2 / float64(m.n-1)
+	if v < 0 {
+		return 0
+	}
+	return v
 }
 
 // StdDev returns the sample standard deviation.

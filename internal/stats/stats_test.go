@@ -39,6 +39,41 @@ func TestMeanEmptyAndSingle(t *testing.T) {
 	}
 }
 
+// Near-constant samples stress Welford's m2 with catastrophic
+// cancellation; the variance must stay finite and non-negative so
+// StdDev and CI95 never go NaN (regression for the clamp in Variance).
+func TestMeanNearConstantSamples(t *testing.T) {
+	cases := [][]float64{
+		{1e15, 1e15, 1e15, 1e15},
+		{1e15 + 1, 1e15, 1e15 + 1, 1e15, 1e15 + 1},
+		{1e9 + 0.1, 1e9 + 0.1, 1e9 + 0.1},
+		{3.14159e12, 3.14159e12, 3.14159e12 + 0.001},
+		{-7e14, -7e14, -7e14 - 2, -7e14},
+	}
+	for i, vals := range cases {
+		var m Mean
+		var r Replication
+		for _, v := range vals {
+			m.Add(v)
+			r.Add(v)
+		}
+		if v := m.Variance(); v < 0 || math.IsNaN(v) {
+			t.Fatalf("case %d: variance = %v", i, v)
+		}
+		if s := m.StdDev(); math.IsNaN(s) || s < 0 {
+			t.Fatalf("case %d: stddev = %v", i, s)
+		}
+		if ci := r.CI95(); math.IsNaN(ci) || ci < 0 {
+			t.Fatalf("case %d: CI95 = %v", i, ci)
+		}
+	}
+	// The clamp itself: a manually drifted accumulator must not go NaN.
+	m := Mean{n: 5, mean: 1e15, m2: -1e-9}
+	if m.Variance() != 0 || m.StdDev() != 0 {
+		t.Fatalf("negative m2 not clamped: var=%v stddev=%v", m.Variance(), m.StdDev())
+	}
+}
+
 func TestMeanMatchesDirectComputation(t *testing.T) {
 	f := func(vals []float64) bool {
 		var m Mean

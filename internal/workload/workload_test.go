@@ -254,6 +254,72 @@ func TestRingTopologyOnlyAdjacent(t *testing.T) {
 	}
 }
 
+// Two hosts joining at the same simulated instant must not mirror each
+// other: AddHost derives each host's operation and mobility streams from
+// its host id (streams 2i and 2i+1 of the seed), so equal join times do
+// not mean equal decisions. Regression for the decorrelation property of
+// dynamic joins.
+func TestJoinedHostsAreDecorrelated(t *testing.T) {
+	const seed = 11
+	sim := des.New()
+	net, err := mobile.New(sim, mobile.DefaultConfig(), mobile.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type decision struct {
+		at des.Time
+		to mobile.HostID
+	}
+	sends := make(map[mobile.HostID][]decision)
+	cb := Callbacks{
+		Send: func(from, to mobile.HostID) {
+			sends[from] = append(sends[from], decision{sim.Now(), to})
+		},
+		Receive: func(h mobile.HostID) bool { return false },
+	}
+	cfg := DefaultConfig()
+	cfg.PComm = 0.5 // plenty of sends inside a short horizon
+	d, err := NewDriver(sim, net, cfg, seed, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	var joined []mobile.HostID
+	sim.After(500, "join", func(s *des.Simulator, now des.Time) {
+		for i := 0; i < 2; i++ {
+			id, err := net.AddHost(0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			d.AddHost(id, seed)
+			joined = append(joined, id)
+		}
+	})
+	sim.Run(3000)
+
+	if len(joined) != 2 {
+		t.Fatalf("joined %d hosts, want 2", len(joined))
+	}
+	a, b := sends[joined[0]], sends[joined[1]]
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatalf("joined hosts inactive: %d and %d sends", len(a), len(b))
+	}
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i].at != b[i].at {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatalf("hosts %d and %d produced identical send schedules (%d sends): streams are correlated",
+			joined[0], joined[1], len(a))
+	}
+}
+
 func TestTopologyValidation(t *testing.T) {
 	c := DefaultConfig()
 	c.CellTopology = Topology(9)
