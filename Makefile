@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench check figures results clean
+.PHONY: all build test test-short race bench check fmt fuzz figures results clean
 
 all: build test
 
@@ -13,12 +13,23 @@ test:
 	$(GO) vet ./...
 	$(GO) test ./...
 
-# The CI gate: vet, build, and the full suite under the race detector
-# (the engine tests run with the invariant checker enabled).
-check:
+# The CI gate: formatting, vet, build, the full suite under the race
+# detector (the engine tests run with the invariant checker enabled),
+# and a short fuzz smoke of the wire-format decoder.
+check: fmt
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(GO) test -fuzz=FuzzFrameRoundTrip -fuzztime=10s ./internal/wire
+
+# Fail if any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Longer fuzzing session for local use.
+fuzz:
+	$(GO) test -fuzz=FuzzFrameRoundTrip -fuzztime=2m ./internal/wire
 
 test-short:
 	$(GO) test -short ./...
@@ -39,6 +50,7 @@ results:
 	$(GO) run ./cmd/figures -scalability -seeds 3 -out results
 	$(GO) run ./cmd/figures -proxy -seeds 3 -out results
 	$(GO) run ./cmd/figures -joins -seeds 3 -out results
+	$(GO) run ./cmd/figures -replay -seeds 3 -horizon 20000 -out results
 	$(GO) run ./cmd/recovery -seeds 3 -horizon 20000 > results/recovery.txt
 
 clean:

@@ -12,6 +12,7 @@ package mobickpt_test
 import (
 	"testing"
 
+	"mobickpt/internal/mlog"
 	"mobickpt/internal/mobile"
 	"mobickpt/internal/recovery"
 	"mobickpt/internal/sim"
@@ -141,6 +142,44 @@ func BenchmarkRecovery(b *testing.B) {
 	}
 	b.ReportMetric(qbcUndone, "QBC_undone_time")
 	b.ReportMetric(uncUndone, "UNC_undone_time")
+}
+
+// BenchmarkReplayRecovery is E18 at bench scale: the same failure as E8,
+// but the MSSs keep pessimistic message logs and rolled-back hosts
+// replay their logged deliveries. The custom metrics contrast classic
+// orphan elimination with replay-aware recovery on the identical trace.
+func BenchmarkReplayRecovery(b *testing.B) {
+	cfg := benchBase()
+	cfg.Horizon = 10000
+	cfg.Workload.PSwitch = 0.8
+	cfg.Workload.PComm = 0.3
+	cfg.Workload.DisconnectMean = cfg.Workload.TSwitch / 2
+	cfg.Protocols = []sim.ProtocolName{sim.QBC, sim.UNC}
+	cfg.RecordTrace = true
+	cfg.MessageLog = mlog.Pessimistic
+	res, err := sim.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := cfg.Mobile.NumHosts
+	outs := make(map[sim.ProtocolName]sim.ReplayOutcome, len(res.Protocols))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range res.Protocols {
+			pr := &res.Protocols[j]
+			out, err := sim.AnalyzeReplay(pr, n, 0, cfg.Horizon)
+			if err != nil {
+				b.Fatal(err)
+			}
+			outs[pr.Name] = out
+		}
+	}
+	unc, qbc := outs[sim.UNC], outs[sim.QBC]
+	b.ReportMetric(float64(unc.Plain.UndoneTime), "UNC_undone_plain")
+	b.ReportMetric(float64(unc.Replay.UndoneTime), "UNC_undone_replay")
+	b.ReportMetric(float64(unc.Replay.ReplayedMessages), "UNC_replayed_msgs")
+	b.ReportMetric(float64(qbc.Plain.UndoneTime), "QBC_undone_plain")
+	b.ReportMetric(float64(qbc.Replay.UndoneTime), "QBC_undone_replay")
 }
 
 // BenchmarkAblationQBCRule quantifies QBC's equivalence rule: with the

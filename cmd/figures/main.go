@@ -44,6 +44,7 @@ func main() {
 		scalability = flag.Bool("scalability", false, "print the host-count scalability table (E14)")
 		proxy       = flag.Bool("proxy", false, "print the MSS-proxy energy table (E15)")
 		joins       = flag.Bool("joins", false, "print the dynamic-membership cost table (E16)")
+		replay      = flag.Bool("replay", false, "print the message-logging & replay-recovery table (E18)")
 		plot        = flag.Bool("plot", false, "render figures as ASCII log-log charts instead of tables")
 		pcomm       = flag.Float64("pcomm", 0.05, "probability an operation is a communication (calibration knob)")
 		csv         = flag.Bool("csv", false, "print CSV instead of aligned tables")
@@ -119,6 +120,9 @@ func main() {
 	case *joins:
 		tab, err := sim.JoinsTable(base, seedSet)
 		emit("joins", tab, err)
+	case *replay:
+		tab, err := sim.ReplayTable(base, seedSet)
+		emit("replay", tab, err)
 	case *fig != 0:
 		spec, err := sim.Figure(*fig)
 		if err != nil {

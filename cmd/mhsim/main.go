@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"mobickpt/internal/des"
+	"mobickpt/internal/mlog"
 	"mobickpt/internal/sim"
 	"mobickpt/internal/stats"
 )
@@ -36,6 +37,8 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit the single-run result as JSON")
 		checks     = flag.Bool("checks", false, "run the invariant checker during the simulation (fails on any violation)")
 		audit      = flag.Bool("audit", false, "run the determinism/ablation audit: re-run each protocol alone and require exact agreement with the shared trace")
+		logMode    = flag.String("log", "off", "MSS message logging: off, pessimistic or optimistic")
+		logBatch   = flag.Int("logbatch", 0, "optimistic flush batch (0 = mlog default)")
 	)
 	flag.Parse()
 
@@ -51,6 +54,18 @@ func main() {
 	cfg.Horizon = des.Time(*horizon)
 	cfg.SnapshotPeriod = des.Time(*snapshot)
 	cfg.Checks = *checks
+	mode, err := mlog.ParseMode(*logMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mhsim:", err)
+		os.Exit(2)
+	}
+	cfg.MessageLog = mode
+	cfg.LogFlushBatch = *logBatch
+	if cfg.Checks && mode != mlog.Off {
+		// The log-reconciliation invariants compare the log against the
+		// recorded trace.
+		cfg.RecordTrace = true
+	}
 	cfg.Protocols = nil
 	for _, p := range strings.Split(*protos, ",") {
 		cfg.Protocols = append(cfg.Protocols, sim.ProtocolName(strings.TrimSpace(p)))
@@ -118,6 +133,18 @@ func printRun(res *sim.Result, verbose bool) {
 			fmt.Sprint(pr.PiggybackBytes), fmt.Sprint(pr.CtrlMessages))
 	}
 	fmt.Print(tab)
+	if res.Config.MessageLog != mlog.Off {
+		lt := stats.NewTable(
+			fmt.Sprintf("MSS message log (%s)", res.Config.MessageLog),
+			"protocol", "appended", "flushes", "stable(B)", "handoffs", "xfer(B)", "pruned")
+		for _, pr := range res.Protocols {
+			lt.AddRow(string(pr.Name),
+				fmt.Sprint(pr.Log.Appended), fmt.Sprint(pr.Log.Flushes),
+				fmt.Sprint(pr.Log.StableBytes), fmt.Sprint(pr.Log.Handoffs),
+				fmt.Sprint(pr.Log.TransferBytes), fmt.Sprint(pr.Log.Pruned))
+		}
+		fmt.Print(lt)
+	}
 	if verbose {
 		fmt.Printf("\nworkload: %+v\n", res.Workload)
 		fmt.Printf("network:  %+v\n", res.Network)

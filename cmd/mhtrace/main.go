@@ -88,6 +88,9 @@ func summarize(path string) error {
 		return err
 	}
 	fmt.Printf("%s: %d hosts, %d delivered messages\n", path, tr.NumHosts(), tr.Len())
+	handoffs, disconnects, reconnects := tr.MobilityCounts()
+	fmt.Printf("mobility: %d hand-offs, %d disconnections, %d reconnections\n",
+		handoffs, disconnects, reconnects)
 	if tr.Len() == 0 {
 		return nil
 	}

@@ -7,6 +7,11 @@
 //
 // The uncoordinated baseline (UNC) is included to exhibit the domino
 // effect the communication-induced protocols are designed to avoid.
+//
+// With -log pessimistic|optimistic the run logs every delivery on the
+// MSSs (internal/mlog) and the table gains the replay-aware columns:
+// what recovery still undoes when rolled-back hosts replay their stably
+// logged messages (E18's mechanism under E8's failure model).
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"os"
 
 	"mobickpt/internal/des"
+	"mobickpt/internal/mlog"
 	"mobickpt/internal/mobile"
 	"mobickpt/internal/recovery"
 	"mobickpt/internal/sim"
@@ -31,8 +37,15 @@ func main() {
 		seeds   = flag.Int("seeds", 3, "replication seeds")
 		seed    = flag.Uint64("seed", 1, "base seed")
 		failed  = flag.Int("failed", 0, "host that crashes at the horizon")
+		logMode = flag.String("log", "off", "MSS message logging: off, pessimistic or optimistic")
 	)
 	flag.Parse()
+
+	mode, err := mlog.ParseMode(*logMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "recovery:", err)
+		os.Exit(2)
+	}
 
 	cfg := sim.DefaultConfig()
 	cfg.Workload.TSwitch = *tswitch
@@ -41,9 +54,11 @@ func main() {
 	cfg.Horizon = des.Time(*horizon)
 	cfg.Protocols = []sim.ProtocolName{sim.TP, sim.BCS, sim.QBC, sim.UNC}
 	cfg.RecordTrace = true
+	cfg.MessageLog = mode
 
 	type acc struct {
 		hosts, undoneTime, maxRollback, undoneMsgs, domino, excess stats.Mean
+		replayHosts, replayUndone, replayed                        stats.Mean
 	}
 	accs := make(map[sim.ProtocolName]*acc)
 	for _, p := range cfg.Protocols {
@@ -60,7 +75,12 @@ func main() {
 		}
 		for i := range res.Protocols {
 			pr := &res.Protocols[i]
-			m := analyze(pr, c.Mobile.NumHosts, mobile.HostID(*failed), c.Horizon)
+			out, err := sim.AnalyzeReplay(pr, c.Mobile.NumHosts, mobile.HostID(*failed), c.Horizon)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "recovery:", err)
+				os.Exit(1)
+			}
+			m := out.Plain
 			// The yardstick: the best any recovery scheme could do with
 			// this protocol's checkpoints.
 			optimal := recovery.MaximalCut(pr.Trace, pr.Store, c.Mobile.NumHosts, mobile.HostID(*failed))
@@ -74,40 +94,36 @@ func main() {
 			a.undoneMsgs.Add(float64(m.UndoneMessages))
 			a.domino.Add(float64(m.DominoSteps))
 			a.excess.Add(float64(m.UndoneTime - mo.UndoneTime))
+			a.replayHosts.Add(float64(out.Replay.RolledBackHosts))
+			a.replayUndone.Add(float64(out.Replay.UndoneTime))
+			a.replayed.Add(float64(out.Replay.ReplayedMessages))
 		}
 	}
 
+	cols := []string{"protocol", "hosts rolled back", "undone time", "max rollback", "undone msgs", "domino steps", "excess vs optimal"}
+	if mode != mlog.Off {
+		cols = append(cols, "hosts (replay)", "undone (replay)", "replayed msgs")
+	}
 	tab := stats.NewTable(
-		fmt.Sprintf("Recovery after failure of host %d at t=%.0f (E8; %d seeds, Tswitch=%.0f, Pswitch=%.2f, H=%.0f%%)",
-			*failed, *horizon, *seeds, *tswitch, *pswitch, *het*100),
-		"protocol", "hosts rolled back", "undone time", "max rollback", "undone msgs", "domino steps", "excess vs optimal")
+		fmt.Sprintf("Recovery after failure of host %d at t=%.0f (E8; %d seeds, Tswitch=%.0f, Pswitch=%.2f, H=%.0f%%, log=%s)",
+			*failed, *horizon, *seeds, *tswitch, *pswitch, *het*100, mode),
+		cols...)
 	for _, p := range cfg.Protocols {
 		a := accs[p]
-		tab.AddRow(string(p),
+		row := []string{string(p),
 			fmt.Sprintf("%.1f", a.hosts.Mean()),
 			fmt.Sprintf("%.0f", a.undoneTime.Mean()),
 			fmt.Sprintf("%.0f", a.maxRollback.Mean()),
 			fmt.Sprintf("%.0f", a.undoneMsgs.Mean()),
 			fmt.Sprintf("%.1f", a.domino.Mean()),
-			fmt.Sprintf("%.0f", a.excess.Mean()))
+			fmt.Sprintf("%.0f", a.excess.Mean())}
+		if mode != mlog.Off {
+			row = append(row,
+				fmt.Sprintf("%.1f", a.replayHosts.Mean()),
+				fmt.Sprintf("%.0f", a.replayUndone.Mean()),
+				fmt.Sprintf("%.0f", a.replayed.Mean()))
+		}
+		tab.AddRow(row...)
 	}
 	fmt.Print(tab)
-}
-
-// analyze seeds the protocol-appropriate recovery line, propagates to
-// consistency, and measures the rollback.
-func analyze(pr *sim.ProtocolResult, n int, failed mobile.HostID, failTime des.Time) recovery.Metrics {
-	var seed recovery.Cut
-	switch pr.Name {
-	case sim.TP:
-		seed = recovery.VectorCut(pr.Store, sim.TPMeta(pr), n, failed)
-	case sim.BCS, sim.QBC:
-		seed = recovery.LatestIndexCut(pr.Store, n, failed)
-	default:
-		seed = recovery.FailureCut(pr.Store, n, failed)
-	}
-	cut, steps := recovery.Propagate(pr.Trace, seed)
-	return recovery.Measure(pr.Trace, cut,
-		func(h mobile.HostID) []*storage.Record { return pr.Store.Chain(h) },
-		failTime, steps)
 }

@@ -1,0 +1,141 @@
+package check
+
+import (
+	"fmt"
+
+	"mobickpt/internal/mlog"
+	"mobickpt/internal/mobile"
+	"mobickpt/internal/recovery"
+	"mobickpt/internal/trace"
+)
+
+// LogReconciliation verifies an MSS message log against the recorded
+// trace of the same execution:
+//
+//   - every delivered message was logged, in delivery order, with
+//     matching identity (message id, sender) and receiver position;
+//   - per-host receiver positions are nondecreasing (the determinized
+//     delivery order the log replays in);
+//   - the stable frontier is a prefix of the appended entries, and under
+//     pessimistic logging covers all of them (log-before-deliver);
+//   - the log holds no entry the trace cannot account for.
+//
+// Entries already pruned by garbage collection are exempt from content
+// checks (their receives precede every restorable checkpoint).
+func LogReconciliation(proto string, lg *mlog.Log, tr *trace.Trace, n int) Violations {
+	var vs Violations
+	violate := func(h mobile.HostID, detail string) {
+		if len(vs) >= maxViolations {
+			return
+		}
+		vs = append(vs, &Violation{Protocol: proto, Host: h, Rule: "log-reconcile", Detail: detail})
+	}
+
+	delivered := make([]int, n)
+	lastRecv := make([]int, n)
+	for i := range lastRecv {
+		lastRecv[i] = -1
+	}
+	for _, ev := range tr.Events() {
+		h := ev.To
+		seq := delivered[h]
+		delivered[h]++
+		if ev.RecvCount < lastRecv[h] {
+			violate(h, fmt.Sprintf("delivery %d has receiver position %d after position %d (order not determinized)",
+				seq, ev.RecvCount, lastRecv[h]))
+		}
+		lastRecv[h] = ev.RecvCount
+		if seq < lg.RetainedFrom(h) {
+			continue // pruned by GC: content no longer available by design
+		}
+		e := lg.EntryAt(h, seq)
+		if e == nil {
+			violate(h, fmt.Sprintf("delivery %d (msg %d) has no log entry", seq, ev.ID))
+			continue
+		}
+		if e.MsgID != ev.ID || e.From != ev.From {
+			violate(h, fmt.Sprintf("log entry %d records msg %d from %d, trace has msg %d from %d",
+				seq, e.MsgID, e.From, ev.ID, ev.From))
+		}
+		if e.RecvCount != ev.RecvCount {
+			violate(h, fmt.Sprintf("log entry %d records receiver position %d, trace has %d",
+				seq, e.RecvCount, ev.RecvCount))
+		}
+	}
+	for h := 0; h < n; h++ {
+		id := mobile.HostID(h)
+		if got := lg.AppendedCount(id); got != delivered[h] {
+			violate(id, fmt.Sprintf("log holds %d entries, trace delivered %d messages", got, delivered[h]))
+		}
+		if sb, ap := lg.StableBound(id), lg.AppendedCount(id); sb > ap {
+			violate(id, fmt.Sprintf("stable frontier %d exceeds appended count %d", sb, ap))
+		}
+		if lg.Mode() == mlog.Pessimistic && lg.PendingCount(id) != 0 {
+			violate(id, fmt.Sprintf("pessimistic log has %d unflushed entries", lg.PendingCount(id)))
+		}
+	}
+	return vs
+}
+
+// ReplayReconciliation verifies an executed replay against the trace:
+// every replayed entry must be a stably logged delivery the cut undid,
+// re-delivered in its original per-host order with no gap after the
+// restored checkpoint. replayed maps each host to the entries it
+// re-delivered, in replay order.
+func ReplayReconciliation(proto string, lg *mlog.Log, tr *trace.Trace, cut recovery.Cut, replayed map[mobile.HostID][]*mlog.Entry) Violations {
+	var vs Violations
+	violate := func(h mobile.HostID, detail string) {
+		if len(vs) >= maxViolations {
+			return
+		}
+		vs = append(vs, &Violation{Protocol: proto, Host: h, Rule: "replay-reconcile", Detail: detail})
+	}
+
+	// Index trace deliveries by (host, per-host seq).
+	byHost := make(map[mobile.HostID][]trace.MessageEvent)
+	for _, ev := range tr.Events() {
+		byHost[ev.To] = append(byHost[ev.To], ev)
+	}
+	for h, entries := range replayed {
+		ord := recovery.End
+		if int(h) < len(cut) {
+			ord = cut[h]
+		}
+		if ord == recovery.End && len(entries) > 0 {
+			violate(h, "host replayed messages without rolling back")
+			continue
+		}
+		prev := -1
+		for i, e := range entries {
+			if e.Seq >= lg.StableBound(h) {
+				violate(h, fmt.Sprintf("replayed entry %d was never stably logged (stable frontier %d)", e.Seq, lg.StableBound(h)))
+			}
+			if e.Seq <= prev {
+				violate(h, fmt.Sprintf("replay order regressed: entry %d after %d", e.Seq, prev))
+			}
+			if i > 0 && e.Seq != prev+1 {
+				violate(h, fmt.Sprintf("replay gap: entry %d follows %d", e.Seq, prev))
+			}
+			prev = e.Seq
+			if e.RecvCount <= ord {
+				violate(h, fmt.Sprintf("replayed entry %d was not undone (position %d, restored ordinal %d)", e.Seq, e.RecvCount, ord))
+			}
+			evs := byHost[h]
+			if e.Seq < 0 || e.Seq >= len(evs) {
+				violate(h, fmt.Sprintf("replayed entry %d has no trace delivery", e.Seq))
+				continue
+			}
+			ev := evs[e.Seq]
+			if ev.ID != e.MsgID || ev.From != e.From || ev.RecvCount != e.RecvCount {
+				violate(h, fmt.Sprintf("replayed entry %d (msg %d from %d at %d) mismatches trace delivery (msg %d from %d at %d)",
+					e.Seq, e.MsgID, e.From, e.RecvCount, ev.ID, ev.From, ev.RecvCount))
+			}
+		}
+		// No gap at the start either: the first undone stably logged
+		// delivery must be the first replayed one.
+		if want := lg.ReplayFrom(h, ord); len(want) != len(entries) {
+			violate(h, fmt.Sprintf("replayed %d entries, log holds %d replayable ones", len(entries), len(want)))
+		}
+	}
+	return vs
+}

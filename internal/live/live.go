@@ -26,6 +26,7 @@ import (
 	"runtime"
 	"sync"
 
+	"mobickpt/internal/mlog"
 	"mobickpt/internal/mobile"
 	"mobickpt/internal/protocol"
 	"mobickpt/internal/rng"
@@ -57,6 +58,15 @@ type Config struct {
 	// OpsPerHost operations like everyone else.
 	Joins int
 	Seed  uint64
+
+	// LogMode enables MSS-resident message logging (internal/mlog):
+	// stations log every delivery, hand-offs ship the log between
+	// stations as wire.LogTransfer frames, and Recover replays logged
+	// messages past the restored checkpoints.
+	LogMode mlog.Mode
+	// LogFlushBatch overrides the optimistic flush threshold (0 keeps
+	// the mlog default).
+	LogFlushBatch int
 }
 
 // DefaultConfig returns a small cluster that exercises every mechanism.
@@ -89,6 +99,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("live: DupProbability = %v out of [0,1]", c.DupProbability)
 	case c.Joins < 0:
 		return fmt.Errorf("live: Joins = %d, need >= 0", c.Joins)
+	case c.LogMode != mlog.Off && c.LogMode != mlog.Pessimistic && c.LogMode != mlog.Optimistic:
+		return fmt.Errorf("live: LogMode %v unknown", c.LogMode)
+	case c.LogFlushBatch < 0:
+		return fmt.Errorf("live: LogFlushBatch = %d, need >= 0", c.LogFlushBatch)
 	}
 	return nil
 }
@@ -118,6 +132,9 @@ type Counters struct {
 	// FrameBytes is the total encoded packet volume that crossed the
 	// channels (header + piggyback, per internal/wire).
 	FrameBytes int64
+	// LogFrameBytes is the encoded wire.LogTransfer volume that moved
+	// message logs between stations on hand-offs (also in FrameBytes).
+	LogFrameBytes int64
 	// StateBytes is the checkpoint state volume shipped host->station;
 	// WiredStateBytes is the base-image volume fetched station->station.
 	StateBytes      int64
@@ -134,6 +151,11 @@ type Cluster struct {
 	proto protocol.Protocol
 	store *storage.Store
 	tr    *trace.Trace
+	// mlog is the MSS message log, nil unless Config.LogMode enables
+	// it. All mutations happen under mu (deliveries, hand-off
+	// transfers, disconnect flushes are protocol events already
+	// serialized there).
+	mlog *mlog.Log
 
 	// mu serializes protocol/store/trace access. The protocol state is
 	// per-host, so a production system would stripe this lock by host;
@@ -204,6 +226,17 @@ func NewCluster(cfg Config, mk NewProtocol) (*Cluster, error) {
 	for s := range c.wired {
 		c.wired[s] = make(chan packet, capacity)
 	}
+	if cfg.LogMode != mlog.Off {
+		lcfg := mlog.DefaultConfig(cfg.LogMode)
+		if cfg.LogFlushBatch > 0 {
+			lcfg.FlushBatch = cfg.LogFlushBatch
+		}
+		lg, err := mlog.New(lcfg)
+		if err != nil {
+			return nil, err
+		}
+		c.mlog = lg
+	}
 	c.proto = mk(cfg.Hosts, c.checkpointer(), c.store)
 	return c, nil
 }
@@ -247,6 +280,10 @@ func (c *Cluster) Protocol() protocol.Protocol { return c.proto }
 
 // Counters returns the run summary (after Run returns).
 func (c *Cluster) Counters() Counters { return c.counters }
+
+// MLog returns the MSS message log, or nil when logging is off (safe to
+// read after Run returns).
+func (c *Cluster) MLog() *mlog.Log { return c.mlog }
 
 // Run executes the whole cluster to completion: it starts one goroutine
 // per station and per host, waits for every host to retire, and then
@@ -492,6 +529,12 @@ func (c *Cluster) deliver(h mobile.HostID, pkt packet, seen map[uint64]bool) {
 	c.mu.Lock()
 	c.proto.OnDeliver(h, p.From, p.Piggyback)
 	c.tr.RecordDeliver(p.ID, c.counts[h], 0)
+	if c.mlog != nil {
+		c.dirMu.Lock()
+		at := c.station[h]
+		c.dirMu.Unlock()
+		c.mlog.Append(h, p.From, p.ID, c.counts[h], 0, mobile.MSSID(at))
+	}
 	c.mu.Unlock()
 	c.countersMu.Lock()
 	c.counters.Delivered++
@@ -512,10 +555,51 @@ func (c *Cluster) switchCell(h mobile.HostID, src *rng.Source) {
 
 	c.mu.Lock()
 	c.proto.OnCellSwitch(h, mobile.MSSID(next))
+	var entries []*mlog.Entry
+	if c.mlog != nil {
+		entries = c.mlog.Handoff(h, mobile.MSSID(next))
+	}
 	c.mu.Unlock()
+
+	if c.mlog != nil {
+		c.transferLog(h, mobile.MSSID(cur), mobile.MSSID(next), entries)
+	}
 
 	c.countersMu.Lock()
 	c.counters.Switches++
+	c.countersMu.Unlock()
+}
+
+// transferLog ships a hand-off's log entries between stations as an
+// encoded wire.LogTransfer frame, decoding it on arrival like any other
+// network unit (the piggyback really crosses the wire as bytes).
+func (c *Cluster) transferLog(h mobile.HostID, from, to mobile.MSSID, entries []*mlog.Entry) {
+	xfer := &wire.LogTransfer{Host: h, FromMSS: from, ToMSS: to}
+	for _, e := range entries {
+		xfer.Records = append(xfer.Records, wire.LogRecord{
+			Seq:       uint64(e.Seq),
+			MsgID:     e.MsgID,
+			From:      e.From,
+			RecvCount: int64(e.RecvCount),
+			At:        float64(e.At),
+		})
+	}
+	frame, err := wire.EncodeFrame(xfer)
+	if err != nil {
+		panic("live: " + err.Error()) // log produced an unencodable transfer
+	}
+	got, err := wire.DecodeFrame(frame)
+	bad := err != nil
+	if !bad {
+		dec, ok := got.(*wire.LogTransfer)
+		bad = !ok || dec.Host != h || len(dec.Records) != len(entries)
+	}
+	c.countersMu.Lock()
+	c.counters.FrameBytes += int64(len(frame))
+	c.counters.LogFrameBytes += int64(len(frame))
+	if bad {
+		c.counters.DecodeErrors++
+	}
 	c.countersMu.Unlock()
 }
 
@@ -524,6 +608,10 @@ func (c *Cluster) switchCell(h mobile.HostID, src *rng.Source) {
 func (c *Cluster) disconnect(h mobile.HostID) {
 	c.mu.Lock()
 	c.proto.OnDisconnect(h)
+	if c.mlog != nil {
+		// The delivery stream pauses: make the logged prefix durable.
+		c.mlog.Flush(h)
+	}
 	c.mu.Unlock()
 	c.countersMu.Lock()
 	c.counters.Disconnect++

@@ -3,9 +3,12 @@ package live
 import (
 	"fmt"
 
+	"mobickpt/internal/check"
+	"mobickpt/internal/mlog"
 	"mobickpt/internal/mobile"
 	"mobickpt/internal/recovery"
 	"mobickpt/internal/statestore"
+	"mobickpt/internal/trace"
 )
 
 // RecoveryReport describes an executed rollback.
@@ -19,6 +22,12 @@ type RecoveryReport struct {
 	BytesRestored int64
 	// DominoSteps is the propagation work beyond the seed line.
 	DominoSteps int
+	// Replayed maps each rolled-back host to the number of logged
+	// messages it re-delivered past its restored checkpoint (message
+	// logging only).
+	Replayed map[mobile.HostID]int
+	// ReplayedMessages is the total across Replayed.
+	ReplayedMessages int
 }
 
 // Recover executes a crash recovery on a finished cluster: host failed
@@ -33,6 +42,12 @@ type RecoveryReport struct {
 // restarts with the application when the computation resumes, exactly as
 // a restarted process would re-read it from the restored checkpoint.
 //
+// With message logging enabled the propagation is replay-aware: a
+// receive whose message is stably logged is not an orphan-producing
+// event, so it never forces the receiver back. Each rolled-back host
+// then replays its logged suffix, and the replay is reconciled against
+// the trace (internal/check) before the report is returned.
+//
 // Call after Run has returned (the cluster is quiescent).
 func (c *Cluster) Recover(failed mobile.HostID) (*RecoveryReport, error) {
 	if int(failed) < 0 || int(failed) >= len(c.states) {
@@ -43,8 +58,19 @@ func (c *Cluster) Recover(failed mobile.HostID) (*RecoveryReport, error) {
 	if seed[failed] == recovery.End {
 		seed = recovery.FailureCut(c.store, n, failed)
 	}
-	cut, steps := recovery.Propagate(c.tr, seed)
-	if o := recovery.Orphans(c.tr, cut); o != 0 {
+	var logged recovery.LoggedFunc
+	if c.mlog != nil {
+		// With a stable message log only the failed host needs to roll
+		// back a priori: every other host's state stays justified by the
+		// logged messages, so the seed is the bare failure cut and
+		// replay-aware propagation handles any unlogged residue.
+		seed = recovery.FailureCut(c.store, n, failed)
+		logged = func(ev trace.MessageEvent, seq int) bool {
+			return seq < c.mlog.StableBound(ev.To)
+		}
+	}
+	cut, steps := recovery.PropagateReplay(c.tr, seed, logged)
+	if o := recovery.UnloggedOrphans(c.tr, cut, logged); o != 0 {
 		return nil, fmt.Errorf("live: recovery cut still has %d orphans", o)
 	}
 
@@ -52,8 +78,10 @@ func (c *Cluster) Recover(failed mobile.HostID) (*RecoveryReport, error) {
 		Failed:      failed,
 		Cut:         cut,
 		Restored:    make(map[mobile.HostID]int),
+		Replayed:    make(map[mobile.HostID]int),
 		DominoSteps: steps,
 	}
+	replayed := make(map[mobile.HostID][]*mlog.Entry)
 	for h, ord := range cut {
 		if ord == recovery.End {
 			continue
@@ -73,6 +101,13 @@ func (c *Cluster) Recover(failed mobile.HostID) (*RecoveryReport, error) {
 		rep.BytesRestored += int64(len(im.Data))
 		rep.Restored[mobile.HostID(h)] = ord
 
+		if c.mlog != nil {
+			entries := c.mlog.ReplayFrom(mobile.HostID(h), ord)
+			replayed[mobile.HostID(h)] = entries
+			rep.Replayed[mobile.HostID(h)] = len(entries)
+			rep.ReplayedMessages += len(entries)
+		}
+
 		// Re-baseline: the restored state becomes a fresh full checkpoint
 		// so the incremental chain continues gap-free after recovery.
 		seq := c.counts[h]
@@ -80,6 +115,11 @@ func (c *Cluster) Recover(failed mobile.HostID) (*RecoveryReport, error) {
 		delta := c.states[h].Checkpoint(seq, true)
 		if _, err := c.group.Station(c.station[h]).Apply(h, delta); err != nil {
 			return nil, fmt.Errorf("live: host %d re-baseline: %w", h, err)
+		}
+	}
+	if c.mlog != nil {
+		if vs := check.ReplayReconciliation("live", c.mlog, c.tr, cut, replayed); len(vs) > 0 {
+			return nil, fmt.Errorf("live: replay reconciliation failed: %w", vs)
 		}
 	}
 	return rep, nil

@@ -1,0 +1,349 @@
+// Package mlog implements MSS-resident message logging, the standard
+// remedy for the undone-computation problem the paper's §6 defers: the
+// support stations keep, on stable storage, a log of every application
+// message delivered to each mobile host, keyed by host and delivery
+// order. After a rollback a recovering host replays the logged messages
+// past its restored checkpoint; under the piecewise-deterministic
+// assumption the replay reconstructs the computation up to the first
+// delivery that is not stably logged, shrinking both the computation a
+// failure undoes and the rollback's propagation (a receive whose message
+// survives in a stable log is no longer an orphan-producing event — the
+// receiver's state remains justified by stable storage even when the
+// send is undone).
+//
+// Two disciplines are provided:
+//
+//   - Pessimistic (log-before-deliver): every entry is synchronously
+//     flushed to the MSS stable storage before the application proceeds.
+//     Nothing delivered is ever lost, at the price of one stable write
+//     per message.
+//   - Optimistic (batched flush): entries accumulate in the MSS's
+//     volatile buffer and reach stable storage in batches of FlushBatch.
+//     A failure loses the unflushed suffix, bounding the stable-write
+//     rate by 1/FlushBatch per message.
+//
+// The log follows its host: a hand-off transfers the retained stable
+// entries to the new station over the wired network (write-through — the
+// transfer flushes any pending suffix first), mirroring the checkpoint
+// transfer of §2.2. Garbage collection is tied to the recovery-line
+// frontier of internal/recovery: an entry whose receive precedes every
+// checkpoint a future recovery line can restore is unreplayable by
+// construction and is discarded.
+package mlog
+
+import (
+	"fmt"
+
+	"mobickpt/internal/des"
+	"mobickpt/internal/mobile"
+)
+
+// Mode selects the logging discipline.
+type Mode int
+
+const (
+	// Off disables message logging.
+	Off Mode = iota
+	// Pessimistic flushes every entry to stable storage before the
+	// delivery is handed to the application.
+	Pessimistic
+	// Optimistic buffers entries in MSS volatile memory and flushes them
+	// in batches; a failure loses the unflushed suffix.
+	Optimistic
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Off:
+		return "off"
+	case Pessimistic:
+		return "pessimistic"
+	case Optimistic:
+		return "optimistic"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode converts a flag value to a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "off", "":
+		return Off, nil
+	case "pessimistic":
+		return Pessimistic, nil
+	case "optimistic":
+		return Optimistic, nil
+	default:
+		return Off, fmt.Errorf("mlog: unknown mode %q (off, pessimistic, optimistic)", s)
+	}
+}
+
+// Config parameterizes a log.
+type Config struct {
+	Mode Mode
+	// FlushBatch is the optimistic flush threshold: a host's pending
+	// entries are written to stable storage once this many accumulate.
+	// Ignored by Pessimistic (every entry flushes alone).
+	FlushBatch int
+	// EntryBytes is the accounted stable-storage size of one log entry
+	// (message identity, positions, payload reference).
+	EntryBytes int64
+}
+
+// DefaultConfig returns the default parameters for mode: batches of 8
+// entries, 64 bytes per entry.
+func DefaultConfig(mode Mode) Config {
+	return Config{Mode: mode, FlushBatch: 8, EntryBytes: 64}
+}
+
+// Validate reports a descriptive error for bad configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.Mode != Pessimistic && c.Mode != Optimistic:
+		return fmt.Errorf("mlog: mode %v is not a logging mode", c.Mode)
+	case c.Mode == Optimistic && c.FlushBatch <= 0:
+		return fmt.Errorf("mlog: FlushBatch = %d, need > 0 for optimistic logging", c.FlushBatch)
+	case c.EntryBytes <= 0:
+		return fmt.Errorf("mlog: EntryBytes = %d, need > 0", c.EntryBytes)
+	}
+	return nil
+}
+
+// Entry is one logged delivery.
+type Entry struct {
+	Host mobile.HostID
+	// Seq is the per-host delivery ordinal, 0-based: the Seq-th message
+	// delivered to Host. Replay re-delivers entries in Seq order.
+	Seq   int
+	MsgID uint64
+	From  mobile.HostID
+	// RecvCount is the number of checkpoints Host had taken when the
+	// message was delivered (after any forced checkpoint), the same
+	// position trace.MessageEvent records. Restoring checkpoint ordinal x
+	// undoes this receive iff RecvCount > x.
+	RecvCount int
+	At        des.Time
+}
+
+// Counters aggregates the log's stable-storage and transfer activity.
+type Counters struct {
+	Appended       int64 // entries logged
+	Flushes        int64 // stable-write operations
+	FlushedEntries int64 // entries made stable
+	StableBytes    int64 // volume written to stable storage
+	Handoffs       int64 // log transfers between stations
+	TransferBytes  int64 // volume shipped over the wired network
+	Pruned         int64 // entries discarded by garbage collection
+	// PeakStableEntries is the largest number of retained stable entries
+	// across all hosts at any point.
+	PeakStableEntries int64
+}
+
+// hostLog is one host's log state.
+type hostLog struct {
+	stable  []*Entry // flushed and retained, ascending Seq
+	pending []*Entry // buffered in MSS volatile memory (Optimistic)
+	nextSeq int      // seq the next Append receives
+	// stableSeq is the stable frontier: every entry with Seq < stableSeq
+	// has reached stable storage (possibly pruned since). Monotonic.
+	stableSeq int
+	// minSeq is the GC frontier: entries with Seq < minSeq were pruned.
+	minSeq int
+	mss    mobile.MSSID // station holding the stable log
+}
+
+// Log is the MSS-resident message log of one computation (all hosts).
+type Log struct {
+	cfg      Config
+	hosts    map[mobile.HostID]*hostLog
+	retained int64 // current stable entries across hosts
+	counters Counters
+}
+
+// New creates an empty log. cfg.Mode must be Pessimistic or Optimistic.
+func New(cfg Config) (*Log, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Log{cfg: cfg, hosts: make(map[mobile.HostID]*hostLog)}, nil
+}
+
+// Mode returns the logging discipline.
+func (l *Log) Mode() Mode { return l.cfg.Mode }
+
+// Counters returns a snapshot of the accumulated activity.
+func (l *Log) Counters() Counters { return l.counters }
+
+func (l *Log) host(h mobile.HostID) *hostLog {
+	hl := l.hosts[h]
+	if hl == nil {
+		hl = &hostLog{mss: mobile.NoMSS}
+		l.hosts[h] = hl
+	}
+	return hl
+}
+
+// Append logs one delivery to host h at station mss and returns the
+// entry. Pessimistic mode flushes it immediately; Optimistic buffers it
+// and flushes once FlushBatch entries are pending.
+func (l *Log) Append(h, from mobile.HostID, msgID uint64, recvCount int, at des.Time, mss mobile.MSSID) *Entry {
+	hl := l.host(h)
+	if hl.mss == mobile.NoMSS {
+		hl.mss = mss
+	}
+	e := &Entry{Host: h, Seq: hl.nextSeq, MsgID: msgID, From: from, RecvCount: recvCount, At: at}
+	hl.nextSeq++
+	hl.pending = append(hl.pending, e)
+	l.counters.Appended++
+	if l.cfg.Mode == Pessimistic || len(hl.pending) >= l.cfg.FlushBatch {
+		l.flush(hl)
+	}
+	return e
+}
+
+// flush moves hl's pending entries to stable storage as one write.
+func (l *Log) flush(hl *hostLog) {
+	if len(hl.pending) == 0 {
+		return
+	}
+	n := len(hl.pending)
+	hl.stable = append(hl.stable, hl.pending...)
+	hl.stableSeq = hl.pending[n-1].Seq + 1
+	hl.pending = hl.pending[:0]
+	l.counters.Flushes++
+	l.counters.FlushedEntries += int64(n)
+	l.counters.StableBytes += int64(n) * l.cfg.EntryBytes
+	l.retained += int64(n)
+	if l.retained > l.counters.PeakStableEntries {
+		l.counters.PeakStableEntries = l.retained
+	}
+}
+
+// Flush forces host h's pending entries to stable storage (the
+// environment calls it when a delivery gap makes the suffix durable
+// anyway, e.g. at disconnection).
+func (l *Log) Flush(h mobile.HostID) {
+	if hl := l.hosts[h]; hl != nil {
+		l.flush(hl)
+	}
+}
+
+// Handoff transfers host h's log to station to, following a cell switch.
+// The transfer writes through (pending entries flush first) and ships
+// the retained stable entries over the wired network. It returns the
+// entries transferred.
+func (l *Log) Handoff(h mobile.HostID, to mobile.MSSID) []*Entry {
+	hl := l.host(h)
+	l.flush(hl)
+	if hl.mss == to {
+		return nil
+	}
+	hl.mss = to
+	l.counters.Handoffs++
+	l.counters.TransferBytes += int64(len(hl.stable)) * l.cfg.EntryBytes
+	return hl.stable
+}
+
+// Holder returns the station holding host h's stable log, or NoMSS.
+func (l *Log) Holder(h mobile.HostID) mobile.MSSID {
+	if hl := l.hosts[h]; hl != nil {
+		return hl.mss
+	}
+	return mobile.NoMSS
+}
+
+// StableBound returns host h's stable frontier: every delivery with
+// Seq < StableBound survives a failure on MSS stable storage. Under
+// Pessimistic logging this equals AppendedCount.
+func (l *Log) StableBound(h mobile.HostID) int {
+	if hl := l.hosts[h]; hl != nil {
+		return hl.stableSeq
+	}
+	return 0
+}
+
+// AppendedCount returns the number of deliveries ever logged for host h.
+func (l *Log) AppendedCount(h mobile.HostID) int {
+	if hl := l.hosts[h]; hl != nil {
+		return hl.nextSeq
+	}
+	return 0
+}
+
+// PendingCount returns host h's buffered (volatile) entries.
+func (l *Log) PendingCount(h mobile.HostID) int {
+	if hl := l.hosts[h]; hl != nil {
+		return len(hl.pending)
+	}
+	return 0
+}
+
+// RetainedFrom returns the seq of host h's earliest retained stable
+// entry (entries below it were pruned by garbage collection).
+func (l *Log) RetainedFrom(h mobile.HostID) int {
+	if hl := l.hosts[h]; hl != nil {
+		return hl.minSeq
+	}
+	return 0
+}
+
+// EntryAt returns host h's entry with the given seq — stable or still
+// pending — or nil when it was pruned or never logged.
+func (l *Log) EntryAt(h mobile.HostID, seq int) *Entry {
+	hl := l.hosts[h]
+	if hl == nil || seq < hl.minSeq || seq >= hl.nextSeq {
+		return nil
+	}
+	if seq < hl.stableSeq {
+		return hl.stable[seq-hl.minSeq]
+	}
+	return hl.pending[seq-hl.stableSeq]
+}
+
+// ReplayFrom returns host h's stable entries whose receive a restore to
+// checkpoint ordinal restored undoes (RecvCount > restored), in delivery
+// order — exactly the messages a recovering host re-delivers. Entries
+// pruned by garbage collection never qualify: pruning requires that no
+// future recovery line restores below them.
+func (l *Log) ReplayFrom(h mobile.HostID, restored int) []*Entry {
+	hl := l.hosts[h]
+	if hl == nil {
+		return nil
+	}
+	// Stable entries are in ascending Seq order with nondecreasing
+	// RecvCount; the replay suffix starts at the first undone receive.
+	lo := 0
+	for lo < len(hl.stable) && hl.stable[lo].RecvCount <= restored {
+		lo++
+	}
+	return hl.stable[lo:]
+}
+
+// PruneDelivered garbage-collects host h's stable entries whose receive
+// no future recovery line can undo: entries with RecvCount <= frontier,
+// where frontier is the ordinal of the earliest checkpoint any future
+// line restores for h (see recovery.StableIndex). Per-host RecvCount is
+// nondecreasing, so this removes a prefix. It returns the number of
+// entries discarded.
+func (l *Log) PruneDelivered(h mobile.HostID, frontier int) int {
+	hl := l.hosts[h]
+	if hl == nil {
+		return 0
+	}
+	n := 0
+	for n < len(hl.stable) && hl.stable[n].RecvCount <= frontier {
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	hl.minSeq = hl.stable[n-1].Seq + 1
+	hl.stable = append([]*Entry(nil), hl.stable[n:]...)
+	l.retained -= int64(n)
+	l.counters.Pruned += int64(n)
+	return n
+}
+
+// StableEntries returns the retained stable entries across all hosts.
+func (l *Log) StableEntries() int64 { return l.retained }

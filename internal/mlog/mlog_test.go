@@ -1,0 +1,193 @@
+package mlog
+
+import (
+	"testing"
+
+	"mobickpt/internal/des"
+	"mobickpt/internal/mobile"
+)
+
+func newLog(t *testing.T, mode Mode, batch int) *Log {
+	t.Helper()
+	cfg := DefaultConfig(mode)
+	if batch > 0 {
+		cfg.FlushBatch = batch
+	}
+	lg, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return lg
+}
+
+func appendN(lg *Log, h mobile.HostID, n int, startRecv int) {
+	for i := 0; i < n; i++ {
+		lg.Append(h, 1, uint64(100+i), startRecv+i, des.Time(i), 0)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []Config{
+		{Mode: Off, FlushBatch: 8, EntryBytes: 64},
+		{Mode: Optimistic, FlushBatch: 0, EntryBytes: 64},
+		{Mode: Pessimistic, FlushBatch: 8, EntryBytes: 0},
+		{Mode: Mode(42), FlushBatch: 8, EntryBytes: 64},
+	}
+	for _, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", c)
+		}
+	}
+	if err := DefaultConfig(Pessimistic).Validate(); err != nil {
+		t.Errorf("default pessimistic config invalid: %v", err)
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for s, want := range map[string]Mode{"": Off, "off": Off, "pessimistic": Pessimistic, "optimistic": Optimistic} {
+		got, err := ParseMode(s)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Error("ParseMode(bogus) accepted")
+	}
+}
+
+func TestPessimisticFlushesEveryEntry(t *testing.T) {
+	lg := newLog(t, Pessimistic, 0)
+	appendN(lg, 0, 5, 1)
+	c := lg.Counters()
+	if c.Flushes != 5 || c.FlushedEntries != 5 {
+		t.Errorf("pessimistic: %d flushes of %d entries, want 5 of 5", c.Flushes, c.FlushedEntries)
+	}
+	if lg.StableBound(0) != 5 || lg.PendingCount(0) != 0 {
+		t.Errorf("stable bound %d pending %d, want 5 and 0", lg.StableBound(0), lg.PendingCount(0))
+	}
+	if c.StableBytes != 5*64 {
+		t.Errorf("StableBytes = %d, want %d", c.StableBytes, 5*64)
+	}
+}
+
+func TestOptimisticBatchesFlushes(t *testing.T) {
+	lg := newLog(t, Optimistic, 4)
+	appendN(lg, 0, 10, 1)
+	c := lg.Counters()
+	if c.Flushes != 2 || c.FlushedEntries != 8 {
+		t.Errorf("optimistic: %d flushes of %d entries, want 2 of 8", c.Flushes, c.FlushedEntries)
+	}
+	if lg.StableBound(0) != 8 || lg.PendingCount(0) != 2 {
+		t.Errorf("stable bound %d pending %d, want 8 and 2", lg.StableBound(0), lg.PendingCount(0))
+	}
+	lg.Flush(0)
+	if lg.StableBound(0) != 10 || lg.PendingCount(0) != 0 {
+		t.Errorf("after Flush: stable bound %d pending %d, want 10 and 0", lg.StableBound(0), lg.PendingCount(0))
+	}
+	if got := lg.Counters().Flushes; got != 3 {
+		t.Errorf("forced flush not counted: %d flushes, want 3", got)
+	}
+}
+
+func TestHandoffWritesThroughAndTransfers(t *testing.T) {
+	lg := newLog(t, Optimistic, 100)
+	appendN(lg, 0, 3, 1)
+	if lg.StableBound(0) != 0 {
+		t.Fatalf("premature flush: stable bound %d", lg.StableBound(0))
+	}
+	moved := lg.Handoff(0, 2)
+	if len(moved) != 3 {
+		t.Fatalf("handoff transferred %d entries, want 3", len(moved))
+	}
+	if lg.StableBound(0) != 3 || lg.PendingCount(0) != 0 {
+		t.Errorf("handoff did not write through: stable %d pending %d", lg.StableBound(0), lg.PendingCount(0))
+	}
+	if lg.Holder(0) != 2 {
+		t.Errorf("Holder = %d, want 2", lg.Holder(0))
+	}
+	c := lg.Counters()
+	if c.Handoffs != 1 || c.TransferBytes != 3*64 {
+		t.Errorf("handoff counters = %d transfers, %d bytes; want 1 and %d", c.Handoffs, c.TransferBytes, 3*64)
+	}
+	// Same-station hand-off is a no-op transfer.
+	if moved := lg.Handoff(0, 2); moved != nil {
+		t.Errorf("same-station handoff transferred %d entries", len(moved))
+	}
+	if got := lg.Counters().Handoffs; got != 1 {
+		t.Errorf("same-station handoff counted: %d", got)
+	}
+}
+
+func TestEntryAtAcrossPruning(t *testing.T) {
+	lg := newLog(t, Optimistic, 3)
+	appendN(lg, 0, 7, 1) // recv counts 1..7; seqs 0..6; stable 0..5, pending 6
+	if e := lg.EntryAt(0, 6); e == nil || e.MsgID != 106 {
+		t.Fatalf("EntryAt(pending) = %+v", e)
+	}
+	if n := lg.PruneDelivered(0, 2); n != 2 { // recv counts 1,2 -> seqs 0,1
+		t.Fatalf("pruned %d entries, want 2", n)
+	}
+	if lg.RetainedFrom(0) != 2 {
+		t.Errorf("RetainedFrom = %d, want 2", lg.RetainedFrom(0))
+	}
+	if e := lg.EntryAt(0, 1); e != nil {
+		t.Errorf("pruned entry still visible: %+v", e)
+	}
+	for seq := 2; seq <= 6; seq++ {
+		e := lg.EntryAt(0, seq)
+		if e == nil || e.Seq != seq || e.MsgID != uint64(100+seq) {
+			t.Errorf("EntryAt(%d) = %+v", seq, e)
+		}
+	}
+	if e := lg.EntryAt(0, 7); e != nil {
+		t.Errorf("EntryAt past end = %+v", e)
+	}
+	c := lg.Counters()
+	if c.Pruned != 2 {
+		t.Errorf("Pruned = %d, want 2", c.Pruned)
+	}
+	if lg.StableEntries() != 4 { // 6 stable - 2 pruned
+		t.Errorf("StableEntries = %d, want 4", lg.StableEntries())
+	}
+}
+
+func TestReplayFrom(t *testing.T) {
+	lg := newLog(t, Pessimistic, 0)
+	appendN(lg, 0, 6, 1) // recv counts 1..6
+	got := lg.ReplayFrom(0, 3)
+	if len(got) != 3 {
+		t.Fatalf("ReplayFrom(3) returned %d entries, want 3", len(got))
+	}
+	for i, e := range got {
+		if e.RecvCount != 4+i || e.Seq != 3+i {
+			t.Errorf("replay entry %d = seq %d recv %d", i, e.Seq, e.RecvCount)
+		}
+	}
+	if got := lg.ReplayFrom(0, 10); len(got) != 0 {
+		t.Errorf("ReplayFrom past frontier returned %d entries", len(got))
+	}
+	if got := lg.ReplayFrom(5, 0); got != nil {
+		t.Errorf("ReplayFrom of unknown host returned %d entries", len(got))
+	}
+	// Optimistic: the pending suffix must not replay.
+	og := newLog(t, Optimistic, 4)
+	appendN(og, 0, 6, 1) // 4 stable, 2 pending
+	if got := og.ReplayFrom(0, 0); len(got) != 4 {
+		t.Errorf("optimistic ReplayFrom replayed %d entries, want 4 (stable only)", len(got))
+	}
+}
+
+func TestPeakStableEntries(t *testing.T) {
+	lg := newLog(t, Pessimistic, 0)
+	appendN(lg, 0, 4, 1)
+	appendN(lg, 1, 2, 1)
+	lg.PruneDelivered(0, 4)
+	appendN(lg, 0, 1, 5)
+	c := lg.Counters()
+	if c.PeakStableEntries != 6 {
+		t.Errorf("PeakStableEntries = %d, want 6", c.PeakStableEntries)
+	}
+	if lg.StableEntries() != 3 {
+		t.Errorf("StableEntries = %d, want 3", lg.StableEntries())
+	}
+}

@@ -1,0 +1,148 @@
+package recovery
+
+import (
+	"mobickpt/internal/des"
+	"mobickpt/internal/mobile"
+	"mobickpt/internal/storage"
+	"mobickpt/internal/trace"
+)
+
+// This file is the replay-aware side of the recovery analysis: with
+// MSS-resident message logging (internal/mlog), a delivered message that
+// reached stable storage survives any rollback, which changes both the
+// orphan relation (PropagateReplay) and the computation a failure undoes
+// (MeasureReplay).
+
+// LoggedFunc reports whether the seq-th delivery to ev.To (0-based,
+// counting deliveries to that host in trace order) is stably logged at
+// an MSS. mlog-backed implementations return seq < log.StableBound(To).
+type LoggedFunc func(ev trace.MessageEvent, seq int) bool
+
+// deliverySeqs returns, for each trace event, its per-receiver delivery
+// ordinal — the position mlog keys its entries by.
+func deliverySeqs(tr *trace.Trace) []int {
+	seqs := make([]int, len(tr.Events()))
+	next := make(map[mobile.HostID]int)
+	for i, ev := range tr.Events() {
+		seqs[i] = next[ev.To]
+		next[ev.To]++
+	}
+	return seqs
+}
+
+// PropagateReplay runs orphan-elimination to a fixpoint like Propagate,
+// except that a message whose delivery is stably logged never rolls its
+// receiver back: even with the send undone, the message content and its
+// delivery order survive on MSS stable storage, so the receiver's state
+// stays justified and the message is re-deliverable on re-execution.
+// With logged == nil it degenerates to Propagate.
+func PropagateReplay(tr *trace.Trace, seed Cut, logged LoggedFunc) (Cut, int) {
+	if logged == nil {
+		return Propagate(tr, seed)
+	}
+	seqs := deliverySeqs(tr)
+	cut := seed.Clone()
+	steps := 0
+	for {
+		changed := false
+		for i, ev := range tr.Events() {
+			if ev.SendCount > cut[ev.From] && ev.RecvCount <= cut[ev.To] && !logged(ev, seqs[i]) {
+				cut[ev.To] = ev.RecvCount - 1
+				steps++
+				changed = true
+			}
+		}
+		if !changed {
+			return cut, steps
+		}
+	}
+}
+
+// UnloggedOrphans counts the messages of tr that are orphan with respect
+// to cut and not stably logged — the residue that would make a
+// replay-aware cut inconsistent. PropagateReplay's fixpoint has zero.
+func UnloggedOrphans(tr *trace.Trace, cut Cut, logged LoggedFunc) int {
+	if logged == nil {
+		return Orphans(tr, cut)
+	}
+	seqs := deliverySeqs(tr)
+	n := 0
+	for i, ev := range tr.Events() {
+		if ev.SendCount > cut[ev.From] && ev.RecvCount <= cut[ev.To] && !logged(ev, seqs[i]) {
+			n++
+		}
+	}
+	return n
+}
+
+// ReplayMetrics extends Metrics with the outcome of log-based replay.
+type ReplayMetrics struct {
+	Metrics
+	// ReplayedMessages is the number of undone receives reconstructed
+	// from stable MSS logs instead of being lost.
+	ReplayedMessages int
+	// ReplayedTime is the computation reconstructed by replay, summed
+	// over hosts: the span between each restored checkpoint and the last
+	// delivery replayed on it. Metrics.UndoneTime is already net of it.
+	ReplayedTime des.Time
+}
+
+// MeasureReplay computes the cost of restoring cut when rolled-back
+// hosts replay their stably logged deliveries. Each host restores its
+// checkpoint and re-delivers, in the original order, the logged messages
+// whose receive the rollback undid; under the piecewise-deterministic
+// assumption the replay reconstructs the computation up to the first
+// undone delivery that is not logged (a gap ends determinized replay).
+// Undone time and undone messages count only what replay cannot recover.
+func MeasureReplay(tr *trace.Trace, cut Cut, chains func(mobile.HostID) []*storage.Record, failTime des.Time, dominoSteps int, logged LoggedFunc) ReplayMetrics {
+	m := ReplayMetrics{Metrics: Metrics{DominoSteps: dominoSteps}}
+	seqs := deliverySeqs(tr)
+
+	// frontier[h] is the time replay reconstructs host h up to (the
+	// restored checkpoint's timestamp when nothing replays); broken[h]
+	// marks a host whose in-order replay hit an unlogged delivery.
+	frontier := make([]des.Time, len(cut))
+	broken := make([]bool, len(cut))
+	restoredAt := make([]des.Time, len(cut))
+	for h, x := range cut {
+		if x == End {
+			continue
+		}
+		m.RolledBackHosts++
+		chain := chains(mobile.HostID(h))
+		if x < len(chain) {
+			restoredAt[h] = chain[x].TakenAt
+		}
+		frontier[h] = restoredAt[h]
+	}
+	// Walk deliveries in trace (delivery) order: per host this is Seq
+	// order, so the first unlogged undone delivery ends that host's
+	// replayable prefix.
+	for i, ev := range tr.Events() {
+		x := cut[ev.To]
+		if x == End || ev.RecvCount <= x {
+			continue
+		}
+		if !broken[ev.To] && logged != nil && logged(ev, seqs[i]) {
+			m.ReplayedMessages++
+			if ev.DeliveredAt > frontier[ev.To] {
+				frontier[ev.To] = ev.DeliveredAt
+			}
+			continue
+		}
+		broken[ev.To] = true
+		m.UndoneMessages++
+	}
+	for h, x := range cut {
+		if x == End {
+			continue
+		}
+		lost := failTime - frontier[h]
+		m.UndoneTime += lost
+		m.ReplayedTime += frontier[h] - restoredAt[h]
+		if lost > m.MaxRollback {
+			m.MaxRollback = lost
+		}
+	}
+	return m
+}

@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"testing"
+
+	"mobickpt/internal/mlog"
+	"mobickpt/internal/recovery"
+)
+
+func protoRow(t *testing.T, name ProtocolName) int {
+	t.Helper()
+	for i, p := range AllProtocols() {
+		if p == name {
+			return i
+		}
+	}
+	t.Fatalf("no protocol %s", name)
+	return -1
+}
+
+// TestReplayTableLoggingReducesUndone is the E18 acceptance check: on
+// the same trace, pessimistic logging yields strictly less undone
+// computation than no logging for (at least) UNC and BCS, and optimistic
+// logging sits between the two extremes (it can at worst match no
+// logging, and never beats pessimistic).
+func TestReplayTableLoggingReducesUndone(t *testing.T) {
+	base, seeds := benchScale()
+	tab, err := ReplayTable(base, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != len(AllProtocols()) {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	for _, name := range []ProtocolName{UNC, BCS} {
+		i := protoRow(t, name)
+		none := cell(t, tab, i, 1)
+		opt := cell(t, tab, i, 2)
+		pess := cell(t, tab, i, 3)
+		if pess >= none {
+			t.Errorf("%s: pessimistic logging did not reduce undone time: %v >= %v", name, pess, none)
+		}
+		if opt > none || pess > opt {
+			t.Errorf("%s: undone not ordered pess <= opt <= none: %v / %v / %v", name, pess, opt, none)
+		}
+		if cell(t, tab, i, 4) == 0 {
+			t.Errorf("%s: nothing replayed", name)
+		}
+	}
+	// Logging removes the uncoordinated domino entirely, so it must help
+	// UNC (long rollbacks) more than CL (frequent coordinated lines).
+	unc, cl := protoRow(t, UNC), protoRow(t, CL)
+	uncGain := cell(t, tab, unc, 1) - cell(t, tab, unc, 3)
+	clGain := cell(t, tab, cl, 1) - cell(t, tab, cl, 3)
+	if uncGain <= clGain {
+		t.Errorf("UNC gain %v not above CL gain %v", uncGain, clGain)
+	}
+}
+
+func TestReplayTableDeterministic(t *testing.T) {
+	base, _ := benchScale()
+	seeds := Seeds(7, 1)
+	a, err := ReplayTable(base, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReplayTable(base, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.NumRows(); i++ {
+		for j := 0; j < 8; j++ {
+			if a.Cell(i, j) != b.Cell(i, j) {
+				t.Fatalf("cell (%d,%d) differs: %q vs %q", i, j, a.Cell(i, j), b.Cell(i, j))
+			}
+		}
+	}
+}
+
+// TestAnalyzeReplayPessimisticNeverWorse sweeps every protocol: with all
+// deliveries stably logged, replay-aware recovery can never undo more
+// than plain recovery, and the replay-aware cut rolls back no more
+// hosts.
+func TestAnalyzeReplayPessimisticNeverWorse(t *testing.T) {
+	base, _ := benchScale()
+	base.Protocols = AllProtocols()
+	base.RecordTrace = true
+	base.MessageLog = mlog.Pessimistic
+	base.Seed = 3
+	res, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Protocols {
+		pr := &res.Protocols[i]
+		out, err := AnalyzeReplay(pr, base.Mobile.NumHosts, 0, base.Horizon)
+		if err != nil {
+			t.Fatalf("%s: %v", pr.Name, err)
+		}
+		if out.Replay.UndoneTime > out.Plain.UndoneTime {
+			t.Errorf("%s: replay undoes more: %v > %v", pr.Name, out.Replay.UndoneTime, out.Plain.UndoneTime)
+		}
+		if out.Replay.RolledBackHosts > out.Plain.RolledBackHosts {
+			t.Errorf("%s: replay rolls back more hosts: %d > %d", pr.Name, out.Replay.RolledBackHosts, out.Plain.RolledBackHosts)
+		}
+		// Pessimistic logging leaves no pending suffix anywhere.
+		if pr.MLog == nil || pr.Log.Appended == 0 {
+			t.Errorf("%s: no log activity recorded", pr.Name)
+		}
+	}
+}
+
+func TestAnalyzeReplayRequiresTrace(t *testing.T) {
+	base, _ := benchScale()
+	base.Protocols = []ProtocolName{UNC}
+	res, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AnalyzeReplay(&res.Protocols[0], base.Mobile.NumHosts, 0, base.Horizon); err == nil {
+		t.Fatal("AnalyzeReplay accepted a traceless result")
+	}
+}
+
+func TestSeedCutMatchesProtocolLines(t *testing.T) {
+	base, _ := benchScale()
+	base.Protocols = AllProtocols()
+	base.RecordTrace = true
+	base.Seed = 5
+	res, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := base.Mobile.NumHosts
+	for i := range res.Protocols {
+		pr := &res.Protocols[i]
+		cut := SeedCut(pr, n, 0)
+		if len(cut) != n {
+			t.Fatalf("%s: cut width %d", pr.Name, len(cut))
+		}
+		if cut[0] == recovery.End {
+			t.Errorf("%s: failed host not rolled back by seed cut", pr.Name)
+		}
+	}
+}
+
+// TestGCPrunesMessageLog ties the log's garbage collection to the stable
+// recovery-line frontier: with periodic GC on, entries behind the
+// frontier are reclaimed, the log/trace reconciliation invariants still
+// hold (Checks is on in testConfig), and a post-GC failure still
+// recovers with replay.
+func TestGCPrunesMessageLog(t *testing.T) {
+	c := testConfig()
+	c.Horizon = 8000
+	c.GCInterval = 200
+	c.RecordTrace = true
+	c.Workload.PComm = 0.3
+	c.MessageLog = mlog.Pessimistic
+	res := mustRun(t, c)
+	for _, name := range []ProtocolName{BCS, QBC} {
+		pr := res.Protocol(name)
+		if pr.Log.Pruned == 0 {
+			t.Errorf("%s: GC never pruned the message log", name)
+		}
+		out, err := AnalyzeReplay(pr, c.Mobile.NumHosts, 0, c.Horizon)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if out.Replay.UndoneTime > out.Plain.UndoneTime {
+			t.Errorf("%s: replay undone %v exceeds plain %v after GC",
+				name, out.Replay.UndoneTime, out.Plain.UndoneTime)
+		}
+	}
+}

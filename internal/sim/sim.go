@@ -20,6 +20,7 @@ import (
 	"mobickpt/internal/check"
 	"mobickpt/internal/des"
 	"mobickpt/internal/energy"
+	"mobickpt/internal/mlog"
 	"mobickpt/internal/mobile"
 	"mobickpt/internal/protocol"
 	"mobickpt/internal/recovery"
@@ -95,6 +96,21 @@ type Config struct {
 	// stable storage over arbitrarily long runs.
 	GCInterval des.Time
 
+	// MessageLog enables MSS-resident message logging (internal/mlog,
+	// experiment E18): every delivered application message is appended to
+	// a per-host log on the receiver's current station, transferred on
+	// hand-off and flushed at disconnection. mlog.Off disables it.
+	// Logging is purely observational — it never perturbs the trace — so
+	// it composes with the shared-trace evaluation; each protocol slot
+	// keeps its own log (receiver positions depend on the protocol's
+	// checkpoints). Garbage collection of unreplayable entries rides the
+	// GCInterval ticks of the index-based protocols.
+	MessageLog mlog.Mode
+	// LogFlushBatch is the optimistic flush threshold (entries buffered
+	// per host before one stable write); 0 selects the mlog default.
+	// Ignored unless MessageLog is mlog.Optimistic.
+	LogFlushBatch int
+
 	// Checks enables the runtime invariant checker (internal/check): every
 	// protocol event is verified against a shadow model of the protocol's
 	// rules, the engine's counters are reconciled against the stable-storage
@@ -158,6 +174,14 @@ func (c Config) Validate() error {
 	if c.GCInterval < 0 {
 		return fmt.Errorf("sim: negative GCInterval")
 	}
+	switch c.MessageLog {
+	case mlog.Off, mlog.Pessimistic, mlog.Optimistic:
+	default:
+		return fmt.Errorf("sim: unknown MessageLog mode %v", c.MessageLog)
+	}
+	if c.LogFlushBatch < 0 {
+		return fmt.Errorf("sim: negative LogFlushBatch")
+	}
 	for _, at := range c.JoinTimes {
 		if at <= 0 || at > c.Horizon {
 			return fmt.Errorf("sim: join time %v outside (0, horizon]", at)
@@ -202,10 +226,16 @@ type ProtocolResult struct {
 	// Energy is the derived battery/channel cost (E9).
 	Energy energy.Report
 
+	// Log aggregates MSS message-logging activity (zero value unless
+	// Config.MessageLog enabled logging).
+	Log mlog.Counters
+
 	// Store and Trace expose the raw material for recovery analysis.
-	// Trace is nil unless Config.RecordTrace was set.
+	// Trace is nil unless Config.RecordTrace was set; MLog is nil unless
+	// Config.MessageLog enabled logging.
 	Store *storage.Store
 	Trace *trace.Trace
+	MLog  *mlog.Log
 
 	// Instance is the live protocol state machine (e.g. *protocol.TP for
 	// vector metadata); nil after deserialization.
@@ -265,6 +295,7 @@ type engine struct {
 	protos []protocol.Protocol
 	stores []*storage.Store
 	traces []*trace.Trace
+	mlogs  []*mlog.Log      // per-protocol MSS message logs; nil entries unless Config.MessageLog
 	counts [][]int          // [proto][host] checkpoints taken (incl. initial)
 	checks []*check.Runtime // nil unless Config.Checks
 
@@ -296,7 +327,13 @@ func newEngine(cfg Config) (*engine, error) {
 				if e.checks != nil {
 					e.checks[i].AfterCellSwitch(h.ID)
 				}
+				if lg := e.mlogs[i]; lg != nil {
+					// The message log follows its host like the
+					// checkpoints do (§2.2's transfer operation).
+					lg.Handoff(h.ID, to)
+				}
 			}
+			e.recordMobility(h.ID, trace.Handoff, from, to, now)
 		},
 		OnDisconnect: func(now des.Time, h *mobile.Host) {
 			for i, p := range e.protos {
@@ -304,7 +341,13 @@ func newEngine(cfg Config) (*engine, error) {
 				if e.checks != nil {
 					e.checks[i].AfterDisconnect(h.ID)
 				}
+				if lg := e.mlogs[i]; lg != nil {
+					// The disconnection checkpoint makes the host's state
+					// durable; the log suffix writes through with it.
+					lg.Flush(h.ID)
+				}
 			}
+			e.recordMobility(h.ID, trace.Disconnect, h.LastMSS(), mobile.NoMSS, now)
 		},
 		OnReconnect: func(now des.Time, h *mobile.Host, at mobile.MSSID) {
 			for i, p := range e.protos {
@@ -313,6 +356,7 @@ func newEngine(cfg Config) (*engine, error) {
 					e.checks[i].AfterReconnect(h.ID)
 				}
 			}
+			e.recordMobility(h.ID, trace.Reconnect, mobile.NoMSS, at, now)
 		},
 	}
 	net, err := mobile.New(e.sim, cfg.Mobile, hooks)
@@ -331,12 +375,24 @@ func newEngine(cfg Config) (*engine, error) {
 	e.protos = make([]protocol.Protocol, len(cfg.Protocols))
 	e.stores = make([]*storage.Store, len(cfg.Protocols))
 	e.traces = make([]*trace.Trace, len(cfg.Protocols))
+	e.mlogs = make([]*mlog.Log, len(cfg.Protocols))
 	e.counts = make([][]int, len(cfg.Protocols))
 	for i, name := range cfg.Protocols {
 		e.stores[i] = storage.NewStore(cfg.Cost)
 		e.counts[i] = make([]int, n)
 		if cfg.RecordTrace {
 			e.traces[i] = trace.New(n)
+		}
+		if cfg.MessageLog != mlog.Off {
+			lcfg := mlog.DefaultConfig(cfg.MessageLog)
+			if cfg.LogFlushBatch > 0 {
+				lcfg.FlushBatch = cfg.LogFlushBatch
+			}
+			lg, err := mlog.New(lcfg)
+			if err != nil {
+				return nil, err
+			}
+			e.mlogs[i] = lg
 		}
 		ck := e.checkpointer(i)
 		switch name {
@@ -430,6 +486,23 @@ func (e *engine) onDeliver(now des.Time, h *mobile.Host, m *mobile.Message) {
 		if tr := e.traces[i]; tr != nil {
 			tr.RecordDeliver(m.ID, e.counts[i][h.ID], now)
 		}
+		if lg := e.mlogs[i]; lg != nil {
+			// The entry carries the post-forced-checkpoint receiver
+			// position, the same position the trace records; pessimistic
+			// mode makes it stable before the application proceeds.
+			lg.Append(h.ID, m.From, m.ID, e.counts[i][h.ID], now, h.LastMSS())
+		}
+	}
+}
+
+// recordMobility mirrors one mobility event into every recorded trace
+// (the events are protocol-independent; each trace stays standalone for
+// offline analysis).
+func (e *engine) recordMobility(h mobile.HostID, kind trace.MobilityKind, from, to mobile.MSSID, now des.Time) {
+	for _, tr := range e.traces {
+		if tr != nil {
+			tr.RecordMobility(h, kind, from, to, now)
+		}
 	}
 }
 
@@ -507,6 +580,19 @@ func (e *engine) scheduleGC() {
 			e.gcReclaimed[i] += records
 			if live := e.stores[i].LiveRecords(-1); live > e.peakLive[i] {
 				e.peakLive[i] = live
+			}
+			if lg := e.mlogs[i]; lg != nil {
+				// The message log shares the frontier: an entry whose
+				// receive precedes the earliest checkpoint any future
+				// recovery line restores for its host can never be
+				// replayed, so its stable storage is reclaimed with the
+				// checkpoints'.
+				stable := recovery.StableIndex(e.stores[i], n)
+				for h := 0; h < n; h++ {
+					if keep := e.stores[i].FirstWithIndexAtLeast(mobile.HostID(h), stable); keep != nil {
+						lg.PruneDelivered(mobile.HostID(h), keep.Ordinal)
+					}
+				}
 			}
 		}
 		sim.After(e.cfg.GCInterval, "gc", tick)
@@ -588,7 +674,11 @@ func (e *engine) run() *Result {
 			Storage:        e.stores[i].Counters(),
 			Store:          e.stores[i],
 			Trace:          e.traces[i],
+			MLog:           e.mlogs[i],
 			Instance:       p,
+		}
+		if e.mlogs[i] != nil {
+			pr.Log = e.mlogs[i].Counters()
 		}
 		if init, ok := p.(protocol.Initiator); ok {
 			pr.CtrlMessages = init.ControlMessages()
@@ -623,6 +713,9 @@ func (e *engine) finishChecks(res *Result) error {
 				Protocol: string(pr.Name), Time: e.sim.Now(), Rule: "reconcile",
 				Detail: fmt.Sprintf("%d initial checkpoints for %d hosts", pr.Initial, res.FinalHosts),
 			})
+		}
+		if tr := e.traces[i]; tr != nil && e.mlogs[i] != nil {
+			all = append(all, check.LogReconciliation(string(pr.Name), e.mlogs[i], tr, res.FinalHosts)...)
 		}
 		if tr := e.traces[i]; tr != nil {
 			switch e.cfg.Protocols[i] {

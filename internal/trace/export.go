@@ -13,8 +13,9 @@ import (
 // recovery analysis offline (the checkpoint chains travel separately,
 // exported by the experiment layer).
 type exportEnvelope struct {
-	NumHosts int             `json:"num_hosts"`
-	Events   []exportedEvent `json:"events"`
+	NumHosts int                `json:"num_hosts"`
+	Events   []exportedEvent    `json:"events"`
+	Mobility []exportedMobility `json:"mobility,omitempty"`
 }
 
 type exportedEvent struct {
@@ -25,6 +26,28 @@ type exportedEvent struct {
 	RecvCount   int     `json:"recv_count"`
 	SentAt      float64 `json:"sent_at"`
 	DeliveredAt float64 `json:"delivered_at"`
+}
+
+type exportedMobility struct {
+	Host int     `json:"host"`
+	Kind string  `json:"kind"`
+	From int     `json:"from"`
+	To   int     `json:"to"`
+	At   float64 `json:"at"`
+}
+
+// parseMobilityKind inverts MobilityKind.String.
+func parseMobilityKind(s string) (MobilityKind, error) {
+	switch s {
+	case "handoff":
+		return Handoff, nil
+	case "disconnect":
+		return Disconnect, nil
+	case "reconnect":
+		return Reconnect, nil
+	default:
+		return 0, fmt.Errorf("unknown mobility kind %q", s)
+	}
 }
 
 // Export writes the delivered-message log as JSON. Messages still in
@@ -40,6 +63,15 @@ func (t *Trace) Export(w io.Writer) error {
 			RecvCount:   ev.RecvCount,
 			SentAt:      float64(ev.SentAt),
 			DeliveredAt: float64(ev.DeliveredAt),
+		})
+	}
+	for _, ev := range t.mobility {
+		env.Mobility = append(env.Mobility, exportedMobility{
+			Host: int(ev.Host),
+			Kind: ev.Kind.String(),
+			From: int(ev.From),
+			To:   int(ev.To),
+			At:   float64(ev.At),
 		})
 	}
 	enc := json.NewEncoder(w)
@@ -71,6 +103,22 @@ func Import(r io.Reader) (*Trace, error) {
 			RecvCount:   ev.RecvCount,
 			SentAt:      des.Time(ev.SentAt),
 			DeliveredAt: des.Time(ev.DeliveredAt),
+		})
+	}
+	for i, ev := range env.Mobility {
+		kind, err := parseMobilityKind(ev.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("trace: import: mobility event %d: %w", i, err)
+		}
+		if ev.Host < 0 || ev.Host >= env.NumHosts {
+			return nil, fmt.Errorf("trace: import: mobility event %d has out-of-range host %d", i, ev.Host)
+		}
+		t.mobility = append(t.mobility, MobilityEvent{
+			Host: mobile.HostID(ev.Host),
+			Kind: kind,
+			From: mobile.MSSID(ev.From),
+			To:   mobile.MSSID(ev.To),
+			At:   des.Time(ev.At),
 		})
 	}
 	return t, nil

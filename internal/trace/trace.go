@@ -39,10 +39,47 @@ type MessageEvent struct {
 	DeliveredAt des.Time
 }
 
+// MobilityKind classifies a recorded mobility event.
+type MobilityKind int
+
+const (
+	// Handoff is a completed cell switch (checkpoint and message-log
+	// transfer follow the host to the new station).
+	Handoff MobilityKind = iota
+	// Disconnect is a voluntary disconnection.
+	Disconnect
+	// Reconnect is a reconnection after a disconnection.
+	Reconnect
+)
+
+func (k MobilityKind) String() string {
+	switch k {
+	case Handoff:
+		return "handoff"
+	case Disconnect:
+		return "disconnect"
+	case Reconnect:
+		return "reconnect"
+	default:
+		return fmt.Sprintf("MobilityKind(%d)", int(k))
+	}
+}
+
+// MobilityEvent is one hand-off, disconnection or reconnection. From/To
+// are stations: a hand-off carries both, a disconnection only From, a
+// reconnection only To (the absent side is mobile.NoMSS).
+type MobilityEvent struct {
+	Host     mobile.HostID
+	Kind     MobilityKind
+	From, To mobile.MSSID
+	At       des.Time
+}
+
 // Trace accumulates message events for one protocol over one execution.
 type Trace struct {
 	numHosts int
 	events   []MessageEvent
+	mobility []MobilityEvent
 	open     map[uint64]MessageEvent
 }
 
@@ -83,6 +120,31 @@ func (t *Trace) RecordDeliver(id uint64, recvCount int, at des.Time) {
 // Events returns the delivered messages in delivery order. The slice is
 // owned by the trace; callers must not mutate it.
 func (t *Trace) Events() []MessageEvent { return t.events }
+
+// RecordMobility notes a hand-off, disconnection or reconnection of host
+// h at time at (from/to per the MobilityEvent conventions).
+func (t *Trace) RecordMobility(h mobile.HostID, kind MobilityKind, from, to mobile.MSSID, at des.Time) {
+	t.mobility = append(t.mobility, MobilityEvent{Host: h, Kind: kind, From: from, To: to, At: at})
+}
+
+// Mobility returns the recorded mobility events in occurrence order. The
+// slice is owned by the trace; callers must not mutate it.
+func (t *Trace) Mobility() []MobilityEvent { return t.mobility }
+
+// MobilityCounts tallies the recorded mobility events per kind.
+func (t *Trace) MobilityCounts() (handoffs, disconnects, reconnects int) {
+	for _, ev := range t.mobility {
+		switch ev.Kind {
+		case Handoff:
+			handoffs++
+		case Disconnect:
+			disconnects++
+		case Reconnect:
+			reconnects++
+		}
+	}
+	return
+}
 
 // InFlight returns the number of messages sent but not yet delivered
 // (still traveling, parked at an MSS, or queued in an inbox at the end of

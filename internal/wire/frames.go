@@ -1,0 +1,173 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mobickpt/internal/mobile"
+)
+
+// This file adds the framed station-plane encoding on top of the bare
+// application packet: the mlog subsystem moves per-host message logs
+// between stations on hand-off (write-through transfer) and acknowledges
+// the stable frontier, and both frame types travel the same wired
+// network as application packets. A frame is one tagged unit:
+//
+//	frame := kind:u8 body
+//	  kind 0 (app)          := packet                       (see wire.go)
+//	  kind 1 (log-transfer) := host:u16 from:u16 to:u16 n:u32 rec:[n]record
+//	    record              := seq:u64 id:u64 from:u16 recvCount:i64 at:f64
+//	  kind 2 (log-ack)      := host:u16 mss:u16 stableSeq:u64
+
+// Frame kinds.
+const (
+	FrameApp byte = iota
+	FrameLogTransfer
+	FrameLogAck
+)
+
+// LogRecord is the wire form of one mlog entry.
+type LogRecord struct {
+	Seq       uint64
+	MsgID     uint64
+	From      mobile.HostID
+	RecvCount int64
+	At        float64
+}
+
+// logRecordSize is the encoded size of one LogRecord.
+const logRecordSize = 8 + 8 + 2 + 8 + 8
+
+// LogTransfer ships host's retained message log from station FromMSS to
+// station ToMSS during a hand-off.
+type LogTransfer struct {
+	Host           mobile.HostID
+	FromMSS, ToMSS mobile.MSSID
+	Records        []LogRecord
+}
+
+// LogAck acknowledges that station MSS holds host's log stably up to
+// (excluding) StableSeq.
+type LogAck struct {
+	Host      mobile.HostID
+	MSS       mobile.MSSID
+	StableSeq uint64
+}
+
+func checkU16(what string, v int) error {
+	if v < 0 || v > math.MaxUint16 {
+		return fmt.Errorf("wire: %s out of range: %d", what, v)
+	}
+	return nil
+}
+
+// EncodeFrame encodes a *Packet, *LogTransfer or *LogAck as one tagged
+// frame.
+func EncodeFrame(v any) ([]byte, error) {
+	switch f := v.(type) {
+	case *Packet:
+		body, err := f.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		return append([]byte{FrameApp}, body...), nil
+	case *LogTransfer:
+		if err := checkU16("host id", int(f.Host)); err != nil {
+			return nil, err
+		}
+		if err := checkU16("source station", int(f.FromMSS)); err != nil {
+			return nil, err
+		}
+		if err := checkU16("target station", int(f.ToMSS)); err != nil {
+			return nil, err
+		}
+		if len(f.Records) > math.MaxUint32 {
+			return nil, fmt.Errorf("wire: log transfer too large: %d records", len(f.Records))
+		}
+		buf := make([]byte, 0, 1+2+2+2+4+len(f.Records)*logRecordSize)
+		buf = append(buf, FrameLogTransfer)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(f.Host))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(f.FromMSS))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(f.ToMSS))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(f.Records)))
+		for _, r := range f.Records {
+			if err := checkU16("record sender", int(r.From)); err != nil {
+				return nil, err
+			}
+			buf = binary.BigEndian.AppendUint64(buf, r.Seq)
+			buf = binary.BigEndian.AppendUint64(buf, r.MsgID)
+			buf = binary.BigEndian.AppendUint16(buf, uint16(r.From))
+			buf = binary.BigEndian.AppendUint64(buf, uint64(r.RecvCount))
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(r.At))
+		}
+		return buf, nil
+	case *LogAck:
+		if err := checkU16("host id", int(f.Host)); err != nil {
+			return nil, err
+		}
+		if err := checkU16("station", int(f.MSS)); err != nil {
+			return nil, err
+		}
+		buf := make([]byte, 0, 1+2+2+8)
+		buf = append(buf, FrameLogAck)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(f.Host))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(f.MSS))
+		buf = binary.BigEndian.AppendUint64(buf, f.StableSeq)
+		return buf, nil
+	default:
+		return nil, fmt.Errorf("wire: unsupported frame type %T", v)
+	}
+}
+
+// DecodeFrame decodes one frame produced by EncodeFrame, returning a
+// *Packet, *LogTransfer or *LogAck. Garbage input yields an error, never
+// a panic (FuzzFrameRoundTrip enforces it).
+func DecodeFrame(b []byte) (any, error) {
+	if len(b) < 1 {
+		return nil, fmt.Errorf("wire: empty frame")
+	}
+	switch b[0] {
+	case FrameApp:
+		return Unmarshal(b[1:])
+	case FrameLogTransfer:
+		const header = 1 + 2 + 2 + 2 + 4
+		if len(b) < header {
+			return nil, fmt.Errorf("wire: truncated log-transfer header: %d bytes", len(b))
+		}
+		f := &LogTransfer{
+			Host:    mobile.HostID(binary.BigEndian.Uint16(b[1:])),
+			FromMSS: mobile.MSSID(binary.BigEndian.Uint16(b[3:])),
+			ToMSS:   mobile.MSSID(binary.BigEndian.Uint16(b[5:])),
+		}
+		n := binary.BigEndian.Uint32(b[7:])
+		need := uint64(header) + uint64(n)*logRecordSize
+		if uint64(len(b)) != need {
+			return nil, fmt.Errorf("wire: log transfer of %d records needs %d bytes, have %d", n, need, len(b))
+		}
+		off := header
+		for i := uint32(0); i < n; i++ {
+			f.Records = append(f.Records, LogRecord{
+				Seq:       binary.BigEndian.Uint64(b[off:]),
+				MsgID:     binary.BigEndian.Uint64(b[off+8:]),
+				From:      mobile.HostID(binary.BigEndian.Uint16(b[off+16:])),
+				RecvCount: int64(binary.BigEndian.Uint64(b[off+18:])),
+				At:        math.Float64frombits(binary.BigEndian.Uint64(b[off+26:])),
+			})
+			off += logRecordSize
+		}
+		return f, nil
+	case FrameLogAck:
+		const need = 1 + 2 + 2 + 8
+		if len(b) != need {
+			return nil, fmt.Errorf("wire: log ack needs %d bytes, have %d", need, len(b))
+		}
+		return &LogAck{
+			Host:      mobile.HostID(binary.BigEndian.Uint16(b[1:])),
+			MSS:       mobile.MSSID(binary.BigEndian.Uint16(b[3:])),
+			StableSeq: binary.BigEndian.Uint64(b[5:]),
+		}, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown frame kind %d", b[0])
+	}
+}

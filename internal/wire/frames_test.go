@@ -1,0 +1,153 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"mobickpt/internal/protocol"
+)
+
+func TestFrameRoundTripApp(t *testing.T) {
+	p := &Packet{ID: 7, From: 1, To: 2, Piggyback: protocol.IndexPiggyback(41)}
+	b, err := EncodeFrame(p)
+	if err != nil {
+		t.Fatalf("EncodeFrame: %v", err)
+	}
+	if b[0] != FrameApp {
+		t.Fatalf("kind = %d", b[0])
+	}
+	got, err := DecodeFrame(b)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Fatalf("got %+v, want %+v", got, p)
+	}
+}
+
+func TestFrameRoundTripLogTransfer(t *testing.T) {
+	f := &LogTransfer{
+		Host:    3,
+		FromMSS: 1,
+		ToMSS:   2,
+		Records: []LogRecord{
+			{Seq: 0, MsgID: 10, From: 1, RecvCount: 2, At: 1.5},
+			{Seq: 1, MsgID: 11, From: 2, RecvCount: 3, At: 2.25},
+		},
+	}
+	b, err := EncodeFrame(f)
+	if err != nil {
+		t.Fatalf("EncodeFrame: %v", err)
+	}
+	if want := 1 + 2 + 2 + 2 + 4 + 2*logRecordSize; len(b) != want {
+		t.Fatalf("frame is %d bytes, want %d", len(b), want)
+	}
+	got, err := DecodeFrame(b)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if !reflect.DeepEqual(got, f) {
+		t.Fatalf("got %+v, want %+v", got, f)
+	}
+	// Empty transfer (host that never received) round-trips too.
+	empty := &LogTransfer{Host: 0, FromMSS: 0, ToMSS: 1}
+	b, err = EncodeFrame(empty)
+	if err != nil {
+		t.Fatalf("EncodeFrame(empty): %v", err)
+	}
+	got, err = DecodeFrame(b)
+	if err != nil {
+		t.Fatalf("DecodeFrame(empty): %v", err)
+	}
+	if g := got.(*LogTransfer); g.Host != 0 || len(g.Records) != 0 {
+		t.Fatalf("got %+v", g)
+	}
+}
+
+func TestFrameRoundTripLogAck(t *testing.T) {
+	a := &LogAck{Host: 5, MSS: 3, StableSeq: 1 << 40}
+	b, err := EncodeFrame(a)
+	if err != nil {
+		t.Fatalf("EncodeFrame: %v", err)
+	}
+	got, err := DecodeFrame(b)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if !reflect.DeepEqual(got, a) {
+		t.Fatalf("got %+v, want %+v", got, a)
+	}
+}
+
+func TestEncodeFrameRejects(t *testing.T) {
+	cases := []any{
+		42,
+		&LogTransfer{Host: -1},
+		&LogTransfer{Host: 0, FromMSS: math.MaxUint16 + 1},
+		&LogTransfer{Host: 0, Records: []LogRecord{{From: -2}}},
+		&LogAck{Host: math.MaxUint16 + 1},
+	}
+	for _, v := range cases {
+		if _, err := EncodeFrame(v); err == nil {
+			t.Errorf("EncodeFrame(%+v) accepted", v)
+		}
+	}
+}
+
+func TestDecodeFrameRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{9},                    // unknown kind
+		{FrameLogTransfer},     // truncated header
+		{FrameLogAck, 0, 1, 0}, // truncated ack
+		{FrameApp},             // truncated packet
+		{FrameLogTransfer, 0, 1, 0, 0, 0, 2, 0xff, 0xff, 0xff, 0xff}, // absurd count
+	}
+	// A valid ack with a trailing byte must also fail (length-exact).
+	ok, err := EncodeFrame(&LogAck{Host: 1, MSS: 1, StableSeq: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, append(ok, 0))
+	for _, b := range cases {
+		if _, err := DecodeFrame(b); err == nil {
+			t.Errorf("DecodeFrame(% x) accepted", b)
+		}
+	}
+}
+
+// FuzzFrameRoundTrip feeds arbitrary bytes to DecodeFrame: it must never
+// panic, and any frame it does accept must re-encode byte-identically
+// (the formats are canonical and length-exact).
+func FuzzFrameRoundTrip(f *testing.F) {
+	seed := []any{
+		&Packet{ID: 1, From: 0, To: 1, Piggyback: nil},
+		&Packet{ID: 2, From: 1, To: 0, Piggyback: protocol.IndexPiggyback(9)},
+		&LogTransfer{Host: 1, FromMSS: 0, ToMSS: 1, Records: []LogRecord{{Seq: 0, MsgID: 5, From: 0, RecvCount: 1, At: 3.5}}},
+		&LogAck{Host: 2, MSS: 1, StableSeq: 17},
+	}
+	for _, v := range seed {
+		b, err := EncodeFrame(v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{FrameLogTransfer, 0, 0, 0, 1, 0, 0, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		v, err := DecodeFrame(b)
+		if err != nil {
+			return
+		}
+		out, err := EncodeFrame(v)
+		if err != nil {
+			t.Fatalf("decoded frame failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(out, b) {
+			t.Fatalf("round trip changed bytes:\n in  % x\n out % x", b, out)
+		}
+	})
+}
