@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench check fmt fuzz figures results clean
+.PHONY: all build test test-short race bench bench-smoke check fmt lint fuzz figures results clean
 
 all: build test
 
@@ -13,19 +13,35 @@ test:
 	$(GO) vet ./...
 	$(GO) test ./...
 
-# The CI gate: formatting, vet, build, the full suite under the race
-# detector (the engine tests run with the invariant checker enabled),
-# and a short fuzz smoke of the wire-format decoder.
-check: fmt
+# The CI gate: formatting, lint, vet, build, the full suite under the
+# race detector (the engine tests run with the invariant checker
+# enabled), a short fuzz smoke of the wire-format decoder, and the
+# observability-overhead bench smoke (one iteration at smoke scale; it
+# asserts that metrics+timeline do not perturb the simulated trace).
+check: fmt lint
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) test -fuzz=FuzzFrameRoundTrip -fuzztime=10s ./internal/wire
+	$(MAKE) bench-smoke
 
 # Fail if any file is not gofmt-clean.
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# staticcheck when installed (CI installs it); vet+gofmt remain the
+# baseline gate everywhere else, so a missing binary is not an error.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (vet+gofmt still gate)"; fi
+
+# One smoke iteration of the obs-overhead benchmark (-short shrinks the
+# horizon); the full baseline lives in results/BENCH_obs.json.
+bench-smoke:
+	$(GO) test -short -run '^$$' -bench BenchmarkObsOverhead -benchtime 1x .
 
 # Longer fuzzing session for local use.
 fuzz:
@@ -51,6 +67,7 @@ results:
 	$(GO) run ./cmd/figures -proxy -seeds 3 -out results
 	$(GO) run ./cmd/figures -joins -seeds 3 -out results
 	$(GO) run ./cmd/figures -replay -seeds 3 -horizon 20000 -out results
+	$(GO) run ./cmd/figures -cause -seeds 3 -out results
 	$(GO) run ./cmd/recovery -seeds 3 -horizon 20000 > results/recovery.txt
 
 clean:

@@ -14,6 +14,7 @@ import (
 
 	"mobickpt/internal/mlog"
 	"mobickpt/internal/mobile"
+	"mobickpt/internal/obs"
 	"mobickpt/internal/recovery"
 	"mobickpt/internal/sim"
 	"mobickpt/internal/stats"
@@ -251,6 +252,57 @@ func BenchmarkAblationIncremental(b *testing.B) {
 	b.ReportMetric(float64(inc.WirelessUnits), "wireless_units_incremental")
 	b.ReportMetric(float64(full.WirelessUnits), "wireless_units_full")
 	b.ReportMetric(float64(inc.WiredUnits), "wired_fetch_units_incremental")
+}
+
+// BenchmarkObsOverhead prices the observability layer on the hot
+// simulation path. The "disabled" variant runs with Config.Metrics and
+// Config.Timeline nil — the no-op path every production sweep takes, with
+// a < 2% budget versus the pre-observability engine (baseline recorded in
+// results/BENCH_obs.json). The "enabled" variant carries a full metrics
+// registry and timeline recorder and quantifies what -metrics -timeline
+// actually cost. Both variants simulate identical traces; the reported
+// Ntot must match across them (observation never perturbs the run).
+func BenchmarkObsOverhead(b *testing.B) {
+	cfg := benchBase()
+	cfg.Workload.PSwitch = 0.8
+	if testing.Short() {
+		cfg.Horizon = 2000 // smoke scale for `make check`
+	}
+	var plain, observed *sim.Result
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := sim.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			plain = res
+		}
+		b.ReportMetric(float64(plain.EventsFired), "events/run")
+	})
+	b.Run("enabled", func(b *testing.B) {
+		var events int
+		for i := 0; i < b.N; i++ {
+			c := cfg
+			c.Metrics = obs.NewRegistry()
+			c.Timeline = obs.NewTimeline()
+			res, err := sim.Run(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			observed = res
+			events = c.Timeline.Len()
+		}
+		b.ReportMetric(float64(events), "timeline_events/run")
+	})
+	if plain != nil && observed != nil {
+		for i := range plain.Protocols {
+			p, o := &plain.Protocols[i], &observed.Protocols[i]
+			if p.Ntot != o.Ntot || p.Forced != o.Forced {
+				b.Fatalf("%s: observation perturbed the run: Ntot %d vs %d, forced %d vs %d",
+					p.Name, p.Ntot, o.Ntot, p.Forced, o.Forced)
+			}
+		}
+	}
 }
 
 // BenchmarkEngine measures the raw DES throughput of a full run

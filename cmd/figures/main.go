@@ -16,6 +16,7 @@
 //	figures -scalability     # host-count scaling (E14)
 //	figures -proxy           # MSS proxying of control info (E15)
 //	figures -joins           # dynamic membership (E16)
+//	figures -cause           # checkpoint-cause breakdown (E19)
 //	figures -seeds 3 -csv    # fewer seeds, CSV output
 //	figures -out results/    # also write one .txt/.csv file per table
 package main
@@ -27,6 +28,7 @@ import (
 	"path/filepath"
 
 	"mobickpt/internal/des"
+	"mobickpt/internal/obs"
 	"mobickpt/internal/sim"
 	"mobickpt/internal/stats"
 )
@@ -45,6 +47,8 @@ func main() {
 		proxy       = flag.Bool("proxy", false, "print the MSS-proxy energy table (E15)")
 		joins       = flag.Bool("joins", false, "print the dynamic-membership cost table (E16)")
 		replay      = flag.Bool("replay", false, "print the message-logging & replay-recovery table (E18)")
+		cause       = flag.Bool("cause", false, "print the checkpoint-cause breakdown table (E19)")
+		metrics     = flag.Bool("metrics", false, "print engine metrics (Prometheus text) to stderr after the run")
 		plot        = flag.Bool("plot", false, "render figures as ASCII log-log charts instead of tables")
 		pcomm       = flag.Float64("pcomm", 0.05, "probability an operation is a communication (calibration knob)")
 		csv         = flag.Bool("csv", false, "print CSV instead of aligned tables")
@@ -55,6 +59,14 @@ func main() {
 	base := sim.DefaultConfig()
 	base.Horizon = des.Time(*horizon)
 	base.Workload.PComm = *pcomm
+	if *metrics {
+		base.Metrics = obs.NewRegistry()
+		defer func() {
+			if err := base.Metrics.Snapshot().WritePrometheus(os.Stderr); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 	seedSet := sim.Seeds(*seed, *seeds)
 
 	emit := func(name string, tab *stats.Table, err error) {
@@ -123,6 +135,9 @@ func main() {
 	case *replay:
 		tab, err := sim.ReplayTable(base, seedSet)
 		emit("replay", tab, err)
+	case *cause:
+		tab, err := sim.CauseTable(base, seedSet)
+		emit("cause", tab, err)
 	case *fig != 0:
 		spec, err := sim.Figure(*fig)
 		if err != nil {

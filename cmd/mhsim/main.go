@@ -14,6 +14,7 @@ import (
 
 	"mobickpt/internal/des"
 	"mobickpt/internal/mlog"
+	"mobickpt/internal/obs"
 	"mobickpt/internal/sim"
 	"mobickpt/internal/stats"
 )
@@ -33,14 +34,29 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "base seed")
 		protos     = flag.String("protocols", "TP,BCS,QBC", "comma-separated protocols (TP,BCS,QBC,UNC,CL,PS,MS)")
 		snapshot   = flag.Float64("snapshot", 100, "snapshot period for CL/PS")
-		verbose    = flag.Bool("v", false, "print substrate counters and energy details")
+		verbose    = flag.Bool("v", false, "print substrate counters and energy details, and report simulated-time progress to stderr")
 		jsonOut    = flag.Bool("json", false, "emit the single-run result as JSON")
 		checks     = flag.Bool("checks", false, "run the invariant checker during the simulation (fails on any violation)")
 		audit      = flag.Bool("audit", false, "run the determinism/ablation audit: re-run each protocol alone and require exact agreement with the shared trace")
 		logMode    = flag.String("log", "off", "MSS message logging: off, pessimistic or optimistic")
 		logBatch   = flag.Int("logbatch", 0, "optimistic flush batch (0 = mlog default)")
+		metrics    = flag.Bool("metrics", false, "print the run's metrics as Prometheus text after the results (single-run mode)")
+		timeline   = flag.String("timeline", "", "write a per-host Chrome trace-event timeline (Perfetto-loadable) to this file (single-run mode)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mhsim:", err)
+		os.Exit(2)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "mhsim:", err)
+		}
+	}()
 
 	cfg := sim.DefaultConfig()
 	cfg.Mobile.NumHosts = *hosts
@@ -70,6 +86,16 @@ func main() {
 	for _, p := range strings.Split(*protos, ",") {
 		cfg.Protocols = append(cfg.Protocols, sim.ProtocolName(strings.TrimSpace(p)))
 	}
+	if *verbose {
+		cfg.Progress = func(now des.Time, fired uint64) {
+			fmt.Fprintf(os.Stderr, "mhsim: t=%.0f/%.0f (%.0f%%) events=%d\n",
+				float64(now), float64(cfg.Horizon), 100*float64(now)/float64(cfg.Horizon), fired)
+		}
+	}
+	if (*metrics || *timeline != "") && (*seeds > 1 || *audit) {
+		fmt.Fprintln(os.Stderr, "mhsim: -metrics and -timeline need single-run mode (-seeds 1, no -audit)")
+		os.Exit(2)
+	}
 
 	if *audit {
 		cfg.Checks = true
@@ -88,10 +114,23 @@ func main() {
 
 	if *seeds <= 1 {
 		cfg.Seed = *seed
+		if *metrics {
+			cfg.Metrics = obs.NewRegistry()
+		}
+		if *timeline != "" {
+			cfg.Timeline = obs.NewTimeline()
+		}
 		res, err := sim.Run(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mhsim:", err)
 			os.Exit(1)
+		}
+		if *timeline != "" {
+			if err := writeTimeline(*timeline, cfg.Timeline); err != nil {
+				fmt.Fprintln(os.Stderr, "mhsim:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "mhsim: wrote timeline %s (%d events)\n", *timeline, cfg.Timeline.Len())
 		}
 		if *jsonOut {
 			if err := res.ExportJSON(os.Stdout); err != nil {
@@ -101,6 +140,13 @@ func main() {
 			return
 		}
 		printRun(res, *verbose)
+		if cfg.Metrics != nil {
+			fmt.Println()
+			if err := cfg.Metrics.Snapshot().WritePrometheus(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "mhsim:", err)
+				os.Exit(1)
+			}
+		}
 		return
 	}
 
@@ -121,6 +167,18 @@ func main() {
 			fmt.Sprintf("%.1f%%", p.Ntot.RelSpread()*100))
 	}
 	fmt.Print(tab)
+}
+
+func writeTimeline(path string, tl *obs.Timeline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tl.Export(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printRun(res *sim.Result, verbose bool) {

@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 
 	"mobickpt/internal/des"
+	"mobickpt/internal/obs"
 	"mobickpt/internal/sim"
 	"mobickpt/internal/stats"
 	"mobickpt/internal/trace"
@@ -21,14 +22,27 @@ import (
 
 func main() {
 	var (
-		dump    = flag.String("dump", "", "directory to write per-protocol trace JSON into")
-		stat    = flag.String("stats", "", "trace JSON file to summarize")
-		tswitch = flag.Float64("tswitch", 1000, "mean cell permanence time")
-		pswitch = flag.Float64("pswitch", 0.8, "probability of hand-off (vs disconnection)")
-		horizon = flag.Float64("horizon", 10000, "simulated time units")
-		seed    = flag.Uint64("seed", 1, "seed")
+		dump       = flag.String("dump", "", "directory to write per-protocol trace JSON into")
+		stat       = flag.String("stats", "", "trace JSON file to summarize")
+		tswitch    = flag.Float64("tswitch", 1000, "mean cell permanence time")
+		pswitch    = flag.Float64("pswitch", 0.8, "probability of hand-off (vs disconnection)")
+		horizon    = flag.Float64("horizon", 10000, "simulated time units")
+		seed       = flag.Uint64("seed", 1, "seed")
+		timeline   = flag.String("timeline", "", "with -dump: also write a Chrome trace-event timeline (Perfetto-loadable) to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "mhtrace:", err)
+		}
+	}()
 
 	switch {
 	case *stat != "":
@@ -36,7 +50,7 @@ func main() {
 			fatal(err)
 		}
 	case *dump != "":
-		if err := dumpTraces(*dump, *tswitch, *pswitch, des.Time(*horizon), *seed); err != nil {
+		if err := dumpTraces(*dump, *timeline, *tswitch, *pswitch, des.Time(*horizon), *seed); err != nil {
 			fatal(err)
 		}
 	default:
@@ -45,19 +59,36 @@ func main() {
 	}
 }
 
-func dumpTraces(dir string, tswitch, pswitch float64, horizon des.Time, seed uint64) error {
+func dumpTraces(dir, timeline string, tswitch, pswitch float64, horizon des.Time, seed uint64) error {
 	cfg := sim.DefaultConfig()
 	cfg.Workload.TSwitch = tswitch
 	cfg.Workload.PSwitch = pswitch
 	cfg.Horizon = horizon
 	cfg.Seed = seed
 	cfg.RecordTrace = true
+	if timeline != "" {
+		cfg.Timeline = obs.NewTimeline()
+	}
 	res, err := sim.Run(cfg)
 	if err != nil {
 		return err
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
+	}
+	if timeline != "" {
+		f, err := os.Create(timeline)
+		if err != nil {
+			return err
+		}
+		if err := cfg.Timeline.Export(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d timeline events)\n", timeline, cfg.Timeline.Len())
 	}
 	for _, pr := range res.Protocols {
 		path := filepath.Join(dir, string(pr.Name)+".json")

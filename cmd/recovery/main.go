@@ -22,6 +22,7 @@ import (
 	"mobickpt/internal/des"
 	"mobickpt/internal/mlog"
 	"mobickpt/internal/mobile"
+	"mobickpt/internal/obs"
 	"mobickpt/internal/recovery"
 	"mobickpt/internal/sim"
 	"mobickpt/internal/stats"
@@ -30,21 +31,39 @@ import (
 
 func main() {
 	var (
-		tswitch = flag.Float64("tswitch", 1000, "mean cell permanence time")
-		pswitch = flag.Float64("pswitch", 0.8, "probability of hand-off (vs disconnection)")
-		het     = flag.Float64("h", 0, "heterogeneity degree H")
-		horizon = flag.Float64("horizon", 20000, "simulated time units (trace recording costs memory)")
-		seeds   = flag.Int("seeds", 3, "replication seeds")
-		seed    = flag.Uint64("seed", 1, "base seed")
-		failed  = flag.Int("failed", 0, "host that crashes at the horizon")
-		logMode = flag.String("log", "off", "MSS message logging: off, pessimistic or optimistic")
+		tswitch    = flag.Float64("tswitch", 1000, "mean cell permanence time")
+		pswitch    = flag.Float64("pswitch", 0.8, "probability of hand-off (vs disconnection)")
+		het        = flag.Float64("h", 0, "heterogeneity degree H")
+		horizon    = flag.Float64("horizon", 20000, "simulated time units (trace recording costs memory)")
+		seeds      = flag.Int("seeds", 3, "replication seeds")
+		seed       = flag.Uint64("seed", 1, "base seed")
+		failed     = flag.Int("failed", 0, "host that crashes at the horizon")
+		logMode    = flag.String("log", "off", "MSS message logging: off, pessimistic or optimistic")
+		metrics    = flag.Bool("metrics", false, "print rollback metrics (Prometheus text, incl. the recovery_rollback_depth histogram) to stderr")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "recovery:", err)
+		os.Exit(2)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "recovery:", err)
+		}
+	}()
 
 	mode, err := mlog.ParseMode(*logMode)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "recovery:", err)
 		os.Exit(2)
+	}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
 	}
 
 	cfg := sim.DefaultConfig()
@@ -81,6 +100,11 @@ func main() {
 				os.Exit(1)
 			}
 			m := out.Plain
+			counts := make([]int, c.Mobile.NumHosts)
+			for h := range counts {
+				counts[h] = len(pr.Store.Chain(mobile.HostID(h)))
+			}
+			recovery.ObserveRollback(reg, string(pr.Name), out.PlainCut, counts)
 			// The yardstick: the best any recovery scheme could do with
 			// this protocol's checkpoints.
 			optimal := recovery.MaximalCut(pr.Trace, pr.Store, c.Mobile.NumHosts, mobile.HostID(*failed))
@@ -126,4 +150,10 @@ func main() {
 		tab.AddRow(row...)
 	}
 	fmt.Print(tab)
+	if reg != nil {
+		if err := reg.Snapshot().WritePrometheus(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "recovery:", err)
+			os.Exit(1)
+		}
+	}
 }

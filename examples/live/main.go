@@ -4,31 +4,50 @@
 // line from the live trace and verify it is consistent.
 //
 //	go run ./examples/live
+//	go run ./examples/live -debug :6060   # keep a pprof+metrics endpoint up
+//
+// With -debug the process serves the standard /debug/pprof/ handlers and
+// a Prometheus /metrics endpoint (channel depths, goroutine count,
+// transport and checkpoint counters) while the cluster runs.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"mobickpt/internal/live"
 	"mobickpt/internal/mobile"
+	"mobickpt/internal/obs"
 	"mobickpt/internal/protocol"
 	"mobickpt/internal/recovery"
 	"mobickpt/internal/storage"
 )
 
 func main() {
+	debug := flag.String("debug", "", "serve /debug/pprof/ and /metrics on this address while running (e.g. :6060)")
+	flag.Parse()
+
 	cfg := live.DefaultConfig()
 	cfg.Hosts = 12
 	cfg.Stations = 5
 	cfg.OpsPerHost = 2000
 	cfg.DupProbability = 0.2 // a quite lossy-looking transport
+	cfg.Metrics = obs.NewRegistry()
 
 	cluster, err := live.NewCluster(cfg, func(n int, ck protocol.Checkpointer, store *storage.Store) protocol.Protocol {
 		return protocol.NewQBC(n, ck, store)
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *debug != "" {
+		srv, addr, err := obs.ServeDebug(*debug, cfg.Metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("debug endpoint: http://%s/debug/pprof/ and http://%s/metrics\n", addr, addr)
 	}
 	cluster.Run()
 
@@ -63,4 +82,12 @@ func main() {
 			fmt.Printf("  host %-2d restored from %s\n", h, rec.ID())
 		}
 	}
+
+	// The same numbers the /metrics endpoint serves, read in-process.
+	snap := cfg.Metrics.Snapshot()
+	frames, _ := snap.Get("live_frame_bytes_total")
+	ckpts, _ := snap.Get("live_checkpoints_total")
+	replayed, _ := snap.Get("live_replayed_messages_total")
+	fmt.Printf("\nmetrics: %d frame bytes on the wire, %d checkpoints, %d messages replayed\n",
+		frames, ckpts, replayed)
 }

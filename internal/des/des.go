@@ -15,6 +15,8 @@ package des
 import (
 	"container/heap"
 	"fmt"
+
+	"mobickpt/internal/obs"
 )
 
 // Time is virtual simulation time, in the paper's abstract "time units".
@@ -81,11 +83,42 @@ type Simulator struct {
 	seq     uint64
 	fired   uint64
 	stopped bool
+	running bool
+
+	// Observability (nil unless Instrument was called): firing counts per
+	// event label, cached so the hot loop pays one map lookup per event
+	// only when metrics are enabled.
+	reg         *obs.Registry
+	labelCounts map[string]*obs.Counter
 }
 
 // New returns a simulator with the clock at 0 and an empty queue.
 func New() *Simulator {
 	return &Simulator{}
+}
+
+// Instrument registers the engine's observability instruments with reg:
+// total events fired, current queue depth, and per-label firing counts
+// (des_events_by_label_total). A nil reg leaves the engine uninstrumented
+// — the hot loop then skips metrics entirely.
+func (s *Simulator) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.reg = reg
+	s.labelCounts = make(map[string]*obs.Counter)
+	reg.CounterFunc("des_events_fired_total", func() int64 { return int64(s.fired) })
+	reg.GaugeFunc("des_queue_depth", func() int64 { return int64(len(s.queue)) })
+}
+
+// countLabel tallies one fired event by label (metrics enabled only).
+func (s *Simulator) countLabel(label string) {
+	c := s.labelCounts[label]
+	if c == nil {
+		c = s.reg.Counter("des_events_by_label_total", "label", label)
+		s.labelCounts[label] = c
+	}
+	c.Inc()
 }
 
 // Now returns the current virtual time.
@@ -138,7 +171,24 @@ func (s *Simulator) Stop() { s.stopped = true }
 // Stop is called. Events scheduled exactly at the horizon still fire;
 // later ones stay queued. It returns the number of events fired by this
 // call.
+//
+// Run rejects misuse with a descriptive panic (matching At's contract):
+// calling it from inside an event handler (re-entrancy would corrupt the
+// clock), a negative horizon, or a horizon before the current clock
+// (which would silently fire nothing and desynchronize repeated-Run
+// callers).
 func (s *Simulator) Run(horizon Time) uint64 {
+	if s.running {
+		panic("des: re-entrant Run (called from inside an event handler)")
+	}
+	if horizon < 0 {
+		panic(fmt.Sprintf("des: negative horizon %v", horizon))
+	}
+	if horizon < s.now {
+		panic(fmt.Sprintf("des: horizon %v before current time %v", horizon, s.now))
+	}
+	s.running = true
+	defer func() { s.running = false }()
 	s.stopped = false
 	start := s.fired
 	for len(s.queue) > 0 && !s.stopped {
@@ -149,6 +199,9 @@ func (s *Simulator) Run(horizon Time) uint64 {
 		heap.Pop(&s.queue)
 		s.now = e.at
 		s.fired++
+		if s.labelCounts != nil {
+			s.countLabel(e.label)
+		}
 		e.handler(s, s.now)
 	}
 	if s.now < horizon && len(s.queue) == 0 {
@@ -168,6 +221,9 @@ func (s *Simulator) Step() bool {
 	e := heap.Pop(&s.queue).(*Event)
 	s.now = e.at
 	s.fired++
+	if s.labelCounts != nil {
+		s.countLabel(e.label)
+	}
 	e.handler(s, s.now)
 	return true
 }

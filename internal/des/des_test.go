@@ -2,9 +2,11 @@ package des
 
 import (
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 
+	"mobickpt/internal/obs"
 	"mobickpt/internal/rng"
 )
 
@@ -331,5 +333,89 @@ func BenchmarkHeapChurn(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sim.Step()
+	}
+}
+
+// mustPanic runs f and asserts it panics with a message containing want.
+func mustPanic(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic, want one containing %q", want)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic %v, want message containing %q", r, want)
+		}
+	}()
+	f()
+}
+
+func TestReentrantRunPanics(t *testing.T) {
+	sim := New()
+	sim.At(1, "outer", func(s *Simulator, now Time) {
+		s.Run(10)
+	})
+	mustPanic(t, "re-entrant Run", func() { sim.Run(5) })
+}
+
+func TestNegativeHorizonPanics(t *testing.T) {
+	sim := New()
+	mustPanic(t, "negative horizon", func() { sim.Run(-1) })
+}
+
+func TestHorizonBeforeNowPanics(t *testing.T) {
+	sim := New()
+	sim.At(5, "e", func(s *Simulator, now Time) {})
+	sim.Run(10) // clock advances to 10
+	mustPanic(t, "before current time", func() { sim.Run(3) })
+}
+
+func TestRunRecoversAfterHandlerPanic(t *testing.T) {
+	sim := New()
+	sim.At(1, "boom", func(s *Simulator, now Time) { panic("boom") })
+	func() {
+		defer func() { recover() }()
+		sim.Run(10)
+	}()
+	// The running flag must not stay latched after a handler panic, or
+	// every later Run would be falsely rejected as re-entrant.
+	sim.At(sim.Now()+1, "ok", func(s *Simulator, now Time) {})
+	if got := sim.Run(20); got != 1 {
+		t.Fatalf("post-panic Run fired %d events, want 1", got)
+	}
+}
+
+func TestInstrumentCountsLabels(t *testing.T) {
+	sim := New()
+	reg := obs.NewRegistry()
+	sim.Instrument(reg)
+	sim.At(1, "alpha", func(s *Simulator, now Time) {})
+	sim.At(2, "alpha", func(s *Simulator, now Time) {})
+	sim.At(3, "beta", func(s *Simulator, now Time) {
+		s.After(1, "gamma", func(s *Simulator, now Time) {})
+	})
+	sim.Run(10)
+	snap := reg.Snapshot()
+	if v, _ := snap.Get("des_events_by_label_total", "label", "alpha"); v != 2 {
+		t.Fatalf("alpha fired = %d, want 2", v)
+	}
+	if v, _ := snap.Get("des_events_by_label_total", "label", "gamma"); v != 1 {
+		t.Fatalf("gamma fired = %d, want 1", v)
+	}
+	if v, _ := snap.Get("des_events_fired_total"); v != 4 {
+		t.Fatalf("events fired = %d, want 4", v)
+	}
+	if v, ok := snap.Get("des_queue_depth"); !ok || v != 0 {
+		t.Fatalf("queue depth = %d (%v), want 0", v, ok)
+	}
+}
+
+func TestInstrumentNilRegistryIsNoop(t *testing.T) {
+	sim := New()
+	sim.Instrument(nil)
+	sim.At(1, "e", func(s *Simulator, now Time) {})
+	if got := sim.Run(10); got != 1 {
+		t.Fatalf("fired %d", got)
 	}
 }

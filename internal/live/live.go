@@ -24,10 +24,12 @@ package live
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"mobickpt/internal/mlog"
 	"mobickpt/internal/mobile"
+	"mobickpt/internal/obs"
 	"mobickpt/internal/protocol"
 	"mobickpt/internal/rng"
 	"mobickpt/internal/statestore"
@@ -67,6 +69,14 @@ type Config struct {
 	// LogFlushBatch overrides the optimistic flush threshold (0 keeps
 	// the mlog default).
 	LogFlushBatch int
+
+	// Metrics, when non-nil, receives the cluster's observability
+	// instruments (internal/obs): traffic counters, channel-depth gauges
+	// for the wired inboxes and downlinks, Go runtime gauges, checkpoint
+	// and replay counts. Safe to snapshot (e.g. from obs.ServeDebug's
+	// /metrics endpoint) while the cluster runs — the sampled readers
+	// take the cluster's locks.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns a small cluster that exercises every mechanism.
@@ -190,6 +200,12 @@ type Cluster struct {
 	counters   Counters
 	countersMu sync.Mutex
 
+	// Observability (nil instruments are no-ops when Config.Metrics is
+	// unset). ckpts and replays are atomic counters, safe without locks.
+	reg     *obs.Registry
+	ckpts   *obs.Counter
+	replays *obs.Counter
+
 	nextID uint64
 }
 
@@ -238,7 +254,73 @@ func NewCluster(cfg Config, mk NewProtocol) (*Cluster, error) {
 		c.mlog = lg
 	}
 	c.proto = mk(cfg.Hosts, c.checkpointer(), c.store)
+	c.instrument(cfg.Metrics)
 	return c, nil
+}
+
+// instrument registers the cluster's observability instruments. Every
+// sampled reader takes the lock guarding what it reads, so a concurrent
+// Snapshot (e.g. obs.ServeDebug's /metrics endpoint while the cluster
+// runs) is race-free.
+func (c *Cluster) instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c.reg = reg
+	c.ckpts = reg.Counter("live_checkpoints_total")
+	c.replays = reg.Counter("live_replayed_messages_total")
+
+	counter := func(name string, read func() int64) {
+		reg.CounterFunc(name, func() int64 {
+			c.countersMu.Lock()
+			defer c.countersMu.Unlock()
+			return read()
+		})
+	}
+	counter("live_sent_total", func() int64 { return c.counters.Sent })
+	counter("live_delivered_total", func() int64 { return c.counters.Delivered })
+	counter("live_duplicates_suppressed_total", func() int64 { return c.counters.Duplicates })
+	counter("live_switches_total", func() int64 { return c.counters.Switches })
+	counter("live_disconnects_total", func() int64 { return c.counters.Disconnect })
+	counter("live_joined_total", func() int64 { return c.counters.Joined })
+	counter("live_frame_bytes_total", func() int64 { return c.counters.FrameBytes })
+	counter("live_state_bytes_total", func() int64 { return c.counters.StateBytes })
+	counter("live_decode_errors_total", func() int64 { return c.counters.DecodeErrors })
+
+	// Channel depths: per-station wired inboxes (fixed set) plus the
+	// total downlink backlog (the slice grows on joins, so the reader
+	// holds dirMu). len() on a channel is safe concurrently.
+	for s := range c.wired {
+		s := s
+		reg.GaugeFunc("live_uplink_depth", func() int64 { return int64(len(c.wired[s])) },
+			"station", strconv.Itoa(s))
+	}
+	reg.GaugeFunc("live_downlink_depth_total", func() int64 {
+		c.dirMu.Lock()
+		defer c.dirMu.Unlock()
+		var d int64
+		for _, dl := range c.downlink {
+			d += int64(len(dl))
+		}
+		return d
+	})
+	obs.RegisterRuntimeGauges(reg)
+
+	if c.mlog != nil {
+		// The log is mutated under mu; sample its counters under the same
+		// lock rather than wiring mlog.Instrument's direct readers.
+		mlogCounter := func(name string, read func(mlog.Counters) int64) {
+			reg.CounterFunc(name, func() int64 {
+				c.mu.Lock()
+				defer c.mu.Unlock()
+				return read(c.mlog.Counters())
+			})
+		}
+		mlogCounter("mlog_appended_total", func(k mlog.Counters) int64 { return k.Appended })
+		mlogCounter("mlog_flushes_total", func(k mlog.Counters) int64 { return k.Flushes })
+		mlogCounter("mlog_handoffs_total", func(k mlog.Counters) int64 { return k.Handoffs })
+		mlogCounter("mlog_transfer_bytes_total", func(k mlog.Counters) int64 { return k.TransferBytes })
+	}
 }
 
 // checkpointer records checkpoints under the cluster lock (callers
@@ -249,6 +331,7 @@ func NewCluster(cfg Config, mk NewProtocol) (*Cluster, error) {
 func (c *Cluster) checkpointer() protocol.Checkpointer {
 	return func(h mobile.HostID, index int, kind storage.Kind) *storage.Record {
 		rec := c.store.Take(h, mobile.MSSID(c.station[h]), index, kind, 0)
+		c.ckpts.Inc()
 		seq := c.counts[h]
 		c.counts[h]++
 

@@ -1,0 +1,88 @@
+package live
+
+import (
+	"sync"
+	"testing"
+
+	"mobickpt/internal/mlog"
+	"mobickpt/internal/obs"
+)
+
+// The metrics instruments must be safe to snapshot while the cluster
+// runs (the /metrics endpoint scrapes a live system) — this test races a
+// snapshot loop against the run and is meaningful under -race.
+func TestMetricsConcurrentSnapshot(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.OpsPerHost = 200
+	cfg.Joins = 2
+	cfg.LogMode = mlog.Optimistic
+	cfg.Metrics = obs.NewRegistry()
+	c, err := NewCluster(cfg, qbcFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				cfg.Metrics.Snapshot()
+			}
+		}
+	}()
+	c.Run()
+	close(stop)
+	scraper.Wait()
+
+	snap := cfg.Metrics.Snapshot()
+	k := c.Counters()
+	if v, ok := snap.Get("live_sent_total"); !ok || v != k.Sent {
+		t.Errorf("live_sent_total = %d (%v), want %d", v, ok, k.Sent)
+	}
+	if v, ok := snap.Get("live_delivered_total"); !ok || v != k.Delivered {
+		t.Errorf("live_delivered_total = %d (%v), want %d", v, ok, k.Delivered)
+	}
+	if v, ok := snap.Get("live_checkpoints_total"); !ok || v <= 0 {
+		t.Errorf("live_checkpoints_total = %d (%v), want > 0", v, ok)
+	}
+	if v, ok := snap.Get("mlog_appended_total"); !ok || v != c.MLog().Counters().Appended {
+		t.Errorf("mlog_appended_total = %d (%v), want %d", v, ok, c.MLog().Counters().Appended)
+	}
+	if _, ok := snap.Get("go_goroutines"); !ok {
+		t.Error("go_goroutines gauge missing")
+	}
+
+	// Recovery on the finished cluster feeds the replay counter and the
+	// rollback-depth histogram.
+	rep, err := c.Recover(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap = cfg.Metrics.Snapshot()
+	if v, ok := snap.Get("live_replayed_messages_total"); !ok || v != int64(rep.ReplayedMessages) {
+		t.Errorf("live_replayed_messages_total = %d (%v), want %d", v, ok, rep.ReplayedMessages)
+	}
+	if v, ok := snap.Get("recovery_rollbacks_total", "run", "live"); !ok || v != 1 {
+		t.Errorf("recovery_rollbacks_total = %d (%v), want 1", v, ok)
+	}
+}
+
+// Without Config.Metrics every instrument is nil and the cluster must
+// behave identically (the nil-safe no-op path).
+func TestMetricsDisabledIsNoop(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.OpsPerHost = 50
+	c := runCluster(t, cfg, bcsFactory)
+	if c.Counters().Delivered == 0 {
+		t.Fatal("no traffic delivered")
+	}
+	if _, err := c.Recover(1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -122,6 +122,8 @@ func (c *Cluster) Recover(failed mobile.HostID) (*RecoveryReport, error) {
 			return nil, fmt.Errorf("live: replay reconciliation failed: %w", vs)
 		}
 	}
+	c.replays.Add(int64(rep.ReplayedMessages))
+	recovery.ObserveRollback(c.reg, "live", cut, c.counts)
 	return rep, nil
 }
 

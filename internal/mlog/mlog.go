@@ -36,6 +36,7 @@ import (
 
 	"mobickpt/internal/des"
 	"mobickpt/internal/mobile"
+	"mobickpt/internal/obs"
 )
 
 // Mode selects the logging discipline.
@@ -142,6 +143,7 @@ type Counters struct {
 
 // hostLog is one host's log state.
 type hostLog struct {
+	host    mobile.HostID
 	stable  []*Entry // flushed and retained, ascending Seq
 	pending []*Entry // buffered in MSS volatile memory (Optimistic)
 	nextSeq int      // seq the next Append receives
@@ -159,6 +161,12 @@ type Log struct {
 	hosts    map[mobile.HostID]*hostLog
 	retained int64 // current stable entries across hosts
 	counters Counters
+
+	// OnFlush, when non-nil, observes every stable write: the host whose
+	// entries were flushed and the number of entries in the write. The
+	// simulation's timeline tracer uses it; the hook must not call back
+	// into the log.
+	OnFlush func(h mobile.HostID, entries int)
 }
 
 // New creates an empty log. cfg.Mode must be Pessimistic or Optimistic.
@@ -178,10 +186,28 @@ func (l *Log) Counters() Counters { return l.counters }
 func (l *Log) host(h mobile.HostID) *hostLog {
 	hl := l.hosts[h]
 	if hl == nil {
-		hl = &hostLog{mss: mobile.NoMSS}
+		hl = &hostLog{host: h, mss: mobile.NoMSS}
 		l.hosts[h] = hl
 	}
 	return hl
+}
+
+// Instrument registers the log's activity with reg as sampled
+// observability instruments (internal/obs), labeled with the given
+// key/value pairs (e.g. "proto", "TP"). The counters are read only at
+// snapshot time, so the logging hot path is untouched.
+func (l *Log) Instrument(reg *obs.Registry, kv ...string) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("mlog_appended_total", func() int64 { return l.counters.Appended }, kv...)
+	reg.CounterFunc("mlog_flushes_total", func() int64 { return l.counters.Flushes }, kv...)
+	reg.CounterFunc("mlog_flushed_entries_total", func() int64 { return l.counters.FlushedEntries }, kv...)
+	reg.CounterFunc("mlog_stable_bytes_total", func() int64 { return l.counters.StableBytes }, kv...)
+	reg.CounterFunc("mlog_handoffs_total", func() int64 { return l.counters.Handoffs }, kv...)
+	reg.CounterFunc("mlog_transfer_bytes_total", func() int64 { return l.counters.TransferBytes }, kv...)
+	reg.CounterFunc("mlog_pruned_total", func() int64 { return l.counters.Pruned }, kv...)
+	reg.GaugeFunc("mlog_retained_entries", func() int64 { return l.retained }, kv...)
 }
 
 // Append logs one delivery to host h at station mss and returns the
@@ -217,6 +243,9 @@ func (l *Log) flush(hl *hostLog) {
 	l.retained += int64(n)
 	if l.retained > l.counters.PeakStableEntries {
 		l.counters.PeakStableEntries = l.retained
+	}
+	if l.OnFlush != nil {
+		l.OnFlush(hl.host, n)
 	}
 }
 

@@ -1,0 +1,431 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", []float64{1})
+	r.CounterFunc("cf", func() int64 { return 1 })
+	r.GaugeFunc("gf", func() int64 { return 1 })
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(1)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must discard updates")
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	var tl *Timeline
+	tl.Instant(1, 0, "e")
+	tl.Span(1, 2, 0, "s")
+	tl.SetTrack(0, "x")
+	if tl.Len() != 0 {
+		t.Fatal("nil timeline recorded events")
+	}
+	var buf bytes.Buffer
+	if err := tl.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterGaugeIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("reqs", "proto", "QBC")
+	b := r.Counter("reqs", "proto", "QBC")
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	if c := r.Counter("reqs", "proto", "BCS"); c == a {
+		t.Fatal("different labels must return a different counter")
+	}
+	a.Inc()
+	b.Add(2)
+	if a.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", a.Value())
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+}
+
+func TestLabelOrderInsensitive(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c", "x", "1", "y", "2")
+	b := r.Counter("c", "y", "2", "x", "1")
+	if a != b {
+		t.Fatal("label order must not matter")
+	}
+}
+
+func TestOddLabelsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd label list must panic")
+		}
+	}()
+	NewRegistry().Counter("c", "k")
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 106 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	s := r.Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatalf("histograms = %d", len(s.Histograms))
+	}
+	hs := s.Histograms[0]
+	// le=1 counts 0.5 and 1 (inclusive upper bound), le=2 adds 1.5,
+	// le=4 adds 3, +Inf (Count) adds 100.
+	want := []int64{2, 3, 4, 5}
+	for i, w := range want {
+		if hs.Counts[i] != w {
+			t.Fatalf("cumulative[%d] = %d, want %d", i, hs.Counts[i], w)
+		}
+	}
+	// Monotonicity of the cumulative series, as Prometheus requires.
+	for i := 1; i < len(hs.Counts); i++ {
+		if hs.Counts[i] < hs.Counts[i-1] {
+			t.Fatalf("bucket counts not monotone at %d", i)
+		}
+	}
+}
+
+func TestExpLinearBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	for i, w := range []float64{1, 2, 4, 8} {
+		if got[i] != w {
+			t.Fatalf("ExpBuckets[%d] = %v, want %v", i, got[i], w)
+		}
+	}
+	got = LinearBuckets(0, 5, 3)
+	for i, w := range []float64{0, 5, 10} {
+		if got[i] != w {
+			t.Fatalf("LinearBuckets[%d] = %v, want %v", i, got[i], w)
+		}
+	}
+}
+
+func TestSampledFuncs(t *testing.T) {
+	r := NewRegistry()
+	n := int64(41)
+	r.CounterFunc("sampled_total", func() int64 { return n })
+	r.GaugeFunc("sampled_now", func() int64 { return -n })
+	n++
+	s := r.Snapshot()
+	if v, ok := s.Get("sampled_total"); !ok || v != 42 {
+		t.Fatalf("counter func = %d, %v", v, ok)
+	}
+	if v, ok := s.Get("sampled_now"); !ok || v != -42 {
+		t.Fatalf("gauge func = %d, %v", v, ok)
+	}
+}
+
+// parsePrometheus is a minimal validator of the text exposition format:
+// every non-comment line must be `name{labels} value` or `name value`,
+// label values must be correctly quoted, and # TYPE lines must precede
+// their samples.
+func parsePrometheus(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	typed := make(map[string]string)
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("bad TYPE line %q", line)
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("bad sample line %q", line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		name := key
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("unterminated label block in %q", line)
+			}
+			name = key[:i]
+			labels := key[i+1 : len(key)-1]
+			// Each label must be k="escaped-v".
+			for len(labels) > 0 {
+				eq := strings.IndexByte(labels, '=')
+				if eq < 0 || len(labels) < eq+2 || labels[eq+1] != '"' {
+					t.Fatalf("bad label in %q", line)
+				}
+				rest := labels[eq+2:]
+				end := -1
+				for j := 0; j < len(rest); j++ {
+					if rest[j] == '\\' {
+						j++
+						continue
+					}
+					if rest[j] == '"' {
+						end = j
+						break
+					}
+				}
+				if end < 0 {
+					t.Fatalf("unterminated label value in %q", line)
+				}
+				labels = rest[end+1:]
+				labels = strings.TrimPrefix(labels, ",")
+			}
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suffix) {
+				if typed[strings.TrimSuffix(name, suffix)] == "histogram" {
+					base = strings.TrimSuffix(name, suffix)
+				}
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			t.Fatalf("sample %q has no preceding TYPE line", line)
+		}
+		samples[key] = val
+	}
+	return samples
+}
+
+func TestPrometheusExport(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ckpt_total", "proto", "QBC", "cause", "forced").Add(7)
+	r.Counter("ckpt_total", "proto", "TP", "cause", "basic-switch").Add(3)
+	r.Gauge("queue_depth").Set(12)
+	h := r.Histogram("rollback_depth", []float64{1, 2, 4}, "proto", "UNC")
+	h.Observe(3)
+	h.Observe(0.5)
+	// A label value exercising every escape rule.
+	r.Counter("weird", "path", "a\\b\"c\nd").Inc()
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	samples := parsePrometheus(t, text)
+
+	if v := samples[`ckpt_total{cause="forced",proto="QBC"}`]; v != 7 {
+		t.Fatalf("QBC forced = %v", v)
+	}
+	if v := samples[`queue_depth`]; v != 12 {
+		t.Fatalf("queue_depth = %v", v)
+	}
+	if v := samples[`weird{path="a\\b\"c\nd"}`]; v != 1 {
+		t.Fatalf("escaped label sample missing:\n%s", text)
+	}
+	// Histogram series: buckets cumulative and monotone, +Inf == count.
+	b1 := samples[`rollback_depth_bucket{proto="UNC",le="1"}`]
+	b2 := samples[`rollback_depth_bucket{proto="UNC",le="2"}`]
+	b4 := samples[`rollback_depth_bucket{proto="UNC",le="4"}`]
+	inf := samples[`rollback_depth_bucket{proto="UNC",le="+Inf"}`]
+	cnt := samples[`rollback_depth_count{proto="UNC"}`]
+	if !(b1 <= b2 && b2 <= b4 && b4 <= inf) {
+		t.Fatalf("buckets not monotone: %v %v %v %v", b1, b2, b4, inf)
+	}
+	if inf != cnt || cnt != 2 {
+		t.Fatalf("+Inf bucket %v != count %v", inf, cnt)
+	}
+	if samples[`rollback_depth_sum{proto="UNC"}`] != 3.5 {
+		t.Fatalf("sum = %v", samples[`rollback_depth_sum{proto="UNC"}`])
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "k", "v").Add(4)
+	r.Gauge("b").Set(-1)
+	r.Histogram("c", []float64{1, 10}).Observe(5)
+	snap := r.Snapshot()
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := got.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("JSON round trip not stable:\n%s\nvs\n%s", buf.String(), buf2.String())
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	build := func(order []int) string {
+		r := NewRegistry()
+		for _, i := range order {
+			r.Counter("m", "i", fmt.Sprint(i)).Add(int64(i))
+		}
+		var buf bytes.Buffer
+		if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if a, b := build([]int{3, 1, 2}), build([]int{2, 3, 1}); a != b {
+		t.Fatalf("snapshot order depends on registration order:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("par_total").Inc()
+				r.Histogram("par_h", []float64{10, 100}).Observe(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Counter("par_total").Value(); v != 8000 {
+		t.Fatalf("concurrent counter = %d", v)
+	}
+	if c := r.Histogram("par_h", []float64{10, 100}).Count(); c != 8000 {
+		t.Fatalf("concurrent histogram count = %d", c)
+	}
+}
+
+func TestTimelineRoundTrip(t *testing.T) {
+	tl := NewTimeline()
+	tl.SetTrack(0, "MH 0")
+	tl.SetTrack(1, "MH 1")
+	tl.Instant(1.5, 0, "checkpoint", "kind", "forced", "proto", "QBC")
+	tl.Span(2, 3.25, 1, "disconnected")
+	tl.Instant(6, 1, "deliver", "from", "0")
+
+	var a bytes.Buffer
+	if err := tl.Export(&a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ImportTimeline(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := got.Export(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("timeline round trip not byte-identical:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if got.Len() != 3 {
+		t.Fatalf("imported %d events", got.Len())
+	}
+	evs := got.Events()
+	if evs[0].Name != "checkpoint" || evs[0].Args["proto"] != "QBC" {
+		t.Fatalf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Phase != "X" || evs[1].Dur != 3.25 {
+		t.Fatalf("span = %+v", evs[1])
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total").Add(9)
+	RegisterRuntimeGauges(r)
+	srv, addr, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.Contains(text, "served_total 9") {
+		t.Fatalf("metrics endpoint missing counter:\n%s", text)
+	}
+	if !strings.Contains(text, "go_goroutines") {
+		t.Fatalf("runtime gauges missing:\n%s", text)
+	}
+	resp2, err := http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("pprof endpoint status %d", resp2.StatusCode)
+	}
+}
+
+func TestStartProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	stop, err := StartProfiles(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to hold.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+}

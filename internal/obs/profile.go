@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	rpprof "runtime/pprof"
+)
+
+// StartProfiles starts the profiling the two paths request: a CPU
+// profile streaming to cpuPath and/or a heap profile written to memPath
+// when the returned stop function runs. Either path may be empty. The
+// CLIs call it right after flag parsing and defer stop().
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := rpprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			rpprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("obs: mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is current
+			if err := rpprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("obs: mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}
+
+// RegisterRuntimeGauges registers Go runtime health gauges with reg:
+// goroutine count and heap usage. The live cluster uses them next to its
+// channel-depth gauges.
+func RegisterRuntimeGauges(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("go_goroutines", func() int64 { return int64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("go_heap_alloc_bytes", func() int64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return int64(m.HeapAlloc)
+	})
+}
+
+// ServeDebug starts an HTTP server on addr exposing the standard pprof
+// endpoints under /debug/pprof/ and, when reg is non-nil, a Prometheus
+// text endpoint at /metrics. It returns the server (Close to stop) and
+// the bound address (addr may use port 0). The caller owns the server.
+func ServeDebug(addr string, reg *Registry) (*http.Server, string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := reg.Snapshot().WritePrometheus(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: debug server: %w", err)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Timeline records per-host instants and spans and exports them as
+// Chrome trace-event JSON, loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Tracks are keyed by an integer id (the host id; the
+// engines name them via SetTrack). Virtual time units map 1:1 onto trace
+// microseconds.
+//
+// Given a deterministic event source (the DES engines under a fixed
+// seed), Export produces byte-identical output across runs: events keep
+// insertion order, track metadata is sorted, and all encoding goes
+// through encoding/json with struct fields and sorted map keys.
+//
+// A nil *Timeline discards all records, so engines can call it
+// unconditionally. The struct is safe for concurrent use.
+type Timeline struct {
+	mu     sync.Mutex
+	tracks map[int]string
+	events []TimelineEvent
+}
+
+// TimelineEvent is one Chrome trace event. Phase "i" is an instant,
+// "X" a complete span with Dur, "M" metadata (track names).
+type TimelineEvent struct {
+	Name  string            `json:"name"`
+	Phase string            `json:"ph"`
+	Ts    float64           `json:"ts"`
+	Dur   float64           `json:"dur,omitempty"`
+	Pid   int               `json:"pid"`
+	Tid   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline {
+	return &Timeline{tracks: make(map[int]string)}
+}
+
+// SetTrack names the track with id track (shown as a thread name).
+func (t *Timeline) SetTrack(track int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.tracks[track] = name
+	t.mu.Unlock()
+}
+
+func argsOf(kv []string) map[string]string {
+	if len(kv) == 0 {
+		return nil
+	}
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd timeline arg list %q", kv))
+	}
+	m := make(map[string]string, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		m[kv[i]] = kv[i+1]
+	}
+	return m
+}
+
+// Instant records a zero-duration event on a track at virtual time ts,
+// with alternating key,value args.
+func (t *Timeline) Instant(ts float64, track int, name string, kv ...string) {
+	if t == nil {
+		return
+	}
+	ev := TimelineEvent{Name: name, Phase: "i", Ts: ts, Tid: track, Scope: "t", Args: argsOf(kv)}
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Span records a complete event of duration dur starting at ts.
+func (t *Timeline) Span(ts, dur float64, track int, name string, kv ...string) {
+	if t == nil {
+		return
+	}
+	ev := TimelineEvent{Name: name, Phase: "X", Ts: ts, Dur: dur, Tid: track, Args: argsOf(kv)}
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded events (0 on a nil timeline).
+func (t *Timeline) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the recorded events in insertion order.
+func (t *Timeline) Events() []TimelineEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TimelineEvent(nil), t.events...)
+}
+
+// timelineEnvelope is the JSON object format of the trace-event spec.
+type timelineEnvelope struct {
+	TraceEvents []TimelineEvent `json:"traceEvents"`
+}
+
+// Export writes the timeline as Chrome trace-event JSON: track-name
+// metadata (sorted by track id) followed by the recorded events in
+// insertion order. Deterministic event streams export byte-identically.
+func (t *Timeline) Export(w io.Writer) error {
+	env := timelineEnvelope{TraceEvents: []TimelineEvent{}}
+	if t != nil {
+		t.mu.Lock()
+		ids := make([]int, 0, len(t.tracks))
+		for id := range t.tracks {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			env.TraceEvents = append(env.TraceEvents, TimelineEvent{
+				Name:  "thread_name",
+				Phase: "M",
+				Tid:   id,
+				Args:  map[string]string{"name": t.tracks[id]},
+			})
+		}
+		env.TraceEvents = append(env.TraceEvents, t.events...)
+		t.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(env)
+}
+
+// ImportTimeline parses trace-event JSON previously written by Export
+// back into a Timeline (metadata events become track names).
+func ImportTimeline(r io.Reader) (*Timeline, error) {
+	var env timelineEnvelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("obs: bad timeline JSON: %w", err)
+	}
+	t := NewTimeline()
+	for _, ev := range env.TraceEvents {
+		if ev.Phase == "M" {
+			if ev.Name != "thread_name" {
+				return nil, fmt.Errorf("obs: unknown metadata event %q", ev.Name)
+			}
+			t.tracks[ev.Tid] = ev.Args["name"]
+			continue
+		}
+		t.events = append(t.events, ev)
+	}
+	return t, nil
+}

@@ -1,0 +1,27 @@
+package recovery
+
+import "mobickpt/internal/obs"
+
+// ObserveRollback records one executed rollback in reg's observability
+// instruments (internal/obs): recovery_rollbacks_total counts the
+// recovery, and recovery_rollback_depth observes, per rolled-back host,
+// how many checkpoints the cut discards from that host's chain — the
+// paper's undone-computation cost, as a distribution. counts[h] is the
+// number of checkpoints host h had taken (including the initial one);
+// hosts the cut leaves at End lose nothing and are not observed. A nil
+// reg is a no-op.
+func ObserveRollback(reg *obs.Registry, label string, cut Cut, counts []int) {
+	if reg == nil {
+		return
+	}
+	hist := reg.Histogram("recovery_rollback_depth", obs.LinearBuckets(1, 1, 16), "run", label)
+	reg.Counter("recovery_rollbacks_total", "run", label).Inc()
+	for h, ord := range cut {
+		if ord == End || h >= len(counts) {
+			continue
+		}
+		if depth := counts[h] - 1 - ord; depth >= 0 {
+			hist.Observe(float64(depth))
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package recovery
+
+import (
+	"testing"
+
+	"mobickpt/internal/obs"
+)
+
+func TestObserveRollback(t *testing.T) {
+	reg := obs.NewRegistry()
+	// Three hosts with 5 checkpoints each (ordinals 0..4). Host 0 rolls
+	// back to ordinal 2 (depth 2), host 1 to ordinal 4 (depth 0), host 2
+	// does not roll back.
+	cut := Cut{2, 4, End}
+	counts := []int{5, 5, 5}
+	ObserveRollback(reg, "test", cut, counts)
+	ObserveRollback(nil, "test", cut, counts) // nil registry is a no-op
+
+	snap := reg.Snapshot()
+	if v, ok := snap.Get("recovery_rollbacks_total", "run", "test"); !ok || v != 1 {
+		t.Fatalf("recovery_rollbacks_total = %d (%v), want 1", v, ok)
+	}
+	for _, h := range snap.Histograms {
+		if h.Name != "recovery_rollback_depth" {
+			continue
+		}
+		if h.Count != 2 {
+			t.Fatalf("observed %d rollback depths, want 2", h.Count)
+		}
+		if h.Sum != 2 {
+			t.Fatalf("depth sum = %v, want 2", h.Sum)
+		}
+		return
+	}
+	t.Fatal("no recovery_rollback_depth histogram in snapshot")
+}

@@ -264,3 +264,48 @@ func JoinsTable(base Config, seeds []uint64) (*stats.Table, error) {
 	}
 	return tab, nil
 }
+
+// CauseTable evaluates E19: N_tot broken down by what triggered each
+// checkpoint — basic checkpoints forced by cell switches, basic
+// checkpoints forced by disconnections, and protocol-induced forced
+// checkpoints. The split shows *why* each protocol pays its N_tot: the
+// mobility-driven share is identical work across index protocols, while
+// the forced share is where they differ (the paper's §5 comparison).
+func CauseTable(base Config, seeds []uint64) (*stats.Table, error) {
+	cfg := base
+	cfg.Workload.PSwitch = 0.8
+	tab := stats.NewTable(
+		fmt.Sprintf("Checkpoint causes (E19; Tswitch=%.0f, Pswitch=%.2f)",
+			cfg.Workload.TSwitch, cfg.Workload.PSwitch),
+		"protocol", "Ntot", "basic (switch)", "basic (disconnect)", "forced", "forced share")
+	type acc struct{ ntot, sw, disc, forced stats.Mean }
+	accs := make([]acc, len(cfg.Protocols))
+	for _, s := range seeds {
+		c := cfg
+		c.Seed = s
+		res, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		for i, pr := range res.Protocols {
+			accs[i].ntot.Add(float64(pr.Ntot))
+			accs[i].sw.Add(float64(pr.Causes["basic-switch"]))
+			accs[i].disc.Add(float64(pr.Causes["basic-disconnect"]))
+			accs[i].forced.Add(float64(pr.Causes["forced"]))
+		}
+	}
+	for i, p := range cfg.Protocols {
+		ntot := accs[i].ntot.Mean()
+		share := 0.0
+		if ntot > 0 {
+			share = accs[i].forced.Mean() / ntot
+		}
+		tab.AddRow(string(p),
+			fmt.Sprintf("%.0f", ntot),
+			fmt.Sprintf("%.0f", accs[i].sw.Mean()),
+			fmt.Sprintf("%.0f", accs[i].disc.Mean()),
+			fmt.Sprintf("%.0f", accs[i].forced.Mean()),
+			fmt.Sprintf("%.1f%%", share*100))
+	}
+	return tab, nil
+}

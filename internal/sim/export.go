@@ -45,20 +45,21 @@ type exportedNetwork struct {
 }
 
 type exportedProtocol struct {
-	Name            string  `json:"name"`
-	Ntot            int64   `json:"ntot"`
-	Basic           int64   `json:"basic"`
-	Forced          int64   `json:"forced"`
-	Initial         int64   `json:"initial"`
-	PiggybackBytes  int64   `json:"piggyback_bytes"`
-	CtrlMessages    int64   `json:"ctrl_messages"`
-	JoinCtrl        int64   `json:"join_ctrl_messages"`
-	MHEnergy        float64 `json:"mh_energy"`
-	ChannelLoad     float64 `json:"channel_load"`
-	WirelessUnits   int64   `json:"storage_wireless_units"`
-	WiredUnits      int64   `json:"storage_wired_units"`
-	PeakLiveRecords int     `json:"peak_live_records"`
-	GCReclaimed     int     `json:"gc_reclaimed_records"`
+	Name            string           `json:"name"`
+	Ntot            int64            `json:"ntot"`
+	Basic           int64            `json:"basic"`
+	Forced          int64            `json:"forced"`
+	Initial         int64            `json:"initial"`
+	Causes          map[string]int64 `json:"checkpoint_causes,omitempty"`
+	PiggybackBytes  int64            `json:"piggyback_bytes"`
+	CtrlMessages    int64            `json:"ctrl_messages"`
+	JoinCtrl        int64            `json:"join_ctrl_messages"`
+	MHEnergy        float64          `json:"mh_energy"`
+	ChannelLoad     float64          `json:"channel_load"`
+	WirelessUnits   int64            `json:"storage_wireless_units"`
+	WiredUnits      int64            `json:"storage_wired_units"`
+	PeakLiveRecords int              `json:"peak_live_records"`
+	GCReclaimed     int              `json:"gc_reclaimed_records"`
 }
 
 // ExportJSON writes the run's scalar outcomes as one JSON document.
@@ -103,6 +104,7 @@ func (r *Result) ExportJSON(w io.Writer) error {
 			Basic:           pr.Basic,
 			Forced:          pr.Forced,
 			Initial:         pr.Initial,
+			Causes:          pr.Causes,
 			PiggybackBytes:  pr.PiggybackBytes,
 			CtrlMessages:    pr.CtrlMessages,
 			JoinCtrl:        pr.JoinCtrlMessages,

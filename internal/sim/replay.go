@@ -48,8 +48,10 @@ func Logged(pr *ProtocolResult) recovery.LoggedFunc {
 // ReplayOutcome compares rollback cost without and with log-based
 // replay for one protocol result (one seed, one failure).
 type ReplayOutcome struct {
-	Plain  recovery.Metrics       // classic orphan-elimination recovery
-	Replay recovery.ReplayMetrics // replay-aware recovery over the same log
+	Plain     recovery.Metrics       // classic orphan-elimination recovery
+	PlainCut  recovery.Cut           // recovery line the classic recovery restores
+	Replay    recovery.ReplayMetrics // replay-aware recovery over the same log
+	ReplayCut recovery.Cut           // recovery line of the replay-aware recovery
 }
 
 // AnalyzeReplay injects a failure of host failed at failTime into a
@@ -65,6 +67,7 @@ func AnalyzeReplay(pr *ProtocolResult, n int, failed mobile.HostID, failTime des
 	cut, steps := recovery.Propagate(pr.Trace, seed)
 	var out ReplayOutcome
 	out.Plain = recovery.Measure(pr.Trace, cut, chains, failTime, steps)
+	out.PlainCut = cut
 
 	// With a stable log the replay-aware recovery needs no coordinated
 	// seed line: only the failed host rolls back a priori (the log keeps
@@ -80,6 +83,7 @@ func AnalyzeReplay(pr *ProtocolResult, n int, failed mobile.HostID, failTime des
 		return out, fmt.Errorf("sim: %s replay-aware cut keeps %d unlogged orphan(s)", pr.Name, o)
 	}
 	out.Replay = recovery.MeasureReplay(pr.Trace, rcut, chains, failTime, rsteps, logged)
+	out.ReplayCut = rcut
 	return out, nil
 }
 

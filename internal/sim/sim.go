@@ -16,12 +16,14 @@ package sim
 
 import (
 	"fmt"
+	"strconv"
 
 	"mobickpt/internal/check"
 	"mobickpt/internal/des"
 	"mobickpt/internal/energy"
 	"mobickpt/internal/mlog"
 	"mobickpt/internal/mobile"
+	"mobickpt/internal/obs"
 	"mobickpt/internal/protocol"
 	"mobickpt/internal/recovery"
 	"mobickpt/internal/rng"
@@ -111,6 +113,29 @@ type Config struct {
 	// Ignored unless MessageLog is mlog.Optimistic.
 	LogFlushBatch int
 
+	// Metrics, when non-nil, receives the run's observability instruments
+	// (internal/obs): DES event/queue metrics, per-protocol checkpoint
+	// counters broken down by cause, control-message and GC tallies,
+	// message-log activity and network/workload volumes. With Metrics nil
+	// the engine's hot paths skip instrumentation entirely
+	// (BenchmarkObsOverhead asserts the disabled cost is noise).
+	Metrics *obs.Registry
+
+	// Timeline, when non-nil, records per-host instants and spans —
+	// checkpoints (with kind and cause), hand-offs, disconnection
+	// periods, message sends/deliveries and log flushes — exportable as
+	// Chrome trace-event JSON (obs.Timeline.Export). The recording is
+	// deterministic given the seed: two same-seed runs export
+	// byte-identical timelines.
+	Timeline *obs.Timeline
+
+	// Progress, when non-nil, is invoked every ProgressEvery simulated
+	// time units with the current virtual time and the events fired so
+	// far (CLI progress reporting for long sweeps). ProgressEvery
+	// defaults to Horizon/10. The callback must not touch the engine.
+	Progress      func(now des.Time, fired uint64)
+	ProgressEvery des.Time
+
 	// Checks enables the runtime invariant checker (internal/check): every
 	// protocol event is verified against a shadow model of the protocol's
 	// rules, the engine's counters are reconciled against the stable-storage
@@ -187,6 +212,9 @@ func (c Config) Validate() error {
 			return fmt.Errorf("sim: join time %v outside (0, horizon]", at)
 		}
 	}
+	if c.ProgressEvery < 0 {
+		return fmt.Errorf("sim: negative ProgressEvery")
+	}
 	return nil
 }
 
@@ -229,6 +257,11 @@ type ProtocolResult struct {
 	// Log aggregates MSS message-logging activity (zero value unless
 	// Config.MessageLog enabled logging).
 	Log mlog.Counters
+
+	// Causes breaks the checkpoints down by trigger (E19): keys are
+	// "initial", "basic-switch", "basic-disconnect", "basic-marker",
+	// "basic-other" and "forced". The non-initial values sum to Ntot.
+	Causes map[string]int64
 
 	// Store and Trace expose the raw material for recovery analysis.
 	// Trace is nil unless Config.RecordTrace was set; MLog is nil unless
@@ -307,6 +340,50 @@ type engine struct {
 	gcReclaimed []int   // per protocol, total records pruned
 	gcFrontier  []int   // per protocol, highest stable index any GC pruned at
 	joinCtrl    []int64 // per protocol, control messages spent on joins
+
+	// cause names the engine activity driving the protocol callbacks that
+	// are currently running ("switch", "disconnect", "marker", ...); the
+	// checkpointer reads it to attribute each checkpoint to its trigger
+	// (E19). causes accumulates the per-protocol breakdown.
+	cause  string
+	causes []map[string]int64
+
+	// Observability (nil unless Config.Metrics / Config.Timeline).
+	reg         *obs.Registry
+	tl          *obs.Timeline
+	ckptByCause []map[string]*obs.Counter // cached sim_checkpoints_total counters
+	forcedHost  [][]*obs.Counter          // cached per-host forced-checkpoint counters
+	discAt      map[mobile.HostID]des.Time
+}
+
+// setCause marks the engine activity about to drive protocol callbacks
+// and returns the previous value, which the caller restores afterwards.
+func (e *engine) setCause(c string) (prev string) {
+	prev = e.cause
+	e.cause = c
+	return prev
+}
+
+// causeKey classifies a checkpoint for the E19 breakdown: the storage
+// kind plus — for basic checkpoints — the engine activity that forced it
+// (the paper's two mobility triggers, cell switch and disconnection, or
+// the coordinated baselines' markers).
+func causeKey(kind storage.Kind, cause string) string {
+	switch kind {
+	case storage.Initial:
+		return "initial"
+	case storage.Forced:
+		return "forced"
+	}
+	switch cause {
+	case "switch":
+		return "basic-switch"
+	case "disconnect":
+		return "basic-disconnect"
+	case "":
+		return "basic-other"
+	}
+	return "basic-" + cause
 }
 
 // payload is what one application message carries: the per-protocol
@@ -316,12 +393,17 @@ type payload struct {
 }
 
 func newEngine(cfg Config) (*engine, error) {
-	e := &engine{cfg: cfg, sim: des.New()}
+	e := &engine{cfg: cfg, sim: des.New(), reg: cfg.Metrics, tl: cfg.Timeline}
+	e.sim.Instrument(cfg.Metrics)
+	if e.tl != nil {
+		e.discAt = make(map[mobile.HostID]des.Time)
+	}
 
 	n := cfg.Mobile.NumHosts
 	hooks := mobile.Hooks{
 		OnDeliver: e.onDeliver,
 		OnCellSwitch: func(now des.Time, h *mobile.Host, from, to mobile.MSSID) {
+			defer e.setCause(e.setCause("switch"))
 			for i, p := range e.protos {
 				p.OnCellSwitch(h.ID, to)
 				if e.checks != nil {
@@ -333,9 +415,14 @@ func newEngine(cfg Config) (*engine, error) {
 					lg.Handoff(h.ID, to)
 				}
 			}
+			if e.tl != nil {
+				e.tl.Instant(float64(now), int(h.ID), "handoff",
+					"from", strconv.Itoa(int(from)), "to", strconv.Itoa(int(to)))
+			}
 			e.recordMobility(h.ID, trace.Handoff, from, to, now)
 		},
 		OnDisconnect: func(now des.Time, h *mobile.Host) {
+			defer e.setCause(e.setCause("disconnect"))
 			for i, p := range e.protos {
 				p.OnDisconnect(h.ID)
 				if e.checks != nil {
@@ -347,14 +434,28 @@ func newEngine(cfg Config) (*engine, error) {
 					lg.Flush(h.ID)
 				}
 			}
+			if e.tl != nil {
+				e.discAt[h.ID] = now
+				e.tl.Instant(float64(now), int(h.ID), "disconnect",
+					"from", strconv.Itoa(int(h.LastMSS())))
+			}
 			e.recordMobility(h.ID, trace.Disconnect, h.LastMSS(), mobile.NoMSS, now)
 		},
 		OnReconnect: func(now des.Time, h *mobile.Host, at mobile.MSSID) {
+			defer e.setCause(e.setCause("reconnect"))
 			for i, p := range e.protos {
 				p.OnReconnect(h.ID, at)
 				if e.checks != nil {
 					e.checks[i].AfterReconnect(h.ID)
 				}
+			}
+			if e.tl != nil {
+				if start, ok := e.discAt[h.ID]; ok {
+					e.tl.Span(float64(start), float64(now-start), int(h.ID), "disconnected")
+					delete(e.discAt, h.ID)
+				}
+				e.tl.Instant(float64(now), int(h.ID), "reconnect",
+					"at", strconv.Itoa(int(at)))
 			}
 			e.recordMobility(h.ID, trace.Reconnect, mobile.NoMSS, at, now)
 		},
@@ -377,9 +478,18 @@ func newEngine(cfg Config) (*engine, error) {
 	e.traces = make([]*trace.Trace, len(cfg.Protocols))
 	e.mlogs = make([]*mlog.Log, len(cfg.Protocols))
 	e.counts = make([][]int, len(cfg.Protocols))
+	e.causes = make([]map[string]int64, len(cfg.Protocols))
+	if e.reg != nil {
+		e.ckptByCause = make([]map[string]*obs.Counter, len(cfg.Protocols))
+		e.forcedHost = make([][]*obs.Counter, len(cfg.Protocols))
+	}
 	for i, name := range cfg.Protocols {
 		e.stores[i] = storage.NewStore(cfg.Cost)
 		e.counts[i] = make([]int, n)
+		e.causes[i] = make(map[string]int64)
+		if e.reg != nil {
+			e.ckptByCause[i] = make(map[string]*obs.Counter)
+		}
 		if cfg.RecordTrace {
 			e.traces[i] = trace.New(n)
 		}
@@ -391,6 +501,13 @@ func newEngine(cfg Config) (*engine, error) {
 			lg, err := mlog.New(lcfg)
 			if err != nil {
 				return nil, err
+			}
+			if e.tl != nil {
+				nm := string(name)
+				lg.OnFlush = func(h mobile.HostID, entries int) {
+					e.tl.Instant(float64(e.sim.Now()), int(h), "log-flush",
+						"proto", nm, "entries", strconv.Itoa(entries))
+				}
 			}
 			e.mlogs[i] = lg
 		}
@@ -440,15 +557,79 @@ func newEngine(cfg Config) (*engine, error) {
 		return nil, err
 	}
 	e.driver = driver
+
+	if e.reg != nil {
+		// Sampled instruments: the existing tallies are read only at
+		// snapshot time, so none of these touch the hot path.
+		for i := range cfg.Protocols {
+			i := i
+			name := string(cfg.Protocols[i])
+			e.reg.CounterFunc("sim_piggyback_bytes_total",
+				func() int64 { return e.protos[i].PiggybackBytes() }, "proto", name)
+			e.reg.CounterFunc("sim_gc_reclaimed_total",
+				func() int64 { return int64(e.gcReclaimed[i]) }, "proto", name)
+			e.reg.GaugeFunc("sim_gc_peak_live_records",
+				func() int64 { return int64(e.peakLive[i]) }, "proto", name)
+			e.reg.CounterFunc("sim_join_ctrl_messages_total",
+				func() int64 { return e.joinCtrl[i] }, "proto", name)
+			if init, ok := e.protos[i].(protocol.Initiator); ok {
+				e.reg.CounterFunc("sim_ctrl_messages_total",
+					func() int64 { return init.ControlMessages() }, "proto", name)
+			}
+			if lg := e.mlogs[i]; lg != nil {
+				lg.Instrument(e.reg, "proto", name)
+			}
+		}
+		e.reg.CounterFunc("sim_app_messages_total",
+			func() int64 { return e.net.Counters().AppMessages })
+		e.reg.CounterFunc("sim_net_ctrl_messages_total",
+			func() int64 { return e.net.Counters().CtrlMessages })
+		e.reg.CounterFunc("sim_wireless_hops_total",
+			func() int64 { return e.net.Counters().WirelessHops })
+		e.reg.CounterFunc("sim_wired_hops_total",
+			func() int64 { return e.net.Counters().WiredHops })
+		e.reg.CounterFunc("sim_workload_sends_total",
+			func() int64 { return e.driver.Counters().Sends })
+		e.reg.CounterFunc("sim_workload_receives_total",
+			func() int64 { return e.driver.Counters().Receives })
+	}
 	return e, nil
 }
 
 // checkpointer builds the Checkpointer for protocol slot i.
 func (e *engine) checkpointer(i int) protocol.Checkpointer {
+	name := string(e.cfg.Protocols[i])
 	return func(h mobile.HostID, index int, kind storage.Kind) *storage.Record {
 		rec := e.stores[i].Take(h, e.net.Host(h).LastMSS(), index, kind, e.sim.Now())
 		e.counts[i][h]++
 		e.pendingLatency[h] += e.cfg.CheckpointLatency
+		key := causeKey(kind, e.cause)
+		e.causes[i][key]++
+		if e.reg != nil {
+			c := e.ckptByCause[i][key]
+			if c == nil {
+				c = e.reg.Counter("sim_checkpoints_total", "proto", name, "cause", key)
+				e.ckptByCause[i][key] = c
+			}
+			c.Inc()
+			if kind == storage.Forced {
+				for int(h) >= len(e.forcedHost[i]) {
+					e.forcedHost[i] = append(e.forcedHost[i], nil)
+				}
+				fc := e.forcedHost[i][h]
+				if fc == nil {
+					fc = e.reg.Counter("sim_forced_checkpoints_total",
+						"proto", name, "host", strconv.Itoa(int(h)))
+					e.forcedHost[i][h] = fc
+				}
+				fc.Inc()
+			}
+		}
+		if e.tl != nil {
+			e.tl.Instant(float64(e.sim.Now()), int(h), "checkpoint",
+				"proto", name, "kind", kind.String(), "cause", key,
+				"index", strconv.Itoa(index))
+		}
 		return rec
 	}
 }
@@ -456,6 +637,7 @@ func (e *engine) checkpointer(i int) protocol.Checkpointer {
 // send runs every protocol's OnSend, assembles the piggyback slots and
 // hands the message to the network.
 func (e *engine) send(from, to mobile.HostID) {
+	prev := e.setCause("send") // restored below; this is the hot path, no defer
 	pl := payload{piggyback: make([]any, len(e.protos))}
 	for i, p := range e.protos {
 		pl.piggyback[i] = p.OnSend(from, to)
@@ -467,17 +649,27 @@ func (e *engine) send(from, to mobile.HostID) {
 	if err != nil {
 		panic("sim: " + err.Error()) // the driver only sends from connected hosts
 	}
+	if e.tl != nil {
+		e.tl.Instant(float64(e.sim.Now()), int(from), "send",
+			"to", strconv.Itoa(int(to)), "msg", strconv.FormatUint(m.ID, 10))
+	}
 	for i, tr := range e.traces {
 		if tr != nil {
 			tr.RecordSend(m.ID, from, to, e.counts[i][from], e.sim.Now())
 		}
 	}
+	e.setCause(prev)
 }
 
 // onDeliver dispatches a delivered message to every protocol and records
 // the receiver-side trace positions (after any forced checkpoint).
 func (e *engine) onDeliver(now des.Time, h *mobile.Host, m *mobile.Message) {
+	prev := e.setCause("deliver") // restored below; this is the hot path, no defer
 	pl := m.Payload.(payload)
+	if e.tl != nil {
+		e.tl.Instant(float64(now), int(h.ID), "deliver",
+			"from", strconv.Itoa(int(m.From)), "msg", strconv.FormatUint(m.ID, 10))
+	}
 	for i, p := range e.protos {
 		p.OnDeliver(h.ID, m.From, pl.piggyback[i])
 		if e.checks != nil {
@@ -493,6 +685,7 @@ func (e *engine) onDeliver(now des.Time, h *mobile.Host, m *mobile.Message) {
 			lg.Append(h.ID, m.From, m.ID, e.counts[i][h.ID], now, h.LastMSS())
 		}
 	}
+	e.setCause(prev)
 }
 
 // recordMobility mirrors one mobility event into every recorded trace
@@ -515,6 +708,7 @@ func (e *engine) scheduleSnapshots(i int, init protocol.Initiator) {
 	markerLatency := e.cfg.Mobile.WiredLatency + e.cfg.Mobile.WirelessLatency
 	var tick func(sim *des.Simulator, now des.Time)
 	tick = func(sim *des.Simulator, now des.Time) {
+		defer e.setCause(e.setCause("marker"))
 		for _, h := range init.BeginSnapshot() {
 			h := h
 			// One location query per marker: the paper's drawback (1).
@@ -524,6 +718,7 @@ func (e *engine) scheduleSnapshots(i int, init protocol.Initiator) {
 			}
 			sim.After(markerLatency, "marker", func(sim *des.Simulator, now des.Time) {
 				if e.net.Host(h).Connected() {
+					defer e.setCause(e.setCause("marker"))
 					init.OnMarker(h)
 					if e.checks != nil {
 						e.checks[i].AfterMarker(h)
@@ -543,6 +738,7 @@ func (e *engine) scheduleTicks(i int, per protocol.Periodic) {
 	period := e.cfg.SnapshotPeriod
 	var tick func(sim *des.Simulator, now des.Time)
 	tick = func(sim *des.Simulator, now des.Time) {
+		defer e.setCause(e.setCause("tick"))
 		for h := 0; h < e.cfg.Mobile.NumHosts; h++ {
 			if e.net.Host(mobile.HostID(h)).Connected() {
 				per.OnTick(mobile.HostID(h))
@@ -604,10 +800,16 @@ func (e *engine) scheduleGC() {
 // Dynamic) and into the workload. Hosts joining mid-run immediately
 // communicate and roam like any other.
 func (e *engine) join() {
+	defer e.setCause(e.setCause("join"))
 	at := mobile.MSSID(e.net.NumHosts() % e.cfg.Mobile.NumMSS)
 	id, err := e.net.AddHost(at)
 	if err != nil {
 		panic("sim: " + err.Error())
+	}
+	if e.tl != nil {
+		e.tl.SetTrack(int(id), fmt.Sprintf("MH %d (joined)", id))
+		e.tl.Instant(float64(e.sim.Now()), int(id), "join",
+			"at", strconv.Itoa(int(at)))
 	}
 	e.pendingLatency = append(e.pendingLatency, 0)
 	for i, p := range e.protos {
@@ -629,12 +831,20 @@ func (e *engine) join() {
 
 // run executes the configured horizon and assembles the result.
 func (e *engine) run() *Result {
-	for i, p := range e.protos {
-		p.Init()
-		if e.checks != nil {
-			e.checks[i].AfterInit(e.cfg.Mobile.NumHosts)
+	if e.tl != nil {
+		for h := 0; h < e.cfg.Mobile.NumHosts; h++ {
+			e.tl.SetTrack(h, fmt.Sprintf("MH %d", h))
 		}
 	}
+	func() {
+		defer e.setCause(e.setCause("init"))
+		for i, p := range e.protos {
+			p.Init()
+			if e.checks != nil {
+				e.checks[i].AfterInit(e.cfg.Mobile.NumHosts)
+			}
+		}
+	}()
 	for i, p := range e.protos {
 		if init, ok := p.(protocol.Initiator); ok {
 			e.scheduleSnapshots(i, init)
@@ -650,6 +860,22 @@ func (e *engine) run() *Result {
 		e.sim.At(at, "join", func(sim *des.Simulator, now des.Time) {
 			e.join()
 		})
+	}
+	if e.cfg.Progress != nil {
+		every := e.cfg.ProgressEvery
+		if every == 0 {
+			every = e.cfg.Horizon / 10
+		}
+		if every > 0 {
+			var beat func(sim *des.Simulator, now des.Time)
+			beat = func(sim *des.Simulator, now des.Time) {
+				e.cfg.Progress(now, sim.Fired())
+				if now+every <= e.cfg.Horizon {
+					sim.After(every, "progress", beat)
+				}
+			}
+			e.sim.After(every, "progress", beat)
+		}
 	}
 	e.driver.Start()
 	e.sim.Run(e.cfg.Horizon)
@@ -683,6 +909,7 @@ func (e *engine) run() *Result {
 		if init, ok := p.(protocol.Initiator); ok {
 			pr.CtrlMessages = init.ControlMessages()
 		}
+		pr.Causes = e.causes[i]
 		pr.PeakLiveRecords = e.peakLive[i]
 		pr.GCReclaimedRecords = e.gcReclaimed[i]
 		pr.JoinCtrlMessages = e.joinCtrl[i]
