@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-smoke check fmt lint fuzz figures results clean
+.PHONY: all build test test-short race bench bench-smoke bench-compare check fmt lint fuzz figures results clean
 
 all: build test
 
@@ -42,6 +42,33 @@ lint:
 # horizon); the full baseline lives in results/BENCH_obs.json.
 bench-smoke:
 	$(GO) test -short -run '^$$' -bench BenchmarkObsOverhead -benchtime 1x .
+
+# Hot-path benchmark comparison against another git ref (default: the
+# previous commit). Runs BenchmarkEngine and BenchmarkFigure1 on both
+# builds, then reports with benchstat when installed and with a raw
+# side-by-side dump otherwise. The reference numbers for the pooling
+# pass live in results/BENCH_hotpath.json.
+#
+#   make bench-compare             # vs HEAD~1
+#   make bench-compare OLD=v1.0    # vs any ref
+OLD ?= HEAD~1
+BENCH_PAT = BenchmarkEngine$$|BenchmarkFigure1$$
+bench-compare:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	echo "== new ($$(git rev-parse --short HEAD)$$(git diff --quiet || echo +dirty)) =="; \
+	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchmem -benchtime 2x -count 5 . | tee "$$tmp/new.txt"; \
+	git worktree add --detach "$$tmp/old" $(OLD) >/dev/null; \
+	echo "== old ($(OLD)) =="; \
+	( cd "$$tmp/old" && $(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchmem -benchtime 2x -count 5 . ) | tee "$$tmp/old.txt"; \
+	git worktree remove --force "$$tmp/old" >/dev/null; \
+	if command -v benchstat >/dev/null 2>&1; then \
+		benchstat "$$tmp/old.txt" "$$tmp/new.txt"; \
+	else \
+		echo; echo "benchstat not installed; raw results above (old, then new):"; \
+		grep '^Benchmark' "$$tmp/old.txt" | sed 's/^/  old /'; \
+		grep '^Benchmark' "$$tmp/new.txt" | sed 's/^/  new /'; \
+	fi
 
 # Longer fuzzing session for local use.
 fuzz:

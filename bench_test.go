@@ -76,7 +76,7 @@ func BenchmarkGains(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		spec, _ := sim.Figure(6) // H=30%, Pswitch=0.8: the paper's QBC showcase
 		var err error
-		rep, err = sim.Gains(spec, base, sim.Seeds(1, 1))
+		rep, err = sim.Gains(spec, base, sim.Seeds(1, 1), 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -334,7 +334,7 @@ func TestHeadlineGains(t *testing.T) {
 	// TP by a wide margin at large T_switch.
 	f1, _ := sim.Figure(1)
 	f1.TSwitch = []float64{10000}
-	rep, err := sim.Gains(f1, base, sim.Seeds(1, 2))
+	rep, err := sim.Gains(f1, base, sim.Seeds(1, 2), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,7 +344,7 @@ func TestHeadlineGains(t *testing.T) {
 
 	// Heterogeneous with disconnections (Figure 6): QBC's showcase.
 	f6, _ := sim.Figure(6)
-	rep, err = sim.Gains(f6, base, sim.Seeds(1, 2))
+	rep, err = sim.Gains(f6, base, sim.Seeds(1, 2), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

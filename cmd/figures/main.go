@@ -53,6 +53,7 @@ func main() {
 		pcomm       = flag.Float64("pcomm", 0.05, "probability an operation is a communication (calibration knob)")
 		csv         = flag.Bool("csv", false, "print CSV instead of aligned tables")
 		outDir      = flag.String("out", "", "directory to also write per-table .txt and .csv files")
+		workers     = flag.Int("workers", 0, "worker pool size for parallel sweeps; 0 = GOMAXPROCS")
 	)
 	flag.Parse()
 
@@ -101,7 +102,7 @@ func main() {
 			specs = []sim.FigureSpec{spec}
 		}
 		for _, spec := range specs {
-			chart, err := sim.PlotFigure(spec, base, seedSet)
+			chart, err := sim.PlotFigure(spec, base, seedSet, *workers)
 			if err != nil {
 				fatal(err)
 			}
@@ -112,7 +113,7 @@ func main() {
 
 	switch {
 	case *gains:
-		tab, err := sim.GainsTable(base, seedSet)
+		tab, err := sim.GainsTable(base, seedSet, *workers)
 		emit("gains", tab, err)
 	case *overhead:
 		tab, err := sim.OverheadTable(base, seedSet)
@@ -143,12 +144,19 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		tab, err := sim.RunFigure(spec, base, seedSet)
+		tab, err := sim.RunFigure(spec, base, seedSet, *workers)
 		emit(fmt.Sprintf("figure%d", *fig), tab, err)
 	default:
-		for _, spec := range sim.PaperFigures() {
-			tab, err := sim.RunFigure(spec, base, seedSet)
-			emit(fmt.Sprintf("figure%d", spec.ID), tab, err)
+		// All six figures ride one worker pool: every (figure, point,
+		// seed) job is sharded together, so cores stay busy across
+		// figure boundaries.
+		specs := sim.PaperFigures()
+		tabs, err := sim.SweepFigures(specs, base, seedSet, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		for i, spec := range specs {
+			emit(fmt.Sprintf("figure%d", spec.ID), tabs[i], nil)
 		}
 	}
 }

@@ -32,6 +32,7 @@ func main() {
 		horizon    = flag.Float64("horizon", 100000, "simulated time units")
 		seeds      = flag.Int("seeds", 1, "number of replication seeds")
 		seed       = flag.Uint64("seed", 1, "base seed")
+		workers    = flag.Int("workers", 0, "worker pool size for multi-seed replication; 0 = GOMAXPROCS")
 		protos     = flag.String("protocols", "TP,BCS,QBC", "comma-separated protocols (TP,BCS,QBC,UNC,CL,PS,MS)")
 		snapshot   = flag.Float64("snapshot", 100, "snapshot period for CL/PS")
 		verbose    = flag.Bool("v", false, "print substrate counters and energy details, and report simulated-time progress to stderr")
@@ -150,7 +151,7 @@ func main() {
 		return
 	}
 
-	sum, err := sim.Replicate(cfg, sim.Seeds(*seed, *seeds))
+	sum, err := sim.ReplicateParallel(cfg, sim.Seeds(*seed, *seeds), *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mhsim:", err)
 		os.Exit(1)

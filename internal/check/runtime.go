@@ -201,6 +201,21 @@ func (r *Runtime) AfterJoin(h mobile.HostID) {
 	r.checkTPMeta(h, rec, "join")
 }
 
+// asTPPiggyback accepts both forms a TP piggyback travels in: the pooled
+// pointer the simulation delivers and the value decoded from the wire.
+func asTPPiggyback(pb any) (protocol.TPPiggyback, bool) {
+	switch v := pb.(type) {
+	case *protocol.TPPiggyback:
+		if v == nil {
+			return protocol.TPPiggyback{}, false
+		}
+		return *v, true
+	case protocol.TPPiggyback:
+		return v, true
+	}
+	return protocol.TPPiggyback{}, false
+}
+
 // AfterSend is called after OnSend returned piggyback pb.
 func (r *Runtime) AfterSend(from mobile.HostID, pb any) {
 	r.expectNoRecord(from, "send")
@@ -216,7 +231,7 @@ func (r *Runtime) AfterSend(from mobile.HostID, pb any) {
 		}
 		r.checkSeq(from, "piggyback")
 	case twophase:
-		p, ok := pb.(protocol.TPPiggyback)
+		p, ok := asTPPiggyback(pb)
 		if !ok {
 			r.violatef(from, "piggyback", "send piggyback is %T, want TPPiggyback", pb)
 			return

@@ -10,6 +10,18 @@
 // virtual time must break the same way on every run. Events therefore
 // carry a monotonically increasing sequence number used as a tiebreaker
 // (FIFO among simultaneous events).
+//
+// The engine distinguishes two scheduling disciplines:
+//
+//   - At/After return a *Event the caller may hold, inspect and Cancel.
+//     Those events are never reused, so a retained handle stays valid (a
+//     Cancel after the event fired is a harmless no-op).
+//   - Schedule/ScheduleAfter/ScheduleArg/ScheduleArgAfter are
+//     fire-and-forget: the event is drawn from a per-simulator free list
+//     and recycled as soon as its handler returns, so the steady-state
+//     hot loop allocates nothing (TestHotLoopZeroAlloc). Combined with
+//     Again/Reschedule — which move an event with one heap.Fix instead of
+//     a pop/push pair — periodic processes run allocation-free.
 package des
 
 import (
@@ -26,14 +38,27 @@ type Time float64
 // simulator (to schedule follow-up events) and the event's firing time.
 type Handler func(sim *Simulator, now Time)
 
-// Event is a scheduled occurrence. Events are managed by the Simulator;
-// user code holds *Event only to cancel it.
+// ArgHandler is a handler that additionally receives the opaque argument
+// given at scheduling time. It exists so hot paths can reuse one stored
+// handler for many events instead of allocating a fresh closure per
+// event (the argument carries the per-event state).
+type ArgHandler func(sim *Simulator, now Time, arg any)
+
+// Event is a scheduled occurrence. Events created by At/After are managed
+// by the Simulator; user code holds *Event only to Cancel or Reschedule
+// it. Events created by the Schedule* methods are pool-owned and never
+// escape to callers.
 type Event struct {
 	at      Time
 	seq     uint64
 	handler Handler
+	argFn   ArgHandler
+	arg     any
 	index   int // heap index, -1 when not queued
 	label   string
+	owner   *Simulator // the simulator that created the event
+	free    *Event     // free-list link (pooled events only)
+	pooled  bool
 }
 
 // Time returns the virtual time at which the event is scheduled to fire.
@@ -43,8 +68,8 @@ func (e *Event) Time() Time { return e.at }
 func (e *Event) Label() string { return e.label }
 
 // Pending reports whether the event is still queued (not fired, not
-// canceled).
-func (e *Event) Pending() bool { return e.index >= 0 }
+// canceled). A zero-value Event was never scheduled and reports false.
+func (e *Event) Pending() bool { return e != nil && e.owner != nil && e.index >= 0 }
 
 // eventQueue is a binary min-heap ordered by (time, seq).
 type eventQueue []*Event
@@ -84,6 +109,9 @@ type Simulator struct {
 	fired   uint64
 	stopped bool
 	running bool
+
+	cur  *Event // event whose handler is currently executing (Again target)
+	free *Event // free list of recycled pooled events
 
 	// Observability (nil unless Instrument was called): firing counts per
 	// event label, cached so the hot loop pays one map lookup per event
@@ -130,17 +158,55 @@ func (s *Simulator) Fired() uint64 { return s.fired }
 // Pending returns the number of queued events.
 func (s *Simulator) Pending() int { return len(s.queue) }
 
-// At schedules handler to run at absolute time at. Scheduling in the past
-// panics: it would silently reorder causality.
-func (s *Simulator) At(at Time, label string, handler Handler) *Event {
+// checkAt validates an absolute scheduling time against the clock.
+func (s *Simulator) checkAt(at Time, label string) {
 	if at < s.now {
 		panic(fmt.Sprintf("des: scheduling %q at %v before now %v", label, at, s.now))
 	}
+}
+
+// acquire returns an event ready to be queued: recycled from the free
+// list for pooled events, freshly allocated otherwise.
+func (s *Simulator) acquire(at Time, label string, pooled bool) *Event {
+	var e *Event
+	if pooled && s.free != nil {
+		e = s.free
+		s.free = e.free
+		e.free = nil
+	} else {
+		e = &Event{}
+	}
+	e.at = at
+	e.seq = s.seq
+	e.label = label
+	e.owner = s
+	e.pooled = pooled
+	s.seq++
+	return e
+}
+
+// recycle returns a fired (or canceled) pooled event to the free list,
+// dropping references so handlers and arguments do not outlive the event.
+func (s *Simulator) recycle(e *Event) {
+	e.handler = nil
+	e.argFn = nil
+	e.arg = nil
+	e.label = ""
+	e.free = s.free
+	s.free = e
+}
+
+// At schedules handler to run at absolute time at. Scheduling in the past
+// panics: it would silently reorder causality. The returned event stays
+// valid indefinitely (it is never pooled), so callers may retain it to
+// Cancel or Reschedule later.
+func (s *Simulator) At(at Time, label string, handler Handler) *Event {
+	s.checkAt(at, label)
 	if handler == nil {
 		panic("des: nil handler")
 	}
-	e := &Event{at: at, seq: s.seq, handler: handler, label: label}
-	s.seq++
+	e := s.acquire(at, label, false)
+	e.handler = handler
 	heap.Push(&s.queue, e)
 	return e
 }
@@ -153,19 +219,133 @@ func (s *Simulator) After(delay Time, label string, handler Handler) *Event {
 	return s.At(s.now+delay, label, handler)
 }
 
+// Schedule is the fire-and-forget variant of At: the event is drawn from
+// the simulator's free list and recycled as soon as its handler returns,
+// so the steady-state cost is zero allocations. No handle is returned —
+// use At when the event may need canceling.
+func (s *Simulator) Schedule(at Time, label string, handler Handler) {
+	s.checkAt(at, label)
+	if handler == nil {
+		panic("des: nil handler")
+	}
+	e := s.acquire(at, label, true)
+	e.handler = handler
+	heap.Push(&s.queue, e)
+}
+
+// ScheduleAfter is the fire-and-forget variant of After.
+func (s *Simulator) ScheduleAfter(delay Time, label string, handler Handler) {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %v for %q", delay, label))
+	}
+	s.Schedule(s.now+delay, label, handler)
+}
+
+// ScheduleArg schedules a pooled event that invokes fn with arg. Storing
+// the per-event state in arg lets hot paths reuse one long-lived fn for
+// every event instead of allocating a closure per event.
+func (s *Simulator) ScheduleArg(at Time, label string, fn ArgHandler, arg any) {
+	s.checkAt(at, label)
+	if fn == nil {
+		panic("des: nil handler")
+	}
+	e := s.acquire(at, label, true)
+	e.argFn = fn
+	e.arg = arg
+	heap.Push(&s.queue, e)
+}
+
+// ScheduleArgAfter is ScheduleArg with a relative delay.
+func (s *Simulator) ScheduleArgAfter(delay Time, label string, fn ArgHandler, arg any) {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %v for %q", delay, label))
+	}
+	s.ScheduleArg(s.now+delay, label, fn, arg)
+}
+
+// Reschedule moves event e to absolute time at. A pending event is moved
+// in place with a single heap.Fix — the pop-reschedule-push fast path —
+// and an event that already fired or was canceled is re-queued (reusing
+// its storage). Either way the event receives a fresh FIFO sequence
+// number, so among simultaneous events it fires after ones already
+// queued. It panics on events from another simulator, on recycled pooled
+// events, and on times before the clock (matching At's contract).
+func (s *Simulator) Reschedule(e *Event, at Time) {
+	if e == nil || e.owner != s {
+		panic("des: Reschedule of an event this simulator does not own")
+	}
+	if e.handler == nil && e.argFn == nil {
+		panic("des: Reschedule of a recycled event")
+	}
+	s.checkAt(at, e.label)
+	e.at = at
+	e.seq = s.seq
+	s.seq++
+	if e.index >= 0 {
+		heap.Fix(&s.queue, e.index)
+	} else {
+		heap.Push(&s.queue, e)
+	}
+}
+
+// Again reschedules the event whose handler is currently executing to
+// fire again delay time units from now. It is the allocation-free way
+// for a periodic process to sustain itself (the firing event is re-queued
+// before the run loop would recycle it). Panics outside a handler.
+func (s *Simulator) Again(delay Time) {
+	if s.cur == nil {
+		panic("des: Again called outside an event handler")
+	}
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %v for %q", delay, s.cur.label))
+	}
+	s.Reschedule(s.cur, s.now+delay)
+}
+
 // Cancel removes a pending event from the queue. Canceling an event that
-// already fired (or was already canceled) is a no-op and returns false.
+// already fired (or was already canceled) is a no-op and returns false,
+// as is canceling nil, a zero-value Event, or an event owned by another
+// simulator — none of these can corrupt the queue's index bookkeeping.
 func (s *Simulator) Cancel(e *Event) bool {
-	if e == nil || e.index < 0 {
+	if e == nil || e.owner != s || e.index < 0 {
+		return false
+	}
+	if e.index >= len(s.queue) || s.queue[e.index] != e {
+		// A stale or corrupted handle: the slot it points into is occupied
+		// by a different event. Removing it would evict an innocent event.
 		return false
 	}
 	heap.Remove(&s.queue, e.index)
+	if e.pooled {
+		s.recycle(e)
+	}
 	return true
 }
 
 // Stop makes Run return after the currently executing handler (if any)
 // completes. Pending events stay queued.
 func (s *Simulator) Stop() { s.stopped = true }
+
+// fire executes one popped event and recycles it if it is pool-owned and
+// was not rescheduled by its own handler (Again/Reschedule re-queue it,
+// which shows as a restored heap index).
+func (s *Simulator) fire(e *Event) {
+	s.now = e.at
+	s.fired++
+	if s.labelCounts != nil {
+		s.countLabel(e.label)
+	}
+	s.cur = e
+	if e.handler != nil {
+		e.handler(s, s.now)
+	} else {
+		e.argFn(s, s.now, e.arg)
+	}
+	s.cur = nil
+	if e.pooled && e.index < 0 {
+		s.recycle(e)
+	}
+}
 
 // Run executes events until the queue is empty, the horizon is passed, or
 // Stop is called. Events scheduled exactly at the horizon still fire;
@@ -197,12 +377,7 @@ func (s *Simulator) Run(horizon Time) uint64 {
 			break
 		}
 		heap.Pop(&s.queue)
-		s.now = e.at
-		s.fired++
-		if s.labelCounts != nil {
-			s.countLabel(e.label)
-		}
-		e.handler(s, s.now)
+		s.fire(e)
 	}
 	if s.now < horizon && len(s.queue) == 0 {
 		// Advance the clock to the horizon so repeated Run calls with
@@ -219,11 +394,6 @@ func (s *Simulator) Step() bool {
 		return false
 	}
 	e := heap.Pop(&s.queue).(*Event)
-	s.now = e.at
-	s.fired++
-	if s.labelCounts != nil {
-		s.countLabel(e.label)
-	}
-	e.handler(s, s.now)
+	s.fire(e)
 	return true
 }

@@ -17,6 +17,11 @@ type Message struct {
 	ArrivedAt des.Time // when it became available at the recipient's MSS
 	Payload   any
 	Hops      int // total hops traversed (wireless + wired), for cost models
+
+	// route is the station the in-flight message is headed to (the
+	// argument of its pending arrive/downlink event), so one long-lived
+	// handler serves every hop without per-hop closures.
+	route MSSID
 }
 
 func (m *Message) String() string {
@@ -78,13 +83,20 @@ func (n *Network) Send(from, to HostID, payload any) (*Message, error) {
 	if from == to {
 		return nil, fmt.Errorf("mobile: host %d sending to itself", from)
 	}
-	m := &Message{
-		ID:      n.nextMsg,
-		From:    from,
-		To:      to,
-		SentAt:  n.sim.Now(),
-		Payload: payload,
+	var m *Message
+	if k := len(n.msgFree); k > 0 {
+		m = n.msgFree[k-1]
+		n.msgFree[k-1] = nil
+		n.msgFree = n.msgFree[:k-1]
+		*m = Message{}
+	} else {
+		m = &Message{}
 	}
+	m.ID = n.nextMsg
+	m.From = from
+	m.To = to
+	m.SentAt = n.sim.Now()
+	m.Payload = payload
 	n.nextMsg++
 	n.counters.AppMessages++
 
@@ -101,9 +113,8 @@ func (n *Network) Send(from, to HostID, payload any) (*Message, error) {
 		atMSS += n.cfg.WiredLatency
 	}
 
-	n.sim.At(atMSS, "at-mss", func(sim *des.Simulator, now des.Time) {
-		n.arrive(m, dstMSS, now)
-	})
+	m.route = dstMSS
+	n.sim.ScheduleArg(atMSS, "at-mss", n.arriveFn, m)
 	return m, nil
 }
 
@@ -125,26 +136,29 @@ func (n *Network) arrive(m *Message, at MSSID, now des.Time) {
 		n.counters.Forwards++
 		n.counters.WiredHops++
 		m.Hops++
-		target := dst.mss
-		n.sim.After(n.cfg.WiredLatency, "forward", func(sim *des.Simulator, now des.Time) {
-			n.arrive(m, target, now)
-		})
+		m.route = dst.mss
+		n.sim.ScheduleArgAfter(n.cfg.WiredLatency, "forward", n.arriveFn, m)
 		return
 	}
 	// Downlink into the recipient's cell.
 	m.Hops++
 	done := n.reserveWireless(at)
-	n.sim.At(done, "downlink", func(sim *des.Simulator, now des.Time) {
-		// The host may have moved or disconnected while the downlink
-		// transmission was in progress; re-route if so.
-		if !dst.connected || dst.mss != at {
-			m.Hops-- // the failed downlink is re-attempted elsewhere
-			n.arrive(m, at, now)
-			return
-		}
-		m.ArrivedAt = now
-		dst.inbox = append(dst.inbox, m)
-	})
+	m.route = at
+	n.sim.ScheduleArg(done, "downlink", n.downlinkFn, m)
+}
+
+// finishDownlink completes message m's downlink transmission into the
+// cell of station m.route. The host may have moved or disconnected while
+// the transmission was in progress; re-route if so.
+func (n *Network) finishDownlink(m *Message, now des.Time) {
+	dst := n.hosts[m.To]
+	if !dst.connected || dst.mss != m.route {
+		m.Hops-- // the failed downlink is re-attempted elsewhere
+		n.arrive(m, m.route, now)
+		return
+	}
+	m.ArrivedAt = now
+	dst.inbox = append(dst.inbox, m)
 }
 
 // TryReceive performs a receive operation for host id: it delivers the
@@ -166,4 +180,16 @@ func (n *Network) TryReceive(id HostID) *Message {
 		n.hooks.OnDeliver(n.sim.Now(), h, m)
 	}
 	return m
+}
+
+// Recycle hands a delivered message back for reuse by a later Send. It
+// is an explicit opt-in for callers (the sim engine) that fully own the
+// message once OnDeliver has run and retain no reference to it; callers
+// that keep delivered messages simply never call Recycle.
+func (n *Network) Recycle(m *Message) {
+	if m == nil {
+		return
+	}
+	m.Payload = nil
+	n.msgFree = append(n.msgFree, m)
 }

@@ -183,6 +183,16 @@ type Network struct {
 	hooks    Hooks
 	counters Counters
 	nextMsg  uint64
+
+	// Routing trampolines for the pooled-event fast path: one long-lived
+	// handler per leg instead of one closure per message hop. The moving
+	// state (the next station) rides in Message.route.
+	arriveFn   des.ArgHandler
+	downlinkFn des.ArgHandler
+
+	// msgFree recycles Message structs returned via Recycle (an explicit
+	// caller opt-in; the network never recycles on its own).
+	msgFree []*Message
 }
 
 // New creates a network in which host i starts connected to station
@@ -193,6 +203,13 @@ func New(sim *des.Simulator, cfg Config, hooks Hooks) (*Network, error) {
 		return nil, err
 	}
 	n := &Network{sim: sim, cfg: cfg, hooks: hooks}
+	n.arriveFn = func(sim *des.Simulator, now des.Time, arg any) {
+		m := arg.(*Message)
+		n.arrive(m, m.route, now)
+	}
+	n.downlinkFn = func(sim *des.Simulator, now des.Time, arg any) {
+		n.finishDownlink(arg.(*Message), now)
+	}
 	n.busy = make([]des.Time, cfg.NumMSS)
 	n.stations = make([]*Station, cfg.NumMSS)
 	for i := range n.stations {

@@ -20,6 +20,7 @@ type BCS struct {
 	ckpt      Checkpointer
 	sn        []int
 	piggyback int64
+	indexBox
 }
 
 // NewBCS creates a BCS instance for n hosts.
@@ -43,7 +44,7 @@ func (b *BCS) Init() {
 // message.
 func (b *BCS) OnSend(from, to mobile.HostID) any {
 	b.piggyback += intSize
-	return IndexPiggyback(b.sn[from])
+	return b.box(b.sn[from])
 }
 
 // OnDeliver implements Protocol: a message from the future (m.sn > sn_i)

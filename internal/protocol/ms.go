@@ -25,6 +25,7 @@ type MS struct {
 	ckpt      Checkpointer
 	sn        []int
 	piggyback int64
+	indexBox
 }
 
 // NewMS creates an MS instance for n hosts.
@@ -46,7 +47,7 @@ func (m *MS) Init() {
 // OnSend implements Protocol.
 func (m *MS) OnSend(from, to mobile.HostID) any {
 	m.piggyback += intSize
-	return IndexPiggyback(m.sn[from])
+	return m.box(m.sn[from])
 }
 
 // OnDeliver implements Protocol: BCS's forcing rule.

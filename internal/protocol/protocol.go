@@ -59,6 +59,35 @@ type Protocol interface {
 // intSize is the accounted size of one piggybacked integer, in bytes.
 const intSize = 8
 
+// Recycler is implemented by protocols whose OnSend returns a reusable
+// piggyback buffer (TP's O(n) vectors). After a piggyback value has been
+// fully consumed — delivered to its receiver and inspected by checkers
+// and tracing — the environment MAY hand it back via Recycle so the next
+// OnSend reuses the buffer instead of allocating. Recycling is strictly
+// optional: an environment that never calls Recycle (the live runtime,
+// which serializes piggybacks to the wire) just allocates per send.
+type Recycler interface {
+	Recycle(pb any)
+}
+
+// indexBox interns the boxed `any` values of IndexPiggyback. Go only
+// pre-boxes integers below 256; checkpoint indices in long runs go far
+// beyond that, so returning IndexPiggyback(sn) from OnSend would allocate
+// on almost every message. Interning keeps the returned values immutable
+// (safe while messages are in flight) and allocation-free in steady
+// state: the cache grows to the max index seen, then every send hits it.
+type indexBox struct {
+	cache []any
+}
+
+// box returns the interned boxed value of IndexPiggyback(sn).
+func (b *indexBox) box(sn int) any {
+	for len(b.cache) <= sn {
+		b.cache = append(b.cache, IndexPiggyback(len(b.cache)))
+	}
+	return b.cache[sn]
+}
+
 // Dynamic is implemented by protocols that support hosts joining a
 // running computation (the paper's §2.1 point (f): an open mobile system
 // must add processes "at the minimum cost"). OnJoin admits host h (ids

@@ -29,6 +29,7 @@ type QBC struct {
 	sn        []int
 	rn        []int
 	piggyback int64
+	indexBox
 
 	replacements int64
 }
@@ -60,7 +61,7 @@ func (q *QBC) Init() {
 // OnSend implements Protocol.
 func (q *QBC) OnSend(from, to mobile.HostID) any {
 	q.piggyback += intSize
-	return IndexPiggyback(q.sn[from])
+	return q.box(q.sn[from])
 }
 
 // OnDeliver implements Protocol: the receive number tracks the maximum

@@ -54,6 +54,13 @@ type TP struct {
 	// used to assemble a recovery line during rollback.
 	meta map[*storage.Record]TPPiggyback
 
+	// pbFree is the free list of piggyback buffers OnSend hands out and
+	// Recycle takes back. Because checkpointing is instantaneous in the
+	// model, the number of simultaneously in-flight messages bounds the
+	// list, and the O(n) vector copies reuse the same backing arrays —
+	// the zero-allocation message path for TP.
+	pbFree []*TPPiggyback
+
 	piggyback int64
 }
 
@@ -99,11 +106,32 @@ func (t *TP) takeCheckpoint(h mobile.HostID, kind storage.Kind) {
 }
 
 // OnSend implements Protocol: sending flips the host into the SEND phase
-// and piggybacks both dependency vectors.
+// and piggybacks both dependency vectors. The returned *TPPiggyback is a
+// snapshot copy (safe while the message is in flight) drawn from the
+// free list; the environment may return it via Recycle once consumed.
 func (t *TP) OnSend(from, to mobile.HostID) any {
 	t.phase[from] = SEND
 	t.piggyback += int64(2 * len(t.ckptVec) * intSize)
-	return TPPiggyback{Ckpt: t.ckptVec[from].Clone(), Loc: t.locVec[from].Clone()}
+	var pb *TPPiggyback
+	if n := len(t.pbFree); n > 0 {
+		pb = t.pbFree[n-1]
+		t.pbFree[n-1] = nil
+		t.pbFree = t.pbFree[:n-1]
+	} else {
+		pb = new(TPPiggyback)
+	}
+	pb.Ckpt = append(pb.Ckpt[:0], t.ckptVec[from]...)
+	pb.Loc = append(pb.Loc[:0], t.locVec[from]...)
+	return pb
+}
+
+// Recycle implements Recycler: hands a piggyback buffer produced by
+// OnSend back to the free list. Values of other types (e.g. the value-
+// form TPPiggyback decoded from the wire) are ignored.
+func (t *TP) Recycle(pb any) {
+	if p, ok := pb.(*TPPiggyback); ok && p != nil {
+		t.pbFree = append(t.pbFree, p)
+	}
 }
 
 // OnDeliver implements Protocol: a delivery in SEND phase forces a
@@ -114,7 +142,17 @@ func (t *TP) OnDeliver(h, from mobile.HostID, pb any) {
 		t.takeCheckpoint(h, storage.Forced)
 		t.phase[h] = RECV
 	}
-	p := pb.(TPPiggyback)
+	// The simulation delivers the pooled pointer OnSend returned; the
+	// live runtime delivers the value form decoded from the wire.
+	var p TPPiggyback
+	switch v := pb.(type) {
+	case *TPPiggyback:
+		p = *v
+	case TPPiggyback:
+		p = v
+	default:
+		panic("protocol: TP delivery with non-TP piggyback")
+	}
 	t.ckptVec[h].MergeWithLocations(t.locVec[h], p.Ckpt, p.Loc)
 }
 

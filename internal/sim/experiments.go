@@ -14,12 +14,13 @@ import (
 
 // GainsTable evaluates E7: per figure, the maximum gain of the index
 // protocols over TP and of QBC over BCS, with the T_switch at which each
-// occurs (paper: up to 90% and up to 15%/23%).
-func GainsTable(base Config, seeds []uint64) (*stats.Table, error) {
+// occurs (paper: up to 90% and up to 15%/23%). Each figure's sweep runs
+// on one worker pool of the given size (<= 0 selects GOMAXPROCS).
+func GainsTable(base Config, seeds []uint64, workers int) (*stats.Table, error) {
 	tab := stats.NewTable("Headline gains (E7; paper: index-over-TP up to 90%, QBC-over-BCS up to 15%/23%)",
 		"figure", "index over TP", "at Tswitch", "QBC over BCS", "at Tswitch")
 	for _, spec := range PaperFigures() {
-		rep, err := Gains(spec, base, seeds)
+		rep, err := Gains(spec, base, seeds, workers)
 		if err != nil {
 			return nil, err
 		}

@@ -125,7 +125,7 @@ func TestGainsTableAllFigures(t *testing.T) {
 		t.Skip("sweeps all six figures")
 	}
 	base, seeds := benchScale()
-	tab, err := GainsTable(base, seeds)
+	tab, err := GainsTable(base, seeds, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -67,19 +67,30 @@ func (f FigureSpec) Apply(base Config, tswitch float64) Config {
 	return c
 }
 
+// points expands the figure's T_switch sweep into one Config per point.
+func (f FigureSpec) points(base Config) []Config {
+	pts := make([]Config, len(f.TSwitch))
+	for i, ts := range f.TSwitch {
+		pts[i] = f.Apply(base, ts)
+	}
+	return pts
+}
+
 // FigureSeries sweeps the figure's T_switch values, replicating each
 // point over the given seeds, and returns the x values and one mean-N_tot
-// series per configured protocol.
-func FigureSeries(f FigureSpec, base Config, seeds []uint64) (xs []float64, series [][]float64, err error) {
+// series per configured protocol. The whole sweep — every (point, seed)
+// pair, not just one point's replicates — is sharded over one worker
+// pool; workers <= 0 selects GOMAXPROCS.
+func FigureSeries(f FigureSpec, base Config, seeds []uint64, workers int) (xs []float64, series [][]float64, err error) {
+	sums, err := SweepParallel(f.points(base), seeds, workers)
+	if err != nil {
+		return nil, nil, err
+	}
 	series = make([][]float64, len(base.Protocols))
-	for _, ts := range f.TSwitch {
-		sum, err := ReplicateParallel(f.Apply(base, ts), seeds, 0)
-		if err != nil {
-			return nil, nil, err
-		}
+	for p, ts := range f.TSwitch {
 		xs = append(xs, ts)
-		for i := range sum.Protocols {
-			series[i] = append(series[i], sum.Protocols[i].Ntot.Mean())
+		for i := range sums[p].Protocols {
+			series[i] = append(series[i], sums[p].Protocols[i].Ntot.Mean())
 		}
 	}
 	return xs, series, nil
@@ -88,11 +99,16 @@ func FigureSeries(f FigureSpec, base Config, seeds []uint64) (xs []float64, seri
 // RunFigure sweeps the figure's T_switch values, replicating each point
 // over the given seeds, and returns a table with one row per point and
 // one N_tot column per protocol (mean across seeds, as in the paper).
-func RunFigure(f FigureSpec, base Config, seeds []uint64) (*stats.Table, error) {
-	xs, series, err := FigureSeries(f, base, seeds)
+func RunFigure(f FigureSpec, base Config, seeds []uint64, workers int) (*stats.Table, error) {
+	xs, series, err := FigureSeries(f, base, seeds, workers)
 	if err != nil {
 		return nil, err
 	}
+	return figureTable(f, base, xs, series), nil
+}
+
+// figureTable renders one figure's series as a table.
+func figureTable(f FigureSpec, base Config, xs []float64, series [][]float64) *stats.Table {
 	cols := []string{"Tswitch"}
 	for _, p := range base.Protocols {
 		cols = append(cols, string(p))
@@ -105,13 +121,44 @@ func RunFigure(f FigureSpec, base Config, seeds []uint64) (*stats.Table, error) 
 		}
 		tab.AddFloatRow(fmt.Sprintf("%.0f", ts), vals...)
 	}
-	return tab, nil
+	return tab
+}
+
+// SweepFigures evaluates several figures in one shot, sharding every
+// (figure, point, seed) job across a single worker pool — the preferred
+// entry point for regenerating all paper tables, since a single pool
+// keeps every core busy across figure boundaries instead of draining
+// per figure. Results are returned in the order of specs.
+func SweepFigures(specs []FigureSpec, base Config, seeds []uint64, workers int) ([]*stats.Table, error) {
+	var all []Config
+	for _, f := range specs {
+		all = append(all, f.points(base)...)
+	}
+	sums, err := SweepParallel(all, seeds, workers)
+	if err != nil {
+		return nil, err
+	}
+	tabs := make([]*stats.Table, len(specs))
+	off := 0
+	for fi, f := range specs {
+		series := make([][]float64, len(base.Protocols))
+		xs := make([]float64, 0, len(f.TSwitch))
+		for p, ts := range f.TSwitch {
+			xs = append(xs, ts)
+			for i := range sums[off+p].Protocols {
+				series[i] = append(series[i], sums[off+p].Protocols[i].Ntot.Mean())
+			}
+		}
+		tabs[fi] = figureTable(f, base, xs, series)
+		off += len(f.TSwitch)
+	}
+	return tabs, nil
 }
 
 // PlotFigure renders a figure's series as the paper-style log-log ASCII
 // chart.
-func PlotFigure(f FigureSpec, base Config, seeds []uint64) (*stats.Plot, error) {
-	xs, series, err := FigureSeries(f, base, seeds)
+func PlotFigure(f FigureSpec, base Config, seeds []uint64, workers int) (*stats.Plot, error) {
+	xs, series, err := FigureSeries(f, base, seeds, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -141,14 +188,15 @@ type GainReport struct {
 }
 
 // Gains sweeps one figure and extracts the headline gains. The base
-// config must include TP, BCS and QBC.
-func Gains(f FigureSpec, base Config, seeds []uint64) (GainReport, error) {
+// config must include TP, BCS and QBC. All points share one worker pool.
+func Gains(f FigureSpec, base Config, seeds []uint64, workers int) (GainReport, error) {
 	var rep GainReport
-	for _, ts := range f.TSwitch {
-		sum, err := ReplicateParallel(f.Apply(base, ts), seeds, 0)
-		if err != nil {
-			return rep, err
-		}
+	sums, err := SweepParallel(f.points(base), seeds, workers)
+	if err != nil {
+		return rep, err
+	}
+	for p, ts := range f.TSwitch {
+		sum := sums[p]
 		tp, bcs, qbc := sum.Protocol(TP), sum.Protocol(BCS), sum.Protocol(QBC)
 		if tp == nil || bcs == nil || qbc == nil {
 			return rep, fmt.Errorf("sim: Gains requires TP, BCS and QBC in the config")

@@ -4,41 +4,83 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// ReplicateParallel is Replicate with the independently seeded runs
-// spread over a worker pool. Each run owns its entire engine (DES clock,
-// network, protocol state), so runs share nothing and the aggregate is
-// bit-identical to the sequential version — only wall-clock time
-// changes. workers <= 0 selects GOMAXPROCS.
-func ReplicateParallel(cfg Config, seeds []uint64, workers int) (*Summary, error) {
-	if len(seeds) == 0 {
-		return nil, fmt.Errorf("sim: ReplicateParallel needs at least one seed")
+// SweepParallel runs every (point, seed) combination of a sweep — the
+// whole figure or experiment table, not just one point's replicates —
+// over a single worker pool, and aggregates one Summary per point. Each
+// run owns its entire engine (DES clock, network, protocol state), so
+// runs share nothing and the per-point aggregates are bit-identical to
+// sequential Replicate calls regardless of the worker count — only
+// wall-clock time changes (TestSweepParallelDeterministic). workers <= 0
+// selects GOMAXPROCS.
+//
+// Error handling fails fast deterministically: a worker that observes a
+// failed run publishes the failed job's index, and the pool skips every
+// job *after* the earliest known failure while still executing the jobs
+// before it. That drains the queue promptly, yet guarantees the error
+// returned is always the sweep-order-earliest one — independent of the
+// worker count or scheduling. A run that panics is captured as an error
+// on its job (the pool never deadlocks on a dying worker).
+func SweepParallel(points []Config, seeds []uint64, workers int) ([]*Summary, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("sim: SweepParallel needs at least one point")
 	}
-	if err := cfg.Validate(); err != nil {
-		return nil, err
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("sim: SweepParallel needs at least one seed")
+	}
+	for i := range points {
+		if err := points[i].Validate(); err != nil {
+			return nil, fmt.Errorf("sim: point %d: %w", i, err)
+		}
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(seeds) {
-		workers = len(seeds)
+	jobs := len(points) * len(seeds)
+	if workers > jobs {
+		workers = jobs
 	}
 
-	ntot := make([][]int64, len(seeds)) // per seed, per protocol
-	errs := make([]error, len(seeds))
+	ntot := make([][]int64, jobs) // per job, per protocol
+	errs := make([]error, jobs)
+
+	// failedAt is the smallest job index known to have failed (jobs when
+	// none has). Workers skip only jobs beyond it: everything before the
+	// earliest failure still runs, which is what makes the returned error
+	// deterministic.
+	var failedAt atomic.Int64
+	failedAt.Store(int64(jobs))
+
+	// The channel is buffered to the job count and pre-filled, so no
+	// feeder goroutine exists to deadlock when a worker exits early.
+	next := make(chan int, jobs)
+	for i := 0; i < jobs; i++ {
+		next <- i
+	}
+	close(next)
+
 	var wg sync.WaitGroup
-	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				c := cfg
-				c.Seed = seeds[i]
-				res, err := runSim(c)
+				if int64(i) > failedAt.Load() {
+					continue // fail-fast: drain jobs after the earliest failure
+				}
+				c := points[i/len(seeds)]
+				c.Seed = seeds[i%len(seeds)]
+				res, err := safeRun(c)
 				if err != nil {
 					errs[i] = err
+					for {
+						cur := failedAt.Load()
+						if int64(i) >= cur || failedAt.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
 					continue
 				}
 				row := make([]int64, len(res.Protocols))
@@ -49,26 +91,55 @@ func ReplicateParallel(cfg Config, seeds []uint64, workers int) (*Summary, error
 			}
 		}()
 	}
-	for i := range seeds {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 
-	sum := &Summary{Config: cfg, Seeds: seeds}
-	sum.Protocols = make([]Replicated, len(cfg.Protocols))
-	for i, p := range cfg.Protocols {
-		sum.Protocols[i].Name = p
-	}
-	// Aggregate in seed order so the Summary is deterministic regardless
-	// of completion order.
-	for i := range seeds {
+	// Deterministic error selection: the sweep-order-earliest failure.
+	for i := 0; i < jobs; i++ {
 		if errs[i] != nil {
 			return nil, errs[i]
 		}
-		for j, v := range ntot[i] {
-			sum.Protocols[j].Ntot.Add(float64(v))
-		}
 	}
-	return sum, nil
+
+	// Aggregate per point in seed order, so each Summary is deterministic
+	// regardless of completion order.
+	sums := make([]*Summary, len(points))
+	for p := range points {
+		sum := &Summary{Config: points[p], Seeds: seeds}
+		sum.Protocols = make([]Replicated, len(points[p].Protocols))
+		for i, name := range points[p].Protocols {
+			sum.Protocols[i].Name = name
+		}
+		for s := range seeds {
+			for j, v := range ntot[p*len(seeds)+s] {
+				sum.Protocols[j].Ntot.Add(float64(v))
+			}
+		}
+		sums[p] = sum
+	}
+	return sums, nil
+}
+
+// safeRun invokes runSim, converting a panic into an error so a dying
+// worker cannot take the whole pool (and the caller's wait) with it.
+func safeRun(c Config) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sim: run with seed %d panicked: %v", c.Seed, r)
+		}
+	}()
+	return runSim(c)
+}
+
+// ReplicateParallel is Replicate with the independently seeded runs
+// spread over a worker pool: the single-point special case of
+// SweepParallel, with the same determinism and fail-fast guarantees.
+func ReplicateParallel(cfg Config, seeds []uint64, workers int) (*Summary, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("sim: ReplicateParallel needs at least one seed")
+	}
+	sums, err := SweepParallel([]Config{cfg}, seeds, workers)
+	if err != nil {
+		return nil, err
+	}
+	return sums[0], nil
 }

@@ -326,11 +326,17 @@ type engine struct {
 	driver *workload.Driver
 
 	protos []protocol.Protocol
-	stores []*storage.Store
-	traces []*trace.Trace
-	mlogs  []*mlog.Log      // per-protocol MSS message logs; nil entries unless Config.MessageLog
-	counts [][]int          // [proto][host] checkpoints taken (incl. initial)
-	checks []*check.Runtime // nil unless Config.Checks
+	// recyclers[i] is protos[i]'s piggyback free-list hook (nil when the
+	// protocol's piggybacks need no recycling); plFree recycles the
+	// per-message payload carriers. Together they keep the send→deliver
+	// path allocation-free in steady state.
+	recyclers []protocol.Recycler
+	plFree    []*payload
+	stores    []*storage.Store
+	traces    []*trace.Trace
+	mlogs     []*mlog.Log      // per-protocol MSS message logs; nil entries unless Config.MessageLog
+	counts    [][]int          // [proto][host] checkpoints taken (incl. initial)
+	checks    []*check.Runtime // nil unless Config.Checks
 
 	// pendingLatency accumulates checkpoint time to charge against each
 	// host's next operation (only with a single protocol selected).
@@ -387,7 +393,9 @@ func causeKey(kind storage.Kind, cause string) string {
 }
 
 // payload is what one application message carries: the per-protocol
-// piggybacks, parallel to cfg.Protocols.
+// piggybacks, parallel to cfg.Protocols. Payloads are pooled: send draws
+// from engine.plFree and onDeliver returns the carrier (and, through
+// protocol.Recycler, the piggybacks) once every consumer has seen them.
 type payload struct {
 	piggyback []any
 }
@@ -529,6 +537,12 @@ func newEngine(cfg Config) (*engine, error) {
 			e.protos[i] = protocol.NewMS(n, ck)
 		}
 	}
+	e.recyclers = make([]protocol.Recycler, len(e.protos))
+	for i, p := range e.protos {
+		if r, ok := p.(protocol.Recycler); ok {
+			e.recyclers[i] = r
+		}
+	}
 	if cfg.Checks {
 		e.checks = make([]*check.Runtime, len(cfg.Protocols))
 		for i, name := range cfg.Protocols {
@@ -638,7 +652,14 @@ func (e *engine) checkpointer(i int) protocol.Checkpointer {
 // hands the message to the network.
 func (e *engine) send(from, to mobile.HostID) {
 	prev := e.setCause("send") // restored below; this is the hot path, no defer
-	pl := payload{piggyback: make([]any, len(e.protos))}
+	var pl *payload
+	if k := len(e.plFree); k > 0 {
+		pl = e.plFree[k-1]
+		e.plFree[k-1] = nil
+		e.plFree = e.plFree[:k-1]
+	} else {
+		pl = &payload{piggyback: make([]any, len(e.protos))}
+	}
 	for i, p := range e.protos {
 		pl.piggyback[i] = p.OnSend(from, to)
 		if e.checks != nil {
@@ -665,7 +686,7 @@ func (e *engine) send(from, to mobile.HostID) {
 // the receiver-side trace positions (after any forced checkpoint).
 func (e *engine) onDeliver(now des.Time, h *mobile.Host, m *mobile.Message) {
 	prev := e.setCause("deliver") // restored below; this is the hot path, no defer
-	pl := m.Payload.(payload)
+	pl := m.Payload.(*payload)
 	if e.tl != nil {
 		e.tl.Instant(float64(now), int(h.ID), "deliver",
 			"from", strconv.Itoa(int(m.From)), "msg", strconv.FormatUint(m.ID, 10))
@@ -685,6 +706,18 @@ func (e *engine) onDeliver(now des.Time, h *mobile.Host, m *mobile.Message) {
 			lg.Append(h.ID, m.From, m.ID, e.counts[i][h.ID], now, h.LastMSS())
 		}
 	}
+	// Every consumer (protocols, checker, traces, logs) has seen the
+	// message: return the piggybacks, the carrier and the message itself
+	// to their pools for the next send.
+	for i, pb := range pl.piggyback {
+		if r := e.recyclers[i]; r != nil {
+			r.Recycle(pb)
+		}
+		pl.piggyback[i] = nil
+	}
+	m.Payload = nil
+	e.plFree = append(e.plFree, pl)
+	e.net.Recycle(m)
 	e.setCause(prev)
 }
 
@@ -706,8 +739,7 @@ func (e *engine) recordMobility(h mobile.HostID, kind trace.MobilityKind, from, 
 func (e *engine) scheduleSnapshots(i int, init protocol.Initiator) {
 	period := e.cfg.SnapshotPeriod
 	markerLatency := e.cfg.Mobile.WiredLatency + e.cfg.Mobile.WirelessLatency
-	var tick func(sim *des.Simulator, now des.Time)
-	tick = func(sim *des.Simulator, now des.Time) {
+	tick := func(sim *des.Simulator, now des.Time) {
 		defer e.setCause(e.setCause("marker"))
 		for _, h := range init.BeginSnapshot() {
 			h := h
@@ -716,7 +748,7 @@ func (e *engine) scheduleSnapshots(i int, init protocol.Initiator) {
 			if !e.net.Host(h).Connected() {
 				continue
 			}
-			sim.After(markerLatency, "marker", func(sim *des.Simulator, now des.Time) {
+			sim.ScheduleAfter(markerLatency, "marker", func(sim *des.Simulator, now des.Time) {
 				if e.net.Host(h).Connected() {
 					defer e.setCause(e.setCause("marker"))
 					init.OnMarker(h)
@@ -726,9 +758,9 @@ func (e *engine) scheduleSnapshots(i int, init protocol.Initiator) {
 				}
 			})
 		}
-		sim.After(period, "snapshot", tick)
+		sim.Again(period)
 	}
-	e.sim.After(period, "snapshot", tick)
+	e.sim.Schedule(e.sim.Now()+period, "snapshot", tick)
 }
 
 // scheduleTicks drives a Periodic protocol: every SnapshotPeriod each
@@ -736,8 +768,7 @@ func (e *engine) scheduleSnapshots(i int, init protocol.Initiator) {
 // messages travel — the tick is local to the host.
 func (e *engine) scheduleTicks(i int, per protocol.Periodic) {
 	period := e.cfg.SnapshotPeriod
-	var tick func(sim *des.Simulator, now des.Time)
-	tick = func(sim *des.Simulator, now des.Time) {
+	tick := func(sim *des.Simulator, now des.Time) {
 		defer e.setCause(e.setCause("tick"))
 		for h := 0; h < e.cfg.Mobile.NumHosts; h++ {
 			if e.net.Host(mobile.HostID(h)).Connected() {
@@ -747,9 +778,9 @@ func (e *engine) scheduleTicks(i int, per protocol.Periodic) {
 				}
 			}
 		}
-		sim.After(period, "tick", tick)
+		sim.Again(period)
 	}
-	e.sim.After(period, "tick", tick)
+	e.sim.Schedule(e.sim.Now()+period, "tick", tick)
 }
 
 // scheduleGC periodically reclaims unreachable checkpoints from every
@@ -757,8 +788,7 @@ func (e *engine) scheduleTicks(i int, per protocol.Periodic) {
 // for protocols whose recovery lines are index cuts, so other protocols
 // are skipped.
 func (e *engine) scheduleGC() {
-	var tick func(sim *des.Simulator, now des.Time)
-	tick = func(sim *des.Simulator, now des.Time) {
+	tick := func(sim *des.Simulator, now des.Time) {
 		// The frontier must cover every current host: a host joined after
 		// Start sits at a low index, and pruning past it would destroy the
 		// lines its failure still needs.
@@ -791,9 +821,9 @@ func (e *engine) scheduleGC() {
 				}
 			}
 		}
-		sim.After(e.cfg.GCInterval, "gc", tick)
+		sim.Again(e.cfg.GCInterval)
 	}
-	e.sim.After(e.cfg.GCInterval, "gc", tick)
+	e.sim.Schedule(e.sim.Now()+e.cfg.GCInterval, "gc", tick)
 }
 
 // join admits one new host: into the network, into every protocol (via
@@ -867,14 +897,13 @@ func (e *engine) run() *Result {
 			every = e.cfg.Horizon / 10
 		}
 		if every > 0 {
-			var beat func(sim *des.Simulator, now des.Time)
-			beat = func(sim *des.Simulator, now des.Time) {
+			beat := func(sim *des.Simulator, now des.Time) {
 				e.cfg.Progress(now, sim.Fired())
 				if now+every <= e.cfg.Horizon {
-					sim.After(every, "progress", beat)
+					sim.Again(every)
 				}
 			}
-			e.sim.After(every, "progress", beat)
+			e.sim.Schedule(every, "progress", beat)
 		}
 	}
 	e.driver.Start()

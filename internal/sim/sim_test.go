@@ -301,7 +301,7 @@ func TestRunFigureSmall(t *testing.T) {
 	base.Horizon = 1000
 	f, _ := Figure(1)
 	f.TSwitch = []float64{100, 500}
-	tab, err := RunFigure(f, base, Seeds(1, 2))
+	tab, err := RunFigure(f, base, Seeds(1, 2), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,7 +318,7 @@ func TestGainsSmall(t *testing.T) {
 	base.Horizon = 2000
 	f, _ := Figure(2)
 	f.TSwitch = []float64{200, 1000}
-	rep, err := Gains(f, base, Seeds(1, 2))
+	rep, err := Gains(f, base, Seeds(1, 2), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +327,7 @@ func TestGainsSmall(t *testing.T) {
 	}
 	// Gains requires all three paper protocols.
 	base.Protocols = []ProtocolName{BCS, QBC}
-	if _, err := Gains(f, base, Seeds(1, 1)); err == nil {
+	if _, err := Gains(f, base, Seeds(1, 1), 0); err == nil {
 		t.Fatal("Gains without TP must fail")
 	}
 }

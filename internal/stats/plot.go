@@ -46,6 +46,19 @@ func (p *Plot) Add(name string, symbol byte, xs, ys []float64) error {
 	return nil
 }
 
+// plottable reports whether a point can appear on the chart at all:
+// NaN and ±Inf have no coordinate, and non-positive values have none on
+// a log axis.
+func (p *Plot) plottable(x, y float64) bool {
+	if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+		return false
+	}
+	if (p.LogX && x <= 0) || (p.LogY && y <= 0) {
+		return false
+	}
+	return true
+}
+
 // scale maps v into [0, cells-1] under the given bounds and scale.
 func scale(v, lo, hi float64, cells int, logScale bool) (int, bool) {
 	if logScale {
@@ -69,7 +82,7 @@ func (p *Plot) String() string {
 	var xs, ys []float64
 	for _, s := range p.series {
 		for i := range s.xs {
-			if (p.LogX && s.xs[i] <= 0) || (p.LogY && s.ys[i] <= 0) {
+			if !p.plottable(s.xs[i], s.ys[i]) {
 				continue
 			}
 			xs = append(xs, s.xs[i])
@@ -91,6 +104,9 @@ func (p *Plot) String() string {
 	for _, s := range p.series {
 		var prevC, prevR = -1, -1
 		for i := range s.xs {
+			if !p.plottable(s.xs[i], s.ys[i]) {
+				continue
+			}
 			c, okc := scale(s.xs[i], xlo, xhi, p.Width, p.LogX)
 			r, okr := scale(s.ys[i], ylo, yhi, p.Height, p.LogY)
 			if !okc || !okr {

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -78,5 +79,43 @@ func TestPlotTopAndBottomRowsUsed(t *testing.T) {
 	}
 	if !strings.Contains(lines[p.Height], "*") {
 		t.Fatalf("min not on bottom row:\n%s", out)
+	}
+}
+
+func TestPlotNonFiniteValues(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+
+	// All-NaN series must take the "(no data)" path, not render NaN axes.
+	p := NewPlot("all-nan")
+	p.Add("s", '*', []float64{nan, nan}, []float64{nan, nan})
+	if out := p.String(); !strings.Contains(out, "no data") || strings.Contains(out, "NaN") {
+		t.Fatalf("all-NaN plot output %q", out)
+	}
+
+	// Mixed series: non-finite points are dropped, finite ones plot with
+	// clean bounds — no NaN/Inf may leak into axis labels.
+	p = NewPlot("mixed")
+	p.LogX, p.LogY = false, false
+	p.Add("s", '*',
+		[]float64{1, nan, 2, 3, inf},
+		[]float64{10, 5, nan, 30, -inf})
+	out := p.String()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("finite points missing:\n%s", out)
+	}
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(out, bad) {
+			t.Fatalf("%s leaked into the chart:\n%s", bad, out)
+		}
+	}
+}
+
+func TestPlotInfOnlyWithLogScale(t *testing.T) {
+	// +Inf survives the old log-scale filter (Inf > 0); it must still be
+	// dropped rather than poisoning the bounds.
+	p := NewPlot("inf-log")
+	p.Add("s", '*', []float64{math.Inf(1)}, []float64{math.Inf(1)})
+	if out := p.String(); !strings.Contains(out, "no data") {
+		t.Fatalf("Inf-only log plot output %q", out)
 	}
 }

@@ -263,3 +263,29 @@ func TestTableExtraCellsDropped(t *testing.T) {
 		t.Fatal("extra cells must be dropped")
 	}
 }
+
+func TestTableCSVQuotesLineBreaks(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow("x\ry", "p\nq")
+	csv := tab.CSV()
+	want := "a,b\n\"x\ry\",\"p\nq\"\n"
+	if csv != want {
+		t.Fatalf("csv = %q, want %q", csv, want)
+	}
+}
+
+func TestTableDegenerate(t *testing.T) {
+	// No rows: header and separator only, no stray lines.
+	tab := NewTable("t", "a", "bb")
+	if got, want := tab.String(), "t\na  bb\n-  --\n"; got != want {
+		t.Fatalf("empty table = %q, want %q", got, want)
+	}
+	if got, want := tab.CSV(), "a,bb\n"; got != want {
+		t.Fatalf("empty csv = %q, want %q", got, want)
+	}
+	// NaN means from empty replications render as text, not garbage.
+	tab.AddFloatRow("r", math.NaN())
+	if !strings.Contains(tab.String(), "NaN") {
+		t.Fatalf("NaN cell lost: %q", tab.String())
+	}
+}

@@ -87,7 +87,7 @@ func (t *Table) String() string {
 }
 
 // CSV renders the table as comma-separated values with a header row.
-// Cells containing commas or quotes are quoted.
+// Cells containing commas, quotes or line breaks are quoted.
 func (t *Table) CSV() string {
 	var b strings.Builder
 	writeRow := func(cells []string) {
@@ -95,7 +95,7 @@ func (t *Table) CSV() string {
 			if j > 0 {
 				b.WriteByte(',')
 			}
-			if strings.ContainsAny(c, ",\"\n") {
+			if strings.ContainsAny(c, ",\"\n\r") {
 				b.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
 			} else {
 				b.WriteString(c)

@@ -32,7 +32,8 @@ const (
 )
 
 // AppendPiggyback encodes pb (nil, protocol.IndexPiggyback or
-// protocol.TPPiggyback) onto buf and returns the extended slice.
+// protocol.TPPiggyback in value or pointer form) onto buf and returns
+// the extended slice.
 func AppendPiggyback(buf []byte, pb any) ([]byte, error) {
 	switch v := pb.(type) {
 	case nil:
@@ -40,6 +41,12 @@ func AppendPiggyback(buf []byte, pb any) ([]byte, error) {
 	case protocol.IndexPiggyback:
 		buf = append(buf, TagIndex)
 		return binary.BigEndian.AppendUint64(buf, uint64(int64(v))), nil
+	case *protocol.TPPiggyback:
+		// TP's pooled OnSend hands out pointers; encode the pointee.
+		if v == nil {
+			return append(buf, TagNone), nil
+		}
+		return AppendPiggyback(buf, *v)
 	case protocol.TPPiggyback:
 		if len(v.Ckpt) != len(v.Loc) {
 			return nil, fmt.Errorf("wire: vector widths differ: %d vs %d", len(v.Ckpt), len(v.Loc))

@@ -149,6 +149,17 @@ type Driver struct {
 
 	paused   []bool // host's operation loop stopped due to disconnection
 	counters Counters
+
+	// Pooled-event trampolines: one long-lived handler per process kind
+	// instead of one closure per scheduled event. Operations dominate the
+	// event count, so this removes the largest per-event allocation.
+	opFn         des.ArgHandler
+	handoffFn    des.ArgHandler
+	disconnectFn des.ArgHandler
+	reconnectFn  des.ArgHandler
+	// hostArg[i] is mobile.HostID(i) boxed once, so passing the host to a
+	// trampoline never re-boxes (ids ≥ 256 would otherwise allocate).
+	hostArg []any
 }
 
 // NewDriver creates a driver. The seed determines the whole trace; two
@@ -171,9 +182,15 @@ func NewDriver(sim *des.Simulator, net *mobile.Network, cfg Config, seed uint64,
 		mobRNG: make([]*rng.Source, n),
 		paused: make([]bool, n),
 	}
+	d.opFn = func(sim *des.Simulator, now des.Time, arg any) { d.operate(arg.(mobile.HostID)) }
+	d.handoffFn = func(sim *des.Simulator, now des.Time, arg any) { d.handoff(arg.(mobile.HostID)) }
+	d.disconnectFn = func(sim *des.Simulator, now des.Time, arg any) { d.disconnect(arg.(mobile.HostID)) }
+	d.reconnectFn = func(sim *des.Simulator, now des.Time, arg any) { d.reconnect(arg.(mobile.HostID)) }
+	d.hostArg = make([]any, n)
 	for i := 0; i < n; i++ {
 		d.opRNG[i] = rng.NewStream(seed, uint64(2*i))
 		d.mobRNG[i] = rng.NewStream(seed, uint64(2*i+1))
+		d.hostArg[i] = mobile.HostID(i)
 	}
 	return d, nil
 }
@@ -191,6 +208,7 @@ func (d *Driver) AddHost(h mobile.HostID, seed uint64) {
 		d.opRNG = append(d.opRNG, rng.NewStream(seed, uint64(2*i)))
 		d.mobRNG = append(d.mobRNG, rng.NewStream(seed, uint64(2*i+1)))
 		d.paused = append(d.paused, false)
+		d.hostArg = append(d.hostArg, mobile.HostID(i))
 	}
 	d.scheduleOperation(h)
 	d.enterCell(h)
@@ -212,9 +230,7 @@ func (d *Driver) scheduleOperation(h mobile.HostID) {
 	if d.cb.ExtraDelay != nil {
 		delay += d.cb.ExtraDelay(h)
 	}
-	d.sim.After(delay, "op", func(sim *des.Simulator, now des.Time) {
-		d.operate(h)
-	})
+	d.sim.ScheduleArgAfter(delay, "op", d.opFn, d.hostArg[h])
 }
 
 // operate performs one application operation for host h.
@@ -258,14 +274,10 @@ func (d *Driver) enterCell(h mobile.HostID) {
 	mean := d.cfg.PermanenceMean(h, d.net.NumHosts())
 	if src.Bernoulli(d.cfg.PSwitch) {
 		stay := des.Time(src.Exp(mean))
-		d.sim.After(stay, "handoff", func(sim *des.Simulator, now des.Time) {
-			d.handoff(h)
-		})
+		d.sim.ScheduleArgAfter(stay, "handoff", d.handoffFn, d.hostArg[h])
 	} else {
 		stay := des.Time(src.Exp(mean / 3))
-		d.sim.After(stay, "disconnect", func(sim *des.Simulator, now des.Time) {
-			d.disconnect(h)
-		})
+		d.sim.ScheduleArgAfter(stay, "disconnect", d.disconnectFn, d.hostArg[h])
 	}
 }
 
@@ -316,16 +328,20 @@ func (d *Driver) disconnect(h mobile.HostID) {
 	}
 	d.counters.Disconnects++
 	gone := des.Time(d.mobRNG[h].Exp(d.cfg.DisconnectMean))
-	d.sim.After(gone, "reconnect", func(sim *des.Simulator, now des.Time) {
-		at := mobile.MSSID(d.mobRNG[h].Intn(d.net.NumStations()))
-		if err := d.net.Reconnect(h, at); err != nil {
-			panic("workload: " + err.Error())
-		}
-		d.counters.Reconnects++
-		if d.paused[h] {
-			d.paused[h] = false
-			d.scheduleOperation(h)
-		}
-		d.enterCell(h)
-	})
+	d.sim.ScheduleArgAfter(gone, "reconnect", d.reconnectFn, d.hostArg[h])
+}
+
+// reconnect reattaches h at a uniformly chosen station and resumes its
+// suspended processes.
+func (d *Driver) reconnect(h mobile.HostID) {
+	at := mobile.MSSID(d.mobRNG[h].Intn(d.net.NumStations()))
+	if err := d.net.Reconnect(h, at); err != nil {
+		panic("workload: " + err.Error())
+	}
+	d.counters.Reconnects++
+	if d.paused[h] {
+		d.paused[h] = false
+		d.scheduleOperation(h)
+	}
+	d.enterCell(h)
 }
