@@ -1,0 +1,250 @@
+// Command simlint is the multichecker for the repository's static
+// analysis suite (internal/analysis): detlint, maporder, poollint and
+// schedlint.
+//
+// It runs in two modes.
+//
+// Standalone, from anywhere in the module:
+//
+//	simlint [-C dir] [-config file] [-analyzers detlint,maporder] [packages]
+//
+// loads the named packages (default ./...) with the go/importer-based
+// loader, runs every in-scope analyzer and prints surviving findings as
+// file:line:col: simlint/<analyzer>: message, exiting 1 if any survive.
+// The scope defaults to analysis.DefaultConfig (the repository gate) and
+// can be replaced with -config.
+//
+// As a vet tool:
+//
+//	go vet -vettool=$(command -v simlint) ./...
+//
+// simlint speaks the cmd/go unit-checker protocol: it answers -flags
+// with a JSON flag list, -V=full with a content-hashed version line (so
+// the go command's vet cache invalidates when the tool changes), and is
+// then invoked once per package with a vet.cfg JSON file naming the
+// sources and the export data of every dependency. Because go vet passes
+// no custom flags through, the vettool scope can be overridden with the
+// SIMLINT_CONFIG environment variable naming a -config style file.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mobickpt/internal/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+	// The unit-checker handshake: cmd/go probes the tool's flags and
+	// identity before handing it any work.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-flags":
+			fmt.Println("[]")
+			return
+		case strings.HasPrefix(args[0], "-V"):
+			printVersion()
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(runVetCfg(args[0]))
+		}
+	}
+	os.Exit(runStandalone(args))
+}
+
+// printVersion prints the tool identity for `simlint -V=full`. The go
+// command uses the line verbatim as the vet-action cache key, so the
+// line hashes the executable itself: rebuilding simlint with different
+// analyzers invalidates every cached vet result.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	h := sha256.New()
+	if exe, err := os.Open(os.Args[0]); err == nil {
+		io.Copy(h, exe)
+		exe.Close()
+	}
+	fmt.Printf("%s version devel buildID=%x\n", name, h.Sum(nil))
+}
+
+// scopeConfig resolves the analyzer scope: an explicit -config file, the
+// SIMLINT_CONFIG environment variable (the only channel go vet leaves
+// open), or the repository default.
+func scopeConfig(path string) (analysis.Config, error) {
+	if path == "" {
+		path = os.Getenv("SIMLINT_CONFIG")
+	}
+	if path == "" {
+		return analysis.DefaultConfig(), nil
+	}
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return analysis.Config{}, err
+	}
+	cfg, err := analysis.ParseConfig(string(text))
+	if err != nil {
+		return analysis.Config{}, fmt.Errorf("%s: %v", path, err)
+	}
+	return cfg, nil
+}
+
+// ---- standalone mode ----
+
+func runStandalone(args []string) int {
+	fs := flag.NewFlagSet("simlint", flag.ExitOnError)
+	dir := fs.String("C", ".", "change to `dir` before loading packages")
+	configPath := fs.String("config", "", "analyzer scope `file` (default: the built-in repository scope)")
+	names := fs.String("analyzers", "", "comma-separated `subset` of analyzers to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: simlint [-C dir] [-config file] [-analyzers list] [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Fprintf(fs.Output(), "  %-10s %s\n", a.Name, doc)
+		}
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	analyzers, err := analysis.ByName(*names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 1
+	}
+	cfg, err := scopeConfig(*configPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 1
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := analysis.Run(*dir, patterns, analyzers, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Printf("%s: simlint/%s: %s\n", f.Position, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// ---- go vet unit-checker mode ----
+
+// vetConfig is the subset of the cmd/go vet.cfg schema simlint consumes:
+// one package's sources plus the compiler export data of its dependency
+// closure.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runVetCfg(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %s: %v\n", path, err)
+		return 1
+	}
+	// simlint exports no facts, but cmd/go requires the facts file to
+	// exist before it will cache or consume the result.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// A dependency analyzed only for facts: nothing to do.
+		return 0
+	}
+
+	scope, err := scopeConfig("")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 1
+	}
+	// Test variants carry an " [pkg.test]" suffix; scope on the base path.
+	importPath, _, _ := strings.Cut(cfg.ImportPath, " ")
+	var analyzers []*analysis.Analyzer
+	for _, a := range analysis.All() {
+		if scope.Applies(a.Name, importPath) {
+			analyzers = append(analyzers, a)
+		}
+	}
+	if len(analyzers) == 0 {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := analysis.NewInfo()
+	pkg, err := (&types.Config{Importer: imp}).Check(importPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "simlint: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	findings, err := analysis.RunAnalyzers(analyzers, fset, files, pkg, info)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: simlint/%s: %s\n", f.Position, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		// Unit-checker convention: 2 distinguishes "diagnostics found"
+		// from operational failure.
+		return 2
+	}
+	return 0
+}

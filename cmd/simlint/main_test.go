@@ -1,0 +1,126 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// seededModule is the scratch module carrying deliberate violations; the
+// e2e tests assert simlint fails its build in both modes.
+const seededModule = "../../internal/analysis/testdata/module"
+
+var buildOnce struct {
+	sync.Once
+	bin string
+	err error
+}
+
+// buildSimlint compiles the simlint binary once per test run.
+func buildSimlint(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "simlint-e2e-")
+		if err != nil {
+			buildOnce.err = err
+			return
+		}
+		bin := filepath.Join(dir, "simlint")
+		out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+		if err != nil {
+			buildOnce.err = err
+			os.RemoveAll(dir)
+			return
+		}
+		_ = out
+		buildOnce.bin = bin
+	})
+	if buildOnce.err != nil {
+		t.Fatalf("building simlint: %v", buildOnce.err)
+	}
+	return buildOnce.bin
+}
+
+func exitCode(t *testing.T, err error) int {
+	t.Helper()
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return ee.ExitCode()
+	}
+	t.Fatalf("running simlint: %v", err)
+	return -1
+}
+
+// TestHandshake covers the two unit-checker probe invocations cmd/go
+// issues before any analysis: -flags must print a JSON flag list and
+// -V=full a stable one-line identity.
+func TestHandshake(t *testing.T) {
+	bin := buildSimlint(t)
+	out, err := exec.Command(bin, "-flags").Output()
+	if err != nil || strings.TrimSpace(string(out)) != "[]" {
+		t.Fatalf("-flags: got %q, err %v; want \"[]\"", out, err)
+	}
+	out, err = exec.Command(bin, "-V=full").Output()
+	if err != nil || !strings.HasPrefix(string(out), "simlint version ") {
+		t.Fatalf("-V=full: got %q, err %v; want \"simlint version ...\"", out, err)
+	}
+}
+
+// TestStandaloneSeededModuleFails proves the acceptance gate: a
+// deliberately seeded violation in the scratch fixture module fails the
+// standalone run with a nonzero exit.
+func TestStandaloneSeededModuleFails(t *testing.T) {
+	bin := buildSimlint(t)
+	cmd := exec.Command(bin, "-C", seededModule, "-config", filepath.Join(seededModule, "simlint.conf"), "./...")
+	out, err := cmd.CombinedOutput()
+	if code := exitCode(t, err); code != 1 {
+		t.Fatalf("exit code %d, want 1; output:\n%s", code, out)
+	}
+	for _, want := range []string{"simlint/detlint", "simlint/maporder", "time.Now"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestVettoolSeededModuleFails drives the real `go vet -vettool`
+// protocol end to end over the seeded module.
+func TestVettoolSeededModuleFails(t *testing.T) {
+	bin := buildSimlint(t)
+	conf, err := filepath.Abs(filepath.Join(seededModule, "simlint.conf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = seededModule
+	cmd.Env = append(os.Environ(), "SIMLINT_CONFIG="+conf)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool passed over the seeded module:\n%s", out)
+	}
+	if !strings.Contains(string(out), "simlint/detlint") {
+		t.Errorf("vet output missing simlint/detlint finding:\n%s", out)
+	}
+}
+
+// TestVettoolRepoClean runs the vettool over the whole repository with
+// the production scope: the tree (including test files, which the
+// standalone loader does not see) must be clean.
+func TestVettoolRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repo vettool run skipped in -short mode")
+	}
+	bin := buildSimlint(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool over the repo: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config is the package allowlist: which analyzers run over which
+// packages. Contracts differ per layer — internal/des owns the event
+// pool it polices for everyone else, internal/mobile owns the message
+// pool, internal/obs and internal/live legitimately touch the wall
+// clock — so each analyzer carries its own scope instead of one global
+// include list.
+type Config struct {
+	scopes map[string]scope
+}
+
+type scope struct {
+	include []string
+	exclude []string
+}
+
+// DefaultConfig is the scope the repository is gated with.
+//
+//   - detlint covers every package whose behaviour feeds the simulated
+//     trace or its exported artifacts. internal/rng is exempt by
+//     construction (it is the sanctioned entropy source), and sanctioned
+//     wall-clock use in obs profiling / live networking is annotated
+//     in-tree with //lint:allow rather than excluded wholesale.
+//   - maporder covers everything except examples (demo output).
+//   - poollint covers the consumers of the message/piggyback pools, not
+//     their owner internal/mobile.
+//   - schedlint covers every client of internal/des, not the engine
+//     itself.
+func DefaultConfig() Config {
+	return Config{scopes: map[string]scope{
+		"detlint": {include: []string{
+			"internal/des/...", "internal/sim", "internal/protocol",
+			"internal/mobile", "internal/workload", "internal/mlog",
+			"internal/recovery", "internal/check", "internal/trace",
+			"internal/stats", "internal/vclock", "internal/statestore",
+			"internal/storage", "internal/energy", "internal/wire",
+			"internal/obs", "internal/live",
+		}},
+		"maporder": {include: []string{"*"}, exclude: []string{"examples/..."}},
+		"poollint": {include: []string{
+			"internal/sim", "internal/protocol", "internal/mlog",
+			"internal/recovery", "internal/workload", "internal/check",
+			"internal/trace",
+		}},
+		"schedlint": {include: []string{"*"}, exclude: []string{"internal/des/..."}},
+	}}
+}
+
+// Applies reports whether analyzer is in scope for the package path.
+// Unknown analyzers are out of scope everywhere: a config must opt a
+// check in explicitly.
+func (c Config) Applies(analyzer, pkgPath string) bool {
+	sc, ok := c.scopes[analyzer]
+	if !ok {
+		return false
+	}
+	for _, pat := range sc.exclude {
+		if matchPattern(pat, pkgPath) {
+			return false
+		}
+	}
+	for _, pat := range sc.include {
+		if matchPattern(pat, pkgPath) {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzers returns the configured analyzer names in stable order.
+func (c Config) Analyzers() []string {
+	names := make([]string, 0, len(c.scopes))
+	for n := range c.scopes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// matchPattern matches a package path against one config pattern:
+//
+//   - every package
+//     internal/sim       the package whose path is, or ends with, the
+//     pattern ("mobickpt/internal/sim" matches)
+//     internal/des/...   that package and its whole subtree
+func matchPattern(pat, path string) bool {
+	if pat == "*" {
+		return true
+	}
+	base, subtree := strings.CutSuffix(pat, "/...")
+	if path == base || strings.HasSuffix(path, "/"+base) {
+		return true
+	}
+	if subtree {
+		if strings.HasPrefix(path, base+"/") || strings.Contains(path, "/"+base+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseConfig parses the textual allowlist format used by
+// `simlint -config`:
+//
+//	# comment
+//	detlint: internal/sim internal/des/...
+//	maporder: * !examples/...
+//
+// Each non-comment line scopes one analyzer: a colon, then
+// whitespace-separated include patterns, with !-prefixed patterns
+// excluded. Every analyzer may appear at most once, must be a known
+// analyzer name, and needs at least one include pattern.
+func ParseConfig(text string) (Config, error) {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	cfg := Config{scopes: make(map[string]scope)}
+	for i, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, rest, found := strings.Cut(line, ":")
+		if !found {
+			return Config{}, fmt.Errorf("config line %d: want \"<analyzer>: <patterns>\", got %q", i+1, line)
+		}
+		name = strings.TrimSpace(name)
+		if !known[name] {
+			return Config{}, fmt.Errorf("config line %d: unknown analyzer %q", i+1, name)
+		}
+		if _, dup := cfg.scopes[name]; dup {
+			return Config{}, fmt.Errorf("config line %d: duplicate scope for %q", i+1, name)
+		}
+		var sc scope
+		for _, f := range strings.Fields(rest) {
+			if excl, isExcl := strings.CutPrefix(f, "!"); isExcl {
+				if excl == "" {
+					return Config{}, fmt.Errorf("config line %d: empty exclude pattern", i+1)
+				}
+				sc.exclude = append(sc.exclude, excl)
+			} else {
+				sc.include = append(sc.include, f)
+			}
+		}
+		if len(sc.include) == 0 {
+			return Config{}, fmt.Errorf("config line %d: analyzer %q needs at least one include pattern", i+1, name)
+		}
+		cfg.scopes[name] = sc
+	}
+	return cfg, nil
+}

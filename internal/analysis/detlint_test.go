@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mobickpt/internal/analysis"
+	"mobickpt/internal/analysis/analysistest"
+)
+
+func TestDetlint(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.Detlint,
+		"det_bad", "det_ok", "det_suppressed")
+}

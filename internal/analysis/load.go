@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// LoadedPackage is one type-checked package of the module under
+// analysis, ready for RunAnalyzers.
+type LoadedPackage struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path string }
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns in dir with `go list -export -deps -json`, parses
+// and type-checks every non-test Go file of the module's own matched
+// packages, and returns them in list order. Dependencies (including the
+// standard library) are imported from compiler export data, so the
+// loader needs no network and no third-party modules — the trade-off for
+// keeping the repository's go.mod dependency-free instead of using
+// golang.org/x/tools/go/packages.
+func Load(dir string, patterns []string) ([]*LoadedPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=Dir,ImportPath,Export,GoFiles,Standard,Module,Incomplete,Error", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var deps []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		deps = append(deps, p)
+	}
+
+	// `go list -deps` lists the whole closure; the packages to analyze
+	// are the module's own (non-standard, in a module). -deps also means
+	// the set includes module packages pulled in as dependencies of the
+	// pattern — analyzing those too is what "self-hosted over the whole
+	// repo" wants, and deterministic for any pattern.
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	})
+
+	var loaded []*LoadedPackage
+	for _, p := range deps {
+		if p.Standard || p.Module == nil {
+			continue
+		}
+		lp, err := typeCheck(fset, imp, p)
+		if err != nil {
+			return nil, err
+		}
+		if lp != nil {
+			loaded = append(loaded, lp)
+		}
+	}
+	return loaded, nil
+}
+
+// typeCheck parses and checks one listed package.
+func typeCheck(fset *token.FileSet, imp types.Importer, p listPackage) (*LoadedPackage, error) {
+	if len(p.GoFiles) == 0 {
+		return nil, nil
+	}
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
+	}
+	return &LoadedPackage{
+		ImportPath: p.ImportPath,
+		Dir:        p.Dir,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+	}, nil
+}
+
+// NewInfo allocates the types.Info maps the analyzers rely on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Run loads patterns and runs every configured analyzer that applies to
+// each package, returning all surviving findings in package order.
+func Run(dir string, patterns []string, analyzers []*Analyzer, cfg Config) ([]Finding, error) {
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var all []Finding
+	for _, p := range pkgs {
+		scoped := make([]*Analyzer, 0, len(analyzers))
+		for _, a := range analyzers {
+			if cfg.Applies(a.Name, p.ImportPath) {
+				scoped = append(scoped, a)
+			}
+		}
+		if len(scoped) == 0 {
+			continue
+		}
+		findings, err := RunAnalyzers(scoped, p.Fset, p.Files, p.Pkg, p.Info)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.ImportPath, err)
+		}
+		all = append(all, findings...)
+	}
+	return all, nil
+}

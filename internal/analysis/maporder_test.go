@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mobickpt/internal/analysis"
+	"mobickpt/internal/analysis/analysistest"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.Maporder,
+		"maporder_bad", "maporder_ok", "maporder_suppressed")
+}

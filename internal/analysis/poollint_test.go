@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mobickpt/internal/analysis"
+	"mobickpt/internal/analysis/analysistest"
+)
+
+func TestPoollint(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.Poollint,
+		"pool_bad", "pool_ok", "pool_suppressed")
+}

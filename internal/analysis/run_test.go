@@ -1,0 +1,51 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"mobickpt/internal/analysis"
+)
+
+// TestSeededViolationsFail drives the real loader over the scratch
+// module under testdata/module: the deliberately seeded wall-clock read
+// and map-order print must surface as findings, proving the gate can
+// actually fail a build.
+func TestSeededViolationsFail(t *testing.T) {
+	cfg, err := analysis.ParseConfig("detlint: *\nmaporder: *")
+	if err != nil {
+		t.Fatalf("ParseConfig: %v", err)
+	}
+	findings, err := analysis.Run("testdata/module", []string{"./..."}, analysis.All(), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var haveDet, haveMap bool
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "detlint":
+			haveDet = haveDet || strings.Contains(f.Message, "time.Now")
+		case "maporder":
+			haveMap = haveMap || strings.Contains(f.Message, "map")
+		}
+	}
+	if !haveDet || !haveMap {
+		t.Fatalf("seeded violations not all found (detlint=%v, maporder=%v): %v", haveDet, haveMap, findings)
+	}
+}
+
+// TestSelfHostClean runs the whole suite over the repository with the
+// production scope: the tree must be clean (true positives fixed,
+// sanctioned exceptions annotated with //lint:allow).
+func TestSelfHostClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-hosted whole-repo analysis skipped in -short mode")
+	}
+	findings, err := analysis.Run("../..", []string{"./..."}, analysis.All(), analysis.DefaultConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("unsuppressed finding: %s", f)
+	}
+}

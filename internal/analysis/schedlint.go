@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// Schedlint enforces the internal/des API contracts that the event pool
+// made load-bearing: events come from the Simulator's free list, so a
+// zero-value Event is not schedulable, an event handed to a fired
+// handler is already recycled (cancelling it cancels somebody else's
+// event), and a negative delay panics at runtime — better to fail the
+// build than the five-minute sweep.
+var Schedlint = &Analyzer{
+	Name: "schedlint",
+	Doc: "enforce internal/des scheduler contracts: no zero-value Event " +
+		"construction outside the engine, no constant negative delays/times, " +
+		"no Cancel of an event from inside its own handler (the event is " +
+		"recycled the moment the handler fires)",
+	Run: runSchedlint,
+}
+
+// delayArg maps des.Simulator scheduling methods to the index of their
+// time/delay argument.
+var delayArg = map[string]int{
+	"At": 0, "After": 0, "Schedule": 0, "ScheduleAfter": 0,
+	"ScheduleArg": 0, "ScheduleArgAfter": 0, "Again": 0,
+	"Reschedule": 1,
+}
+
+func runSchedlint(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CompositeLit:
+				if path, name, ok := namedType(pass.TypesInfo.TypeOf(node)); ok &&
+					pathIs(path, "des") && name == "Event" {
+					pass.Reportf(node.Pos(),
+						"zero-value des.Event constructed outside the engine: events come from the Simulator pool (use At/After)")
+				}
+			case *ast.CallExpr:
+				checkNewEvent(pass, node)
+				checkNegativeDelay(pass, node)
+			case *ast.AssignStmt:
+				checkSelfCancel(pass, node)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkNewEvent flags new(des.Event), the other spelling of a zero-value
+// event.
+func checkNewEvent(pass *Pass, call *ast.CallExpr) {
+	id, isIdent := call.Fun.(*ast.Ident)
+	if !isIdent || len(call.Args) != 1 {
+		return
+	}
+	if b, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin || b.Name() != "new" {
+		return
+	}
+	if path, name, ok := namedType(pass.TypesInfo.TypeOf(call.Args[0])); ok &&
+		pathIs(path, "des") && name == "Event" {
+		pass.Reportf(call.Pos(),
+			"new(des.Event) constructs an unpooled zero-value event: events come from the Simulator pool (use At/After)")
+	}
+}
+
+// simulatorMethod resolves call as a method on des.Simulator.
+func simulatorMethod(pass *Pass, call *ast.CallExpr) (string, bool) {
+	recvPath, recvType, method, ok := methodCall(pass.TypesInfo, call)
+	if !ok || !pathIs(recvPath, "des") || recvType != "Simulator" {
+		return "", false
+	}
+	return method, true
+}
+
+// checkNegativeDelay flags scheduling calls whose time/delay argument is
+// a negative constant: des.Run panics on events scheduled in the past,
+// and a constant negative delay is always that bug.
+func checkNegativeDelay(pass *Pass, call *ast.CallExpr) {
+	method, ok := simulatorMethod(pass, call)
+	if !ok {
+		return
+	}
+	idx, scheduled := delayArg[method]
+	if !scheduled || idx >= len(call.Args) {
+		return
+	}
+	arg := call.Args[idx]
+	tv, hasType := pass.TypesInfo.Types[arg]
+	if !hasType || tv.Value == nil {
+		return
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		if constant.Sign(tv.Value) < 0 {
+			pass.Reportf(arg.Pos(),
+				"constant negative time/delay passed to Simulator.%s: the engine panics on events scheduled in the past", method)
+		}
+	}
+}
+
+// checkSelfCancel flags the pattern
+//
+//	ev = s.At(t, "x", func(s *des.Simulator, now des.Time) {
+//		... s.Cancel(ev) ...
+//	})
+//
+// — by the time the handler runs, ev has fired and been recycled, so the
+// Cancel hits whatever event now owns the pooled slot.
+func checkSelfCancel(pass *Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+		return
+	}
+	call, isCall := as.Rhs[0].(*ast.CallExpr)
+	if !isCall {
+		return
+	}
+	method, ok := simulatorMethod(pass, call)
+	if !ok || (method != "At" && method != "After") {
+		return
+	}
+	lhs, isIdent := as.Lhs[0].(*ast.Ident)
+	if !isIdent {
+		return
+	}
+	obj := objectOf(pass.TypesInfo, lhs)
+	if obj == nil {
+		return
+	}
+	for _, arg := range call.Args {
+		lit, isLit := arg.(*ast.FuncLit)
+		if !isLit {
+			continue
+		}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			inner, isInner := n.(*ast.CallExpr)
+			if !isInner {
+				return true
+			}
+			m, isSim := simulatorMethod(pass, inner)
+			if !isSim || m != "Cancel" || len(inner.Args) != 1 {
+				return true
+			}
+			if cid, isCID := inner.Args[0].(*ast.Ident); isCID && objectOf(pass.TypesInfo, cid) == obj {
+				pass.Reportf(inner.Pos(),
+					"%s is cancelled from inside its own handler: a fired event is already recycled, so this cancels an unrelated event", obj.Name())
+			}
+			return true
+		})
+	}
+}

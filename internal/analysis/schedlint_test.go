@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mobickpt/internal/analysis"
+	"mobickpt/internal/analysis/analysistest"
+)
+
+func TestSchedlint(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.Schedlint,
+		"sched_bad", "sched_ok", "sched_suppressed")
+}

@@ -1,0 +1,21 @@
+// Package scratch deliberately violates the simlint contracts; the
+// driver tests and the cmd/simlint end-to-end test assert that these
+// seeded violations fail the build.
+package scratch
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stamp reads the wall clock: detlint must flag it.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Dump prints in map-iteration order: maporder must flag it.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

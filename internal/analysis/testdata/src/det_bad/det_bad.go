@@ -1,0 +1,31 @@
+package det_bad
+
+import (
+	"math/rand" // want "import of math/rand in a simulation package"
+	"os"
+	"time"
+)
+
+func wallclock() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since reads the wall clock"
+}
+
+func throttle() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+}
+
+func envBranch() int {
+	if os.Getenv("MOBICKPT_FAST") != "" { // want "os.Getenv makes simulation behaviour depend on the process environment"
+		return 1
+	}
+	return rand.Intn(3)
+}
+
+func envLookup() bool {
+	_, ok := os.LookupEnv("HOME") // want "os.LookupEnv makes simulation behaviour depend"
+	return ok
+}

@@ -1,0 +1,19 @@
+package det_ok
+
+import (
+	"os"
+	"time"
+)
+
+// Pure time conversions and constants never touch the wall clock.
+const tick = 5 * time.Millisecond
+
+func format(t time.Time) string { return t.Format(time.RFC3339) }
+
+func fromUnix(sec int64) time.Time { return time.Unix(sec, 0) }
+
+func scale(d time.Duration) float64 { return d.Seconds() }
+
+// Writing files is fine; only environment reads are branches on ambient
+// state.
+func dump(path string, data []byte) error { return os.WriteFile(path, data, 0o644) }

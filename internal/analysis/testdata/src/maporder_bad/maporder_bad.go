@@ -1,0 +1,60 @@
+package maporder_bad
+
+import (
+	"bytes"
+	"fmt"
+
+	"stats"
+)
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "collects map keys/values in randomized iteration order and is never sorted"
+	}
+	return keys
+}
+
+func printOrder(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "fmt.Println inside range over map writes output in randomized iteration order"
+	}
+}
+
+func bufferOrder(m map[string]int, b *bytes.Buffer) {
+	for k := range m {
+		b.WriteString(k) // want "Buffer.WriteString inside range over map writes output"
+	}
+}
+
+type export struct{ rows []string }
+
+func fieldAppend(m map[string]int, e *export) {
+	for k := range m {
+		e.rows = append(e.rows, k) // want "append to e.rows inside range over map"
+	}
+}
+
+func feedTable(m map[string]float64, t *stats.Table) {
+	for k, v := range m {
+		t.Add(k, v) // want "Table.Add fed inside range over map"
+	}
+}
+
+func feedMean(m map[int]float64, mean *stats.Mean) {
+	for _, v := range m {
+		mean.Observe(v) // want "Mean.Observe fed inside range over map"
+	}
+}
+
+// Sorting a different slice does not bless this one.
+func sortsTheWrongSlice(m map[string]int) ([]string, []string) {
+	var got, other []string
+	for k := range m {
+		got = append(got, k) // want "never sorted"
+	}
+	sortStrings(other)
+	return got, other
+}
+
+func sortStrings(s []string) {}

@@ -1,0 +1,55 @@
+package maporder_ok
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// The canonical safe pattern: collect, sort, then use.
+func collectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sort.Slice with a comparator also blesses the collected slice.
+func valuesSorted(m map[string]float64) []float64 {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// Commutative aggregation is order-independent.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// A slice declared inside the loop body is per-iteration state.
+func perIteration(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// Ranging over a slice is deterministic; writes are fine.
+func sliceRange(xs []string, b *bytes.Buffer) {
+	for _, x := range xs {
+		b.WriteString(x)
+		fmt.Fprintln(b, x)
+	}
+}

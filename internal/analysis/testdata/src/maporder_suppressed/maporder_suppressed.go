@@ -1,0 +1,34 @@
+package maporder_suppressed
+
+// Membership-set building is order-independent; the annotation records
+// why.
+func membership(m map[string]int) map[string]bool {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //lint:allow simlint/maporder keys feed a set; consumption is order-independent
+	}
+	set := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		set[k] = true
+	}
+	return set
+}
+
+// The standalone form covers the next line.
+func membershipAbove(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//lint:allow simlint/maporder keys are deduplicated into a set downstream
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// An unsuppressed sibling still fires.
+func stillCaught(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "never sorted"
+	}
+	return keys
+}

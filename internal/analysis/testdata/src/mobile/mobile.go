@@ -1,0 +1,33 @@
+// Package mobile is a fixture stub standing in for mobickpt's
+// internal/mobile: just enough surface for poollint fixtures to
+// type-check (the analyzers match package paths by last segment).
+package mobile
+
+type HostID int
+
+type MSSID int
+
+type Message struct {
+	ID       uint64
+	From, To HostID
+	Payload  any
+}
+
+type Network struct {
+	free []*Message
+}
+
+func (n *Network) Send(from, to HostID, payload any) (*Message, error) {
+	return &Message{From: from, To: to, Payload: payload}, nil
+}
+
+func (n *Network) TryReceive(id HostID) *Message {
+	return nil
+}
+
+func (n *Network) Recycle(m *Message) {
+	if m != nil {
+		m.Payload = nil
+		n.free = append(n.free, m)
+	}
+}

@@ -1,0 +1,57 @@
+package pool_bad
+
+import (
+	"mobile"
+	"protocol"
+)
+
+func useAfterRecycle(n *mobile.Network, m *mobile.Message) uint64 {
+	n.Recycle(m)
+	return m.ID // want "m is used after being recycled"
+}
+
+func useAfterBufferRecycle(r protocol.Recycler, pb any) any {
+	r.Recycle(pb)
+	return pb // want "pb is used after being recycled"
+}
+
+func useAfterTPRecycle(tp *protocol.TP, pb any) {
+	tp.Recycle(pb)
+	_ = pb // want "pb is used after being recycled"
+}
+
+type holder struct {
+	last *mobile.Message
+}
+
+func retainInField(h *holder, m *mobile.Message) {
+	h.last = m // want "stored in field h.last escapes the delivery path"
+}
+
+var lastSeen *mobile.Message
+
+func retainInGlobal(m *mobile.Message) {
+	lastSeen = m // want "stored in package-level variable lastSeen escapes the delivery path"
+}
+
+type ring struct {
+	slots []*mobile.Message
+}
+
+func retainInElement(r *ring, i int, m *mobile.Message) {
+	r.slots[i] = m // want "escapes the delivery path"
+}
+
+func retainInClosure(m *mobile.Message) func() uint64 {
+	return func() uint64 {
+		return m.ID // want "captured by a closure that may outlive delivery"
+	}
+}
+
+func leak(n *mobile.Network, id mobile.HostID) uint64 {
+	m := n.TryReceive(id) // want "neither recycled, stored, nor passed on"
+	if m == nil {
+		return 0
+	}
+	return m.ID
+}

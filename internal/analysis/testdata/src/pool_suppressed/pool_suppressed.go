@@ -1,0 +1,17 @@
+package pool_suppressed
+
+import "mobile"
+
+type debugSink struct {
+	last *mobile.Message
+}
+
+// A sanctioned retention, annotated with its justification.
+func keepForDebug(d *debugSink, m *mobile.Message) {
+	d.last = m //lint:allow simlint/poollint debug sink runs with pooling disabled
+}
+
+// The sibling without an annotation still fires.
+func keepSilently(d *debugSink, m *mobile.Message) {
+	d.last = m // want "stored in field d.last escapes the delivery path"
+}

@@ -1,0 +1,29 @@
+// Package protocol is a fixture stub standing in for mobickpt's
+// internal/protocol: the Recycler surface poollint polices.
+package protocol
+
+// Recycler mirrors the real interface: hands a consumed piggyback
+// buffer back to its protocol's free list.
+type Recycler interface {
+	Recycle(pb any)
+}
+
+// TP mirrors the concrete recycling protocol.
+type TP struct {
+	free [][]int
+}
+
+func (t *TP) OnSend() any {
+	var buf []int
+	if n := len(t.free); n > 0 {
+		buf = t.free[n-1]
+		t.free = t.free[:n-1]
+	}
+	return buf
+}
+
+func (t *TP) Recycle(pb any) {
+	if buf, ok := pb.([]int); ok {
+		t.free = append(t.free, buf[:0])
+	}
+}

@@ -1,0 +1,30 @@
+package sched_bad
+
+import "des"
+
+func zeroValue(s *des.Simulator) {
+	e := des.Event{} // want "zero-value des.Event constructed outside the engine"
+	_ = e
+	p := new(des.Event) // want "unpooled zero-value event"
+	s.Reschedule(p, 10)
+}
+
+func negativeDelays(s *des.Simulator) {
+	s.After(-1, "x", nil)           // want "constant negative time/delay passed to Simulator.After"
+	s.ScheduleAfter(-0.5, "y", nil) // want "constant negative time/delay passed to Simulator.ScheduleAfter"
+	const back = -3
+	s.Again(back)                                  // want "constant negative time/delay passed to Simulator.Again"
+	s.ScheduleArgAfter(2*-4.0, "z", nil, nil)      // want "constant negative time/delay passed to Simulator.ScheduleArgAfter"
+	s.Schedule(des.Time(-2), "w", nil)             // want "constant negative time/delay passed to Simulator.Schedule"
+	s.Reschedule(s.At(1, "a", nil), -7)            // want "constant negative time/delay passed to Simulator.Reschedule"
+	s.ScheduleArg(-1.5, "b", nil, nil)             // want "constant negative time/delay passed to Simulator.ScheduleArg"
+	_ = s.At(des.Time(-1)+des.Time(0.5), "c", nil) // want "constant negative time/delay passed to Simulator.At"
+}
+
+func selfCancel(s *des.Simulator) {
+	var ev *des.Event
+	ev = s.At(5, "tick", func(s *des.Simulator, now des.Time) {
+		s.Cancel(ev) // want "ev is cancelled from inside its own handler"
+	})
+	_ = ev
+}

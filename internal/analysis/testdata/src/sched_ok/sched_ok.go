@@ -1,0 +1,37 @@
+package sched_ok
+
+import "des"
+
+// Events come from the Simulator pool: the sanctioned constructors.
+func schedule(s *des.Simulator) *des.Event {
+	s.Schedule(10, "a", nil)
+	s.ScheduleAfter(0, "b", nil) // zero delay is legal (fires this instant)
+	return s.After(1.5, "c", nil)
+}
+
+// Run-time-computed delays are the caller's responsibility; only
+// provably negative constants are build errors.
+func variableDelay(s *des.Simulator, d des.Time) {
+	s.ScheduleAfter(d, "var", nil)
+	s.ScheduleAfter(d-1, "expr", nil)
+}
+
+// Cancelling an event from outside its handler is the designed use.
+func cancelPending(s *des.Simulator) bool {
+	ev := s.After(10, "timeout", nil)
+	return s.Cancel(ev)
+}
+
+// A handler may cancel a *different* event.
+func cancelOther(s *des.Simulator) {
+	other := s.After(100, "other", nil)
+	s.After(5, "guard", func(s *des.Simulator, now des.Time) {
+		s.Cancel(other)
+	})
+}
+
+// Rescheduling a live event to a later constant time is legal.
+func reschedule(s *des.Simulator) {
+	ev := s.After(1, "r", nil)
+	s.Reschedule(ev, 20)
+}

@@ -1,0 +1,13 @@
+package sched_suppressed
+
+import "des"
+
+// The engine's own panic-path tests deliberately schedule into the past.
+func panicPath(s *des.Simulator) {
+	s.After(-1, "panic-path", nil) //lint:allow simlint/schedlint exercises the scheduled-in-the-past panic deliberately
+}
+
+// Without the annotation the same call fires.
+func stillCaught(s *des.Simulator) {
+	s.After(-1, "oops", nil) // want "constant negative time/delay passed to Simulator.After"
+}

@@ -1,0 +1,16 @@
+// Package stats is a fixture stub standing in for mobickpt's
+// internal/stats exporters, for maporder fixtures.
+package stats
+
+type Table struct {
+	rows int
+}
+
+func (t *Table) Add(key string, v float64) { t.rows++ }
+
+type Mean struct {
+	n   int
+	sum float64
+}
+
+func (m *Mean) Observe(v float64) { m.n++; m.sum += v }

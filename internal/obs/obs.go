@@ -352,22 +352,26 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return s
 	}
+	// The intermediate slices below are collected in map order on
+	// purpose: they only stage instrument pointers, and the derived
+	// Sample slices are sorted by (name, labels) before the snapshot is
+	// returned, so nothing order-dependent escapes.
 	r.mu.Lock()
 	counters := make([]*Counter, 0, len(r.counters))
 	for _, c := range r.counters {
-		counters = append(counters, c)
+		counters = append(counters, c) //lint:allow simlint/maporder staging only; sortSamples orders the derived snapshot
 	}
 	gauges := make([]*Gauge, 0, len(r.gauges))
 	for _, g := range r.gauges {
-		gauges = append(gauges, g)
+		gauges = append(gauges, g) //lint:allow simlint/maporder staging only; sortSamples orders the derived snapshot
 	}
 	hists := make([]*Histogram, 0, len(r.hists))
 	for _, h := range r.hists {
-		hists = append(hists, h)
+		hists = append(hists, h) //lint:allow simlint/maporder staging only; sort.Slice orders the derived snapshot
 	}
 	funcs := make([]*sampled, 0, len(r.funcs))
 	for _, f := range r.funcs {
-		funcs = append(funcs, f)
+		funcs = append(funcs, f) //lint:allow simlint/maporder staging only; sortSamples orders the derived snapshot
 	}
 	r.mu.Unlock()
 

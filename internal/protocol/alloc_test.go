@@ -49,6 +49,7 @@ func TestTPRecycleReusesBuffer(t *testing.T) {
 	first := tp.OnSend(0, 1).(*TPPiggyback)
 	tp.Recycle(first)
 	second := tp.OnSend(0, 1).(*TPPiggyback)
+	//lint:allow simlint/poollint this test deliberately compares the recycled pointer to prove free-list reuse
 	if first != second {
 		t.Fatal("Recycle did not reuse the piggyback buffer")
 	}

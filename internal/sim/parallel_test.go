@@ -123,6 +123,7 @@ func TestSweepParallelPanicRecovered(t *testing.T) {
 		}()
 		select {
 		case <-done:
+		//lint:allow simlint/detlint wall-clock watchdog guarding the test harness itself, not simulated time
 		case <-time.After(30 * time.Second):
 			t.Fatalf("workers=%d: pool deadlocked on a panicking worker", workers)
 		}

@@ -506,6 +506,7 @@ func TestReplicateParallelSeedErrors(t *testing.T) {
 		}()
 		select {
 		case <-done:
+		//lint:allow simlint/detlint wall-clock watchdog guarding the test harness itself, not simulated time
 		case <-time.After(30 * time.Second):
 			t.Fatalf("workers=%d: ReplicateParallel deadlocked on a failing seed", workers)
 		}
