@@ -10,7 +10,7 @@ GOVULNCHECK_VERSION ?= v1.1.4
 
 SIMLINT_BIN = bin/simlint
 
-.PHONY: all build test test-short race bench bench-smoke bench-compare check fmt lint simlint staticcheck-install govulncheck-install fuzz figures results clean FORCE
+.PHONY: all build test test-short race bench bench-smoke bench-scale bench-compare check fmt lint simlint staticcheck-install govulncheck-install fuzz figures results clean FORCE
 
 all: build test
 
@@ -23,9 +23,11 @@ test:
 
 # The CI gate: formatting, lint, vet, build, the full suite under the
 # race detector (the engine tests run with the invariant checker
-# enabled), a short fuzz smoke of the wire-format decoder, and the
-# observability-overhead bench smoke (one iteration at smoke scale; it
-# asserts that metrics+timeline do not perturb the simulated trace).
+# enabled; internal/sim's TestScaleSmoke runs a 50k-host world — the
+# -short suite shrinks it to 5k), a short fuzz smoke of the wire-format
+# decoder, and the observability-overhead bench smoke (one iteration at
+# smoke scale; it asserts that metrics+timeline do not perturb the
+# simulated trace).
 check: fmt lint
 	$(GO) vet ./...
 	$(GO) build ./...
@@ -74,6 +76,16 @@ FORCE:
 # horizon); the full baseline lives in results/BENCH_obs.json.
 bench-smoke:
 	$(GO) test -short -run '^$$' -bench BenchmarkObsOverhead -benchtime 1x .
+
+# E21: the scale sweep n = 10 → 1e6 on the calendar queue, writing
+# results/BENCH_scale.json (N_tot rate, piggyback bytes/msg, events/sec,
+# peak RSS per decade). Takes minutes and peaks at a few GB of RSS at
+# the million-host point. SCALE_MAX trims the sweep for quick looks:
+#
+#   make bench-scale SCALE_MAX=100000
+SCALE_MAX ?= 1000000
+bench-scale:
+	$(GO) run ./cmd/figures -scale -scalemax $(SCALE_MAX) -queue calendar -out results
 
 # Hot-path benchmark comparison against another git ref (default: the
 # previous commit). Runs BenchmarkEngine and BenchmarkFigure1 on both

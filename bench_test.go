@@ -303,6 +303,23 @@ func BenchmarkObsOverhead(b *testing.B) {
 			}
 		}
 	}
+	// The single-instrument cost underneath it all: one observation into
+	// a wide (64-bucket) histogram. Allocations are reported so a
+	// regression from the inlined bucket search back to an allocating
+	// path is visible in the numbers (0 allocs/op is the contract; the
+	// hard gate is TestHistogramObserveZeroAlloc in internal/obs).
+	b.Run("histogram-wide", func(b *testing.B) {
+		bounds := make([]float64, 64)
+		for i := range bounds {
+			bounds[i] = float64(uint64(1) << i)
+		}
+		h := obs.NewRegistry().Histogram("bench_wide", bounds)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Observe(float64(i))
+		}
+	})
 }
 
 // BenchmarkEngine measures the raw DES throughput of a full run

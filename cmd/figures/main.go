@@ -17,6 +17,8 @@
 //	figures -proxy           # MSS proxying of control info (E15)
 //	figures -joins           # dynamic membership (E16)
 //	figures -cause           # checkpoint-cause breakdown (E19)
+//	figures -scale           # million-host scale sweep (E21), JSON output
+//	figures -queue calendar  # select the event-queue implementation
 //	figures -seeds 3 -csv    # fewer seeds, CSV output
 //	figures -out results/    # also write one .txt/.csv file per table
 package main
@@ -48,6 +50,9 @@ func main() {
 		joins       = flag.Bool("joins", false, "print the dynamic-membership cost table (E16)")
 		replay      = flag.Bool("replay", false, "print the message-logging & replay-recovery table (E18)")
 		cause       = flag.Bool("cause", false, "print the checkpoint-cause breakdown table (E19)")
+		scale       = flag.Bool("scale", false, "run the million-host scale sweep (E21) and emit JSON")
+		scaleMax    = flag.Int("scalemax", 1_000_000, "largest host count of the -scale sweep")
+		queue       = flag.String("queue", "heap", "event-queue implementation: heap or calendar (never changes results)")
 		metrics     = flag.Bool("metrics", false, "print engine metrics (Prometheus text) to stderr after the run")
 		plot        = flag.Bool("plot", false, "render figures as ASCII log-log charts instead of tables")
 		pcomm       = flag.Float64("pcomm", 0.05, "probability an operation is a communication (calibration knob)")
@@ -57,7 +62,20 @@ func main() {
 	)
 	flag.Parse()
 
+	qk, err := des.ParseQueueKind(*queue)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *scale {
+		if err := runScale(*scaleMax, qk, *seed, *outDir); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	base := sim.DefaultConfig()
+	base.Queue = qk
 	base.Horizon = des.Time(*horizon)
 	base.Workload.PComm = *pcomm
 	if *metrics {

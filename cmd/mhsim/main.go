@@ -40,6 +40,7 @@ func main() {
 		checks     = flag.Bool("checks", false, "run the invariant checker during the simulation (fails on any violation)")
 		audit      = flag.Bool("audit", false, "run the determinism/ablation audit: re-run each protocol alone and require exact agreement with the shared trace")
 		logMode    = flag.String("log", "off", "MSS message logging: off, pessimistic or optimistic")
+		queue      = flag.String("queue", "heap", "event-queue implementation: heap or calendar (never changes results)")
 		logBatch   = flag.Int("logbatch", 0, "optimistic flush batch (0 = mlog default)")
 		metrics    = flag.Bool("metrics", false, "print the run's metrics as Prometheus text after the results (single-run mode)")
 		timeline   = flag.String("timeline", "", "write a per-host Chrome trace-event timeline (Perfetto-loadable) to this file (single-run mode)")
@@ -78,6 +79,11 @@ func main() {
 	}
 	cfg.MessageLog = mode
 	cfg.LogFlushBatch = *logBatch
+	cfg.Queue, err = des.ParseQueueKind(*queue)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mhsim:", err)
+		os.Exit(2)
+	}
 	if cfg.Checks && mode != mlog.Off {
 		// The log-reconciliation invariants compare the log against the
 		// recorded trace.

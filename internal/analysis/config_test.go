@@ -30,16 +30,21 @@ func TestDefaultConfigScopes(t *testing.T) {
 		{"maporder", "mobickpt", true},
 		{"maporder", "mobickpt/examples/quickstart", false},
 
-		// poollint polices pool consumers, not the pool owner.
+		// poollint polices pool consumers, not the pool owner. The
+		// calendar/heap queue package keeps its own entry free list and
+		// is in scope.
 		{"poollint", "mobickpt/internal/sim", true},
 		{"poollint", "mobickpt/internal/mobile", false},
 		{"poollint", "mobickpt/internal/des", false},
+		{"poollint", "mobickpt/internal/des/equeue", true},
 
-		// schedlint polices des clients, not the engine.
+		// schedlint polices des clients, not the engine. Only the root
+		// engine package is exempt: the queue implementations under
+		// internal/des/equeue are covered.
 		{"schedlint", "mobickpt/internal/sim", true},
 		{"schedlint", "mobickpt/internal/mobile", true},
 		{"schedlint", "mobickpt/internal/des", false},
-		{"schedlint", "mobickpt/internal/des/proc", false},
+		{"schedlint", "mobickpt/internal/des/equeue", true},
 
 		// Unknown analyzers are in scope nowhere.
 		{"speedlint", "mobickpt/internal/sim", false},

@@ -7,17 +7,23 @@ import (
 	"mobickpt/internal/rng"
 )
 
-// listQueue is the naive alternative to the binary heap: a slice kept
-// sorted by (time, seq), popped from the front. It exists only for the
-// DESIGN.md §5 ablation — insertion is O(n), so the heap should win
-// under the churn a real simulation produces.
+// listItem is the naive queue's element: just the ordering key.
+type listItem struct {
+	at  Time
+	seq uint64
+}
+
+// listQueue is the naive alternative to the production queues: a slice
+// kept sorted by (time, seq), popped from the front. It exists only for
+// the DESIGN.md §5 ablation — insertion is O(n), so the heap and the
+// calendar queue should win under the churn a real simulation produces.
 type listQueue struct {
-	events []*Event
+	events []listItem
 	seq    uint64
 }
 
-func (q *listQueue) push(at Time, h Handler) {
-	e := &Event{at: at, seq: q.seq, handler: h}
+func (q *listQueue) push(at Time) {
+	e := listItem{at: at, seq: q.seq}
 	q.seq++
 	i := sort.Search(len(q.events), func(i int) bool {
 		if q.events[i].at != e.at {
@@ -25,20 +31,19 @@ func (q *listQueue) push(at Time, h Handler) {
 		}
 		return q.events[i].seq > e.seq
 	})
-	q.events = append(q.events, nil)
+	q.events = append(q.events, listItem{})
 	copy(q.events[i+1:], q.events[i:])
 	q.events[i] = e
 }
 
-func (q *listQueue) pop() *Event {
+func (q *listQueue) pop() (listItem, bool) {
 	if len(q.events) == 0 {
-		return nil
+		return listItem{}, false
 	}
 	e := q.events[0]
 	copy(q.events, q.events[1:])
-	q.events[len(q.events)-1] = nil
 	q.events = q.events[:len(q.events)-1]
-	return e
+	return e, true
 }
 
 // TestListQueueAgreesWithHeap cross-checks the ablation baseline against
@@ -52,10 +57,10 @@ func TestListQueueAgreesWithHeap(t *testing.T) {
 	for i := 0; i < 500; i++ {
 		at := Time(src.Intn(100))
 		sim.At(at, "e", func(s *Simulator, now Time) { heapOrder = append(heapOrder, now) })
-		lq.push(at, nil)
+		lq.push(at)
 	}
 	sim.Run(1000)
-	for e := lq.pop(); e != nil; e = lq.pop() {
+	for e, ok := lq.pop(); ok; e, ok = lq.pop() {
 		listOrder = append(listOrder, e.at)
 	}
 	if len(heapOrder) != len(listOrder) {
@@ -68,19 +73,50 @@ func TestListQueueAgreesWithHeap(t *testing.T) {
 	}
 }
 
+// TestCalendarSimulatorAgreesWithHeap runs the same random schedule on a
+// heap-backed and a calendar-backed simulator and demands identical
+// firing orders — the engine-level face of the equeue equivalence suite.
+func TestCalendarSimulatorAgreesWithHeap(t *testing.T) {
+	var orders [2][]Time
+	for qi, kind := range []QueueKind{QueueHeap, QueueCalendar} {
+		src := rng.New(5)
+		sim := NewWith(kind)
+		idx := qi
+		var h Handler
+		h = func(s *Simulator, now Time) {
+			orders[idx] = append(orders[idx], now)
+			if len(orders[idx]) < 5000 {
+				s.ScheduleAfter(Time(src.Float64()*3), "churn", h)
+			}
+		}
+		for i := 0; i < 200; i++ {
+			sim.At(Time(src.Intn(100)), "seed", h)
+		}
+		sim.Run(1e9)
+	}
+	if len(orders[0]) != len(orders[1]) {
+		t.Fatalf("lengths differ: %d vs %d", len(orders[0]), len(orders[1]))
+	}
+	for i := range orders[0] {
+		if orders[0][i] != orders[1][i] {
+			t.Fatalf("order differs at %d: %v vs %v", i, orders[0][i], orders[1][i])
+		}
+	}
+}
+
 // Simulation-like churn: a standing population of events where every pop
 // triggers a push at a random future time.
-func BenchmarkEventQueueHeap(b *testing.B) {
+func benchmarkSimulatorQueue(b *testing.B, kind QueueKind) {
 	for _, population := range []int{64, 1024, 16384} {
 		b.Run(benchName(population), func(b *testing.B) {
-			sim := New()
+			sim := NewWith(kind)
 			src := rng.New(1)
 			var h Handler
 			h = func(s *Simulator, now Time) {
-				s.At(now+Time(src.Float64()), "e", h)
+				s.ScheduleAfter(Time(src.Float64()), "e", h)
 			}
 			for i := 0; i < population; i++ {
-				sim.At(Time(src.Float64()), "e", h)
+				sim.Schedule(Time(src.Float64()), "e", h)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -90,18 +126,21 @@ func BenchmarkEventQueueHeap(b *testing.B) {
 	}
 }
 
+func BenchmarkEventQueueHeap(b *testing.B)     { benchmarkSimulatorQueue(b, QueueHeap) }
+func BenchmarkEventQueueCalendar(b *testing.B) { benchmarkSimulatorQueue(b, QueueCalendar) }
+
 func BenchmarkEventQueueSortedList(b *testing.B) {
 	for _, population := range []int{64, 1024, 16384} {
 		b.Run(benchName(population), func(b *testing.B) {
 			src := rng.New(1)
 			var lq listQueue
 			for i := 0; i < population; i++ {
-				lq.push(Time(src.Float64()), nil)
+				lq.push(Time(src.Float64()))
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				e := lq.pop()
-				lq.push(e.at+Time(src.Float64()), nil)
+				e, _ := lq.pop()
+				lq.push(e.at + Time(src.Float64()))
 			}
 		})
 	}

@@ -11,6 +11,13 @@
 // carry a monotonically increasing sequence number used as a tiebreaker
 // (FIFO among simultaneous events).
 //
+// The pending-event set lives behind the equeue.Queue interface with two
+// interchangeable implementations (see internal/des/equeue): the binary
+// heap is the reference, and Brown's calendar queue trades O(log n) for
+// O(1) amortized scheduling under million-event churn. Both realize the
+// same (time, seq) total order, so a simulation is bit-identical on
+// either; QueueKind selects one at construction.
+//
 // The engine distinguishes two scheduling disciplines:
 //
 //   - At/After return a *Event the caller may hold, inspect and Cancel.
@@ -20,14 +27,14 @@
 //     fire-and-forget: the event is drawn from a per-simulator free list
 //     and recycled as soon as its handler returns, so the steady-state
 //     hot loop allocates nothing (TestHotLoopZeroAlloc). Combined with
-//     Again/Reschedule — which move an event with one heap.Fix instead of
-//     a pop/push pair — periodic processes run allocation-free.
+//     Again/Reschedule — which move an event in place instead of a
+//     pop/push pair — periodic processes run allocation-free.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 
+	"mobickpt/internal/des/equeue"
 	"mobickpt/internal/obs"
 )
 
@@ -49,12 +56,10 @@ type ArgHandler func(sim *Simulator, now Time, arg any)
 // it. Events created by the Schedule* methods are pool-owned and never
 // escape to callers.
 type Event struct {
-	at      Time
-	seq     uint64
+	ent     equeue.Entry // (at, seq) plus the queue's intrusive bookkeeping
 	handler Handler
 	argFn   ArgHandler
 	arg     any
-	index   int // heap index, -1 when not queued
 	label   string
 	owner   *Simulator // the simulator that created the event
 	free    *Event     // free-list link (pooled events only)
@@ -62,49 +67,55 @@ type Event struct {
 }
 
 // Time returns the virtual time at which the event is scheduled to fire.
-func (e *Event) Time() Time { return e.at }
+func (e *Event) Time() Time { return Time(e.ent.At) }
 
 // Label returns the diagnostic label given at scheduling time.
 func (e *Event) Label() string { return e.label }
 
 // Pending reports whether the event is still queued (not fired, not
 // canceled). A zero-value Event was never scheduled and reports false.
-func (e *Event) Pending() bool { return e != nil && e.owner != nil && e.index >= 0 }
+func (e *Event) Pending() bool { return e != nil && e.owner != nil && e.ent.Queued() }
 
-// eventQueue is a binary min-heap ordered by (time, seq).
-type eventQueue []*Event
+// QueueKind selects the pending-event set implementation. The zero value
+// is the binary heap, so existing configurations keep their behavior.
+type QueueKind int
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+const (
+	// QueueHeap is the reference binary min-heap (equeue.Heap).
+	QueueHeap QueueKind = iota
+	// QueueCalendar is Brown's calendar queue (equeue.Calendar): O(1)
+	// amortized scheduling under large stationary event populations.
+	QueueCalendar
+)
+
+// String returns the kind's config-file spelling.
+func (k QueueKind) String() string {
+	switch k {
+	case QueueCalendar:
+		return "calendar"
+	default:
+		return "heap"
 	}
-	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+
+// ParseQueueKind maps a config-file spelling back to a QueueKind. The
+// empty string selects the default (heap).
+func ParseQueueKind(s string) (QueueKind, error) {
+	switch s {
+	case "", "heap":
+		return QueueHeap, nil
+	case "calendar":
+		return QueueCalendar, nil
+	default:
+		return QueueHeap, fmt.Errorf("des: unknown queue kind %q (want heap or calendar)", s)
+	}
 }
 
 // Simulator owns the virtual clock and the event queue.
 type Simulator struct {
 	now     Time
-	queue   eventQueue
+	queue   equeue.Queue
+	kind    QueueKind
 	seq     uint64
 	fired   uint64
 	stopped bool
@@ -120,10 +131,27 @@ type Simulator struct {
 	labelCounts map[string]*obs.Counter
 }
 
-// New returns a simulator with the clock at 0 and an empty queue.
-func New() *Simulator {
-	return &Simulator{}
+// New returns a simulator with the clock at 0, an empty queue, and the
+// reference heap as the pending-event set.
+func New() *Simulator { return NewWith(QueueHeap) }
+
+// NewWith returns a simulator using the given pending-event set
+// implementation. The simulation result is independent of the choice;
+// only the scheduling cost profile changes.
+func NewWith(kind QueueKind) *Simulator {
+	var q equeue.Queue
+	switch kind {
+	case QueueCalendar:
+		q = equeue.NewCalendar()
+	default:
+		kind = QueueHeap
+		q = equeue.NewHeap()
+	}
+	return &Simulator{queue: q, kind: kind}
 }
+
+// QueueKind returns the pending-event set implementation in use.
+func (s *Simulator) QueueKind() QueueKind { return s.kind }
 
 // Instrument registers the engine's observability instruments with reg:
 // total events fired, current queue depth, and per-label firing counts
@@ -136,7 +164,7 @@ func (s *Simulator) Instrument(reg *obs.Registry) {
 	s.reg = reg
 	s.labelCounts = make(map[string]*obs.Counter)
 	reg.CounterFunc("des_events_fired_total", func() int64 { return int64(s.fired) })
-	reg.GaugeFunc("des_queue_depth", func() int64 { return int64(len(s.queue)) })
+	reg.GaugeFunc("des_queue_depth", func() int64 { return int64(s.queue.Len()) })
 }
 
 // countLabel tallies one fired event by label (metrics enabled only).
@@ -156,7 +184,7 @@ func (s *Simulator) Now() Time { return s.now }
 func (s *Simulator) Fired() uint64 { return s.fired }
 
 // Pending returns the number of queued events.
-func (s *Simulator) Pending() int { return len(s.queue) }
+func (s *Simulator) Pending() int { return s.queue.Len() }
 
 // checkAt validates an absolute scheduling time against the clock.
 func (s *Simulator) checkAt(at Time, label string) {
@@ -175,9 +203,10 @@ func (s *Simulator) acquire(at Time, label string, pooled bool) *Event {
 		e.free = nil
 	} else {
 		e = &Event{}
+		e.ent.E = e
 	}
-	e.at = at
-	e.seq = s.seq
+	e.ent.At = float64(at)
+	e.ent.Seq = s.seq
 	e.label = label
 	e.owner = s
 	e.pooled = pooled
@@ -207,7 +236,7 @@ func (s *Simulator) At(at Time, label string, handler Handler) *Event {
 	}
 	e := s.acquire(at, label, false)
 	e.handler = handler
-	heap.Push(&s.queue, e)
+	s.queue.Push(&e.ent)
 	return e
 }
 
@@ -230,7 +259,7 @@ func (s *Simulator) Schedule(at Time, label string, handler Handler) {
 	}
 	e := s.acquire(at, label, true)
 	e.handler = handler
-	heap.Push(&s.queue, e)
+	s.queue.Push(&e.ent)
 }
 
 // ScheduleAfter is the fire-and-forget variant of After.
@@ -252,7 +281,7 @@ func (s *Simulator) ScheduleArg(at Time, label string, fn ArgHandler, arg any) {
 	e := s.acquire(at, label, true)
 	e.argFn = fn
 	e.arg = arg
-	heap.Push(&s.queue, e)
+	s.queue.Push(&e.ent)
 }
 
 // ScheduleArgAfter is ScheduleArg with a relative delay.
@@ -264,12 +293,12 @@ func (s *Simulator) ScheduleArgAfter(delay Time, label string, fn ArgHandler, ar
 }
 
 // Reschedule moves event e to absolute time at. A pending event is moved
-// in place with a single heap.Fix — the pop-reschedule-push fast path —
-// and an event that already fired or was canceled is re-queued (reusing
-// its storage). Either way the event receives a fresh FIFO sequence
-// number, so among simultaneous events it fires after ones already
-// queued. It panics on events from another simulator, on recycled pooled
-// events, and on times before the clock (matching At's contract).
+// in place — the pop-reschedule-push fast path — and an event that
+// already fired or was canceled is re-queued (reusing its storage).
+// Either way the event receives a fresh FIFO sequence number, so among
+// simultaneous events it fires after ones already queued. It panics on
+// events from another simulator, on recycled pooled events, and on times
+// before the clock (matching At's contract).
 func (s *Simulator) Reschedule(e *Event, at Time) {
 	if e == nil || e.owner != s {
 		panic("des: Reschedule of an event this simulator does not own")
@@ -278,13 +307,13 @@ func (s *Simulator) Reschedule(e *Event, at Time) {
 		panic("des: Reschedule of a recycled event")
 	}
 	s.checkAt(at, e.label)
-	e.at = at
-	e.seq = s.seq
+	e.ent.At = float64(at)
+	e.ent.Seq = s.seq
 	s.seq++
-	if e.index >= 0 {
-		heap.Fix(&s.queue, e.index)
+	if e.ent.Queued() {
+		s.queue.Fix(&e.ent)
 	} else {
-		heap.Push(&s.queue, e)
+		s.queue.Push(&e.ent)
 	}
 }
 
@@ -305,17 +334,15 @@ func (s *Simulator) Again(delay Time) {
 // Cancel removes a pending event from the queue. Canceling an event that
 // already fired (or was already canceled) is a no-op and returns false,
 // as is canceling nil, a zero-value Event, or an event owned by another
-// simulator — none of these can corrupt the queue's index bookkeeping.
+// simulator — none of these can corrupt the queue's bookkeeping (each
+// queue verifies the handle by identity before unlinking anything).
 func (s *Simulator) Cancel(e *Event) bool {
-	if e == nil || e.owner != s || e.index < 0 {
+	if e == nil || e.owner != s {
 		return false
 	}
-	if e.index >= len(s.queue) || s.queue[e.index] != e {
-		// A stale or corrupted handle: the slot it points into is occupied
-		// by a different event. Removing it would evict an innocent event.
+	if !s.queue.Remove(&e.ent) {
 		return false
 	}
-	heap.Remove(&s.queue, e.index)
 	if e.pooled {
 		s.recycle(e)
 	}
@@ -328,9 +355,9 @@ func (s *Simulator) Stop() { s.stopped = true }
 
 // fire executes one popped event and recycles it if it is pool-owned and
 // was not rescheduled by its own handler (Again/Reschedule re-queue it,
-// which shows as a restored heap index).
+// which shows as the entry being queued again).
 func (s *Simulator) fire(e *Event) {
-	s.now = e.at
+	s.now = Time(e.ent.At)
 	s.fired++
 	if s.labelCounts != nil {
 		s.countLabel(e.label)
@@ -342,7 +369,7 @@ func (s *Simulator) fire(e *Event) {
 		e.argFn(s, s.now, e.arg)
 	}
 	s.cur = nil
-	if e.pooled && e.index < 0 {
+	if e.pooled && !e.ent.Queued() {
 		s.recycle(e)
 	}
 }
@@ -371,15 +398,20 @@ func (s *Simulator) Run(horizon Time) uint64 {
 	defer func() { s.running = false }()
 	s.stopped = false
 	start := s.fired
-	for len(s.queue) > 0 && !s.stopped {
-		e := s.queue[0]
-		if e.at > horizon {
+	for !s.stopped {
+		ent := s.queue.Pop()
+		if ent == nil {
 			break
 		}
-		heap.Pop(&s.queue)
-		s.fire(e)
+		if ent.At > float64(horizon) {
+			// Past the horizon: put it back (same time and seq, so it
+			// returns to exactly the position it held) and stop.
+			s.queue.Push(ent)
+			break
+		}
+		s.fire(ent.E.(*Event))
 	}
-	if s.now < horizon && len(s.queue) == 0 {
+	if s.now < horizon && s.queue.Len() == 0 {
 		// Advance the clock to the horizon so repeated Run calls with
 		// increasing horizons behave like one continuous run.
 		s.now = horizon
@@ -390,10 +422,10 @@ func (s *Simulator) Run(horizon Time) uint64 {
 // Step executes exactly one event if any is queued, regardless of horizon,
 // and reports whether an event fired.
 func (s *Simulator) Step() bool {
-	if len(s.queue) == 0 {
+	ent := s.queue.Pop()
+	if ent == nil {
 		return false
 	}
-	e := heap.Pop(&s.queue).(*Event)
-	s.fire(e)
+	s.fire(ent.E.(*Event))
 	return true
 }

@@ -1,0 +1,232 @@
+package equeue
+
+import (
+	"testing"
+
+	"mobickpt/internal/rng"
+)
+
+// pair is one logical scheduled item mirrored into both queues: h sits
+// in the heap, c in the calendar, always with identical (At, Seq).
+type pair struct {
+	id   int
+	h, c Entry
+}
+
+// lockstepCase parameterizes the randomized churn: how far apart event
+// times land, whether exact virtual-time ties occur in bursts (Seq must
+// break them FIFO), and whether occasional far-future outliers force
+// the calendar's direct-search fallback.
+type lockstepCase struct {
+	name   string
+	spread float64
+	burst  bool
+	far    bool
+	tail   bool // quarter of pushes land ~1000x further out (timer-vs-op skew)
+	ops    int
+}
+
+// TestHeapCalendarLockstep drives both implementations with the same
+// randomized operation sequence — push, pop, remove, fix (the engine's
+// Cancel and Reschedule), stale-handle removes — and demands they agree
+// on every observable: lengths, pop identity, pop order, and handle
+// staleness. This is the observational-equivalence gate the calendar
+// queue must pass before a simulation may select it.
+func TestHeapCalendarLockstep(t *testing.T) {
+	cases := []lockstepCase{
+		{name: "dense", spread: 1, ops: 12000},
+		{name: "bursty-ties", spread: 0.5, burst: true, ops: 12000},
+		{name: "sparse-far-future", spread: 200, far: true, ops: 6000},
+		{name: "tiny-span", spread: 1e-7, burst: true, ops: 6000},
+		{name: "skewed-tail", spread: 1, tail: true, ops: 12000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 3; seed++ {
+				runLockstep(t, tc, seed)
+			}
+		})
+	}
+}
+
+func runLockstep(t *testing.T, tc lockstepCase, seed uint64) {
+	t.Helper()
+	src := rng.New(seed)
+	h := NewHeap()
+	c := NewCalendar()
+	var live []*pair
+	var popped []*pair
+	var seq uint64
+	var nextID int
+	now := 0.0
+
+	newAt := func() float64 {
+		at := now + src.Float64()*tc.spread
+		if tc.burst && src.Intn(4) == 0 {
+			at = now // exact tie: Seq must order it after everything queued at now
+		}
+		if tc.far && src.Intn(16) == 0 {
+			at = now + 1e9 + src.Float64() // forces the calendar's direct search
+		}
+		if tc.tail && src.Intn(4) == 0 {
+			at = now + src.Float64()*1000*tc.spread // long timers among dense ops
+		}
+		return at
+	}
+	dropLive := func(p *pair) {
+		for i, q := range live {
+			if q == p {
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				return
+			}
+		}
+		t.Fatalf("seed %d: item %d not live", seed, p.id)
+	}
+	push := func() {
+		p := &pair{id: nextID}
+		nextID++
+		at := newAt()
+		p.h = Entry{At: at, Seq: seq, E: p}
+		p.c = Entry{At: at, Seq: seq, E: p}
+		seq++
+		h.Push(&p.h)
+		c.Push(&p.c)
+		live = append(live, p)
+	}
+	pop := func() {
+		eh, ec := h.Pop(), c.Pop()
+		if (eh == nil) != (ec == nil) {
+			t.Fatalf("seed %d: pop disagreement: heap=%v calendar=%v", seed, eh, ec)
+		}
+		if eh == nil {
+			return
+		}
+		ph, pc := eh.E.(*pair), ec.E.(*pair)
+		if ph.id != pc.id {
+			t.Fatalf("seed %d: pop order diverged: heap item %d (at=%v seq=%d), calendar item %d (at=%v seq=%d)",
+				seed, ph.id, eh.At, eh.Seq, pc.id, ec.At, ec.Seq)
+		}
+		if eh.Queued() || ec.Queued() {
+			t.Fatalf("seed %d: popped entry still reports queued", seed)
+		}
+		if eh.At < now {
+			t.Fatalf("seed %d: pop went backwards: %v after %v", seed, eh.At, now)
+		}
+		now = eh.At
+		dropLive(ph)
+		popped = append(popped, ph)
+	}
+	remove := func() {
+		if len(live) == 0 {
+			return
+		}
+		p := live[src.Intn(len(live))]
+		okh, okc := h.Remove(&p.h), c.Remove(&p.c)
+		if !okh || !okc {
+			t.Fatalf("seed %d: remove of live item %d: heap=%v calendar=%v", seed, p.id, okh, okc)
+		}
+		if p.h.Queued() || p.c.Queued() {
+			t.Fatalf("seed %d: removed entry still reports queued", seed)
+		}
+		dropLive(p)
+	}
+	staleRemove := func() {
+		if len(popped) == 0 {
+			return
+		}
+		p := popped[src.Intn(len(popped))]
+		if h.Remove(&p.h) || c.Remove(&p.c) {
+			t.Fatalf("seed %d: stale remove of item %d succeeded", seed, p.id)
+		}
+	}
+	fix := func() {
+		if len(live) == 0 {
+			return
+		}
+		p := live[src.Intn(len(live))]
+		at := newAt()
+		p.h.At, p.c.At = at, at
+		p.h.Seq, p.c.Seq = seq, seq
+		seq++
+		h.Fix(&p.h)
+		c.Fix(&p.c)
+	}
+
+	for i := 0; i < tc.ops; i++ {
+		// Push-heavy while growing, pop-heavy while draining: exercises
+		// the calendar's resize in both directions.
+		growing := i < tc.ops/2
+		switch r := src.Intn(10); {
+		case r < 4 && growing, r < 2 && !growing:
+			push()
+		case r < 7:
+			pop()
+		case r == 7:
+			remove()
+		case r == 8:
+			fix()
+		default:
+			staleRemove()
+		}
+		if h.Len() != c.Len() || h.Len() != len(live) {
+			t.Fatalf("seed %d: op %d: lengths diverged: heap=%d calendar=%d live=%d",
+				seed, i, h.Len(), c.Len(), len(live))
+		}
+	}
+	// Drain completely: the remaining pop order must agree to the end.
+	for h.Len() > 0 || c.Len() > 0 {
+		pop()
+	}
+	if len(live) != 0 {
+		t.Fatalf("seed %d: %d items unaccounted for after drain", seed, len(live))
+	}
+}
+
+// TestCalendarDirectSearch pins the fallback path: a population spread
+// so far apart that every pop's year-sweep fails still pops in exact
+// (At, Seq) order.
+func TestCalendarDirectSearch(t *testing.T) {
+	c := NewCalendar()
+	src := rng.New(9)
+	n := 64
+	pairs := make([]*pair, 0, n)
+	for i := 0; i < n; i++ {
+		p := &pair{id: i}
+		p.c = Entry{At: float64(src.Intn(1 << 40)), Seq: uint64(i), E: p}
+		pairs = append(pairs, p)
+		c.Push(&p.c)
+	}
+	last := -1.0
+	for i := 0; i < n; i++ {
+		e := c.Pop()
+		if e == nil {
+			t.Fatalf("queue dry after %d pops, want %d", i, n)
+		}
+		if e.At < last {
+			t.Fatalf("pop %d went backwards: %v after %v", i, e.At, last)
+		}
+		last = e.At
+	}
+	if c.Pop() != nil {
+		t.Fatal("extra entry after drain")
+	}
+}
+
+// TestCalendarTieBreaksFIFO pins the Seq tiebreaker through bucket
+// chains: many entries at one instant pop in push order.
+func TestCalendarTieBreaksFIFO(t *testing.T) {
+	c := NewCalendar()
+	const n = 100
+	for i := 0; i < n; i++ {
+		p := &pair{id: i}
+		p.c = Entry{At: 42, Seq: uint64(i), E: p}
+		c.Push(&p.c)
+	}
+	for i := 0; i < n; i++ {
+		e := c.Pop()
+		if got := e.E.(*pair).id; got != i {
+			t.Fatalf("pop %d returned item %d", i, got)
+		}
+	}
+}

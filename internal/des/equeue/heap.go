@@ -1,0 +1,114 @@
+package equeue
+
+// Heap is the reference pending-event set: a hand-written binary
+// min-heap ordered by (At, Seq). It is the default implementation and
+// the one the paper-figure gate runs against; the calendar queue must
+// match its pop order exactly.
+//
+// Hand-written rather than container/heap so the comparisons inline and
+// no interface dispatch sits on the hot path.
+type Heap struct {
+	s []*Entry
+}
+
+// NewHeap returns an empty heap.
+func NewHeap() *Heap { return &Heap{} }
+
+// Len returns the number of queued entries.
+func (h *Heap) Len() int { return len(h.s) }
+
+// Push inserts e.
+func (h *Heap) Push(e *Entry) {
+	e.pos = int32(len(h.s))
+	h.s = append(h.s, e)
+	h.up(len(h.s) - 1)
+}
+
+// Pop removes and returns the minimum entry, or nil when empty.
+func (h *Heap) Pop() *Entry {
+	if len(h.s) == 0 {
+		return nil
+	}
+	e := h.s[0]
+	last := len(h.s) - 1
+	h.s[0] = h.s[last]
+	h.s[0].pos = 0
+	h.s[last] = nil
+	h.s = h.s[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	e.pos = -1
+	e.next = nil
+	return e
+}
+
+// Remove unlinks e if it is actually queued here. The identity check
+// (the slot e claims must hold e itself) makes stale handles — events
+// that already fired, or whose slot was since reused — a safe no-op.
+func (h *Heap) Remove(e *Entry) bool {
+	i := int(e.pos)
+	if i < 0 || i >= len(h.s) || h.s[i] != e {
+		return false
+	}
+	last := len(h.s) - 1
+	if i != last {
+		h.s[i] = h.s[last]
+		h.s[i].pos = int32(i)
+	}
+	h.s[last] = nil
+	h.s = h.s[:last]
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+	e.pos = -1
+	e.next = nil
+	return true
+}
+
+// Fix restores heap order around a queued entry whose At/Seq changed.
+func (h *Heap) Fix(e *Entry) {
+	h.down(int(e.pos))
+	h.up(int(e.pos))
+}
+
+func (h *Heap) up(i int) {
+	e := h.s[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := h.s[parent]
+		if !e.before(p) {
+			break
+		}
+		h.s[i] = p
+		p.pos = int32(i)
+		i = parent
+	}
+	h.s[i] = e
+	e.pos = int32(i)
+}
+
+func (h *Heap) down(i int) {
+	n := len(h.s)
+	e := h.s[i]
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		min := left
+		if right := left + 1; right < n && h.s[right].before(h.s[left]) {
+			min = right
+		}
+		c := h.s[min]
+		if !c.before(e) {
+			break
+		}
+		h.s[i] = c
+		c.pos = int32(i)
+		i = min
+	}
+	h.s[i] = e
+	e.pos = int32(i)
+}

@@ -1,0 +1,146 @@
+package equeue
+
+import (
+	"testing"
+
+	"mobickpt/internal/rng"
+)
+
+// validate walks the calendar's buckets and checks every structural
+// invariant against the live set: chain membership and pos bookkeeping,
+// per-bucket (At, Seq) sort order, head/tail consistency, the live
+// count, and the sweep's load-bearing invariant that no queued entry's
+// day number sits below the cursor. Catching a broken invariant here
+// localizes a fault thousands of operations before it would surface as
+// a wrong pop order (this harness caught the slot-overflow bug that
+// motivated calMaxSlot).
+func validate(t *testing.T, c *Calendar, live []*pair, op int) {
+	t.Helper()
+	count := 0
+	for i := range c.buckets {
+		b := &c.buckets[i]
+		var prevE *Entry
+		for p := b.head; p != nil; p = p.next {
+			count++
+			if int(p.pos) != i {
+				t.Fatalf("op %d: entry at=%v seq=%d in bucket %d claims pos %d", op, p.At, p.Seq, i, p.pos)
+			}
+			if got := c.slotOf(p.At) & c.mask; got != int64(i) {
+				t.Fatalf("op %d: entry at=%v slot-bucket %d stored in bucket %d (width=%v cur=%d)", op, p.At, got, i, c.width, c.cur)
+			}
+			if prevE != nil && p.before(prevE) {
+				t.Fatalf("op %d: bucket %d unsorted: (%v,%d) after (%v,%d)", op, i, p.At, p.Seq, prevE.At, prevE.Seq)
+			}
+			prevE = p
+		}
+		if (b.head == nil) != (b.tail == nil) {
+			t.Fatalf("op %d: bucket %d head/tail mismatch", op, i)
+		}
+		if b.tail != nil && prevE != b.tail {
+			t.Fatalf("op %d: bucket %d tail is not last", op, i)
+		}
+	}
+	if count != c.n || count != len(live) {
+		t.Fatalf("op %d: count=%d n=%d live=%d", op, count, c.n, len(live))
+	}
+	// Invariant the sweep depends on: no queued entry's slot below cur.
+	for _, p := range live {
+		if s := c.slotOf(p.c.At); s < c.cur {
+			t.Fatalf("op %d: entry at=%v slot %d below cur %d (width=%v)", op, p.c.At, s, c.cur, c.width)
+		}
+	}
+}
+
+// TestCalendarStructuralInvariants replays the harshest lockstep case
+// (sparse far-future outliers over a drifting near cluster) and fully
+// validates the calendar's structure after every operation.
+func TestCalendarStructuralInvariants(t *testing.T) {
+	tc := lockstepCase{name: "sparse-far-future", spread: 200, far: true, ops: 6000}
+	seed := uint64(3)
+	src := rng.New(seed)
+	h := NewHeap()
+	c := NewCalendar()
+	var live []*pair
+	var popped []*pair
+	var seq uint64
+	var nextID int
+	now := 0.0
+
+	newAt := func() float64 {
+		at := now + src.Float64()*tc.spread
+		if tc.burst && src.Intn(4) == 0 {
+			at = now
+		}
+		if tc.far && src.Intn(16) == 0 {
+			at = now + 1e9 + src.Float64()
+		}
+		return at
+	}
+	dropLive := func(p *pair) {
+		for i, q := range live {
+			if q == p {
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				return
+			}
+		}
+		t.Fatalf("item %d not live", p.id)
+	}
+	for i := 0; i < tc.ops; i++ {
+		growing := i < tc.ops/2
+		switch r := src.Intn(10); {
+		case r < 4 && growing, r < 2 && !growing:
+			p := &pair{id: nextID}
+			nextID++
+			at := newAt()
+			p.h = Entry{At: at, Seq: seq, E: p}
+			p.c = Entry{At: at, Seq: seq, E: p}
+			seq++
+			h.Push(&p.h)
+			c.Push(&p.c)
+			live = append(live, p)
+		case r < 7:
+			eh, ec := h.Pop(), c.Pop()
+			if (eh == nil) != (ec == nil) {
+				t.Fatalf("op %d: pop disagreement", i)
+			}
+			if eh == nil {
+				continue
+			}
+			ph, pc := eh.E.(*pair), ec.E.(*pair)
+			if ph.id != pc.id {
+				t.Fatalf("op %d: diverged: heap %d (at=%v) calendar %d (at=%v)", i, ph.id, eh.At, pc.id, ec.At)
+			}
+			now = eh.At
+			dropLive(ph)
+			popped = append(popped, ph)
+		case r == 7:
+			if len(live) == 0 {
+				continue
+			}
+			p := live[src.Intn(len(live))]
+			h.Remove(&p.h)
+			c.Remove(&p.c)
+			dropLive(p)
+		case r == 8:
+			if len(live) == 0 {
+				continue
+			}
+			p := live[src.Intn(len(live))]
+			at := newAt()
+			p.h.At, p.c.At = at, at
+			p.h.Seq, p.c.Seq = seq, seq
+			seq++
+			h.Fix(&p.h)
+			c.Fix(&p.c)
+		default:
+			if len(popped) == 0 {
+				continue
+			}
+			p := popped[src.Intn(len(popped))]
+			h.Remove(&p.h)
+			c.Remove(&p.c)
+		}
+		validate(t, c, live, i)
+	}
+}

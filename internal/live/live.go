@@ -653,9 +653,11 @@ func (c *Cluster) switchCell(h mobile.HostID, src *rng.Source) {
 	c.countersMu.Unlock()
 }
 
-// transferLog ships a hand-off's log entries between stations as an
-// encoded wire.LogTransfer frame, decoding it on arrival like any other
-// network unit (the piggyback really crosses the wire as bytes).
+// transferLog ships a hand-off's log entries between stations as
+// encoded wire.LogTransfer frames, decoding each on arrival like any
+// other network unit (the piggyback really crosses the wire as bytes).
+// A long-retained log is split into bounded chunks so no single frame
+// grows with the log length (wire.MaxTransferRecords).
 func (c *Cluster) transferLog(h mobile.HostID, from, to mobile.MSSID, entries []*mlog.Entry) {
 	xfer := &wire.LogTransfer{Host: h, FromMSS: from, ToMSS: to}
 	for _, e := range entries {
@@ -667,23 +669,25 @@ func (c *Cluster) transferLog(h mobile.HostID, from, to mobile.MSSID, entries []
 			At:        float64(e.At),
 		})
 	}
-	frame, err := wire.EncodeFrame(xfer)
-	if err != nil {
-		panic("live: " + err.Error()) // log produced an unencodable transfer
+	for _, chunk := range wire.SplitTransfer(xfer) {
+		frame, err := wire.EncodeFrame(chunk)
+		if err != nil {
+			panic("live: " + err.Error()) // log produced an unencodable transfer
+		}
+		got, err := wire.DecodeFrame(frame)
+		bad := err != nil
+		if !bad {
+			dec, ok := got.(*wire.LogTransfer)
+			bad = !ok || dec.Host != h || len(dec.Records) != len(chunk.Records)
+		}
+		c.countersMu.Lock()
+		c.counters.FrameBytes += int64(len(frame))
+		c.counters.LogFrameBytes += int64(len(frame))
+		if bad {
+			c.counters.DecodeErrors++
+		}
+		c.countersMu.Unlock()
 	}
-	got, err := wire.DecodeFrame(frame)
-	bad := err != nil
-	if !bad {
-		dec, ok := got.(*wire.LogTransfer)
-		bad = !ok || dec.Host != h || len(dec.Records) != len(entries)
-	}
-	c.countersMu.Lock()
-	c.counters.FrameBytes += int64(len(frame))
-	c.counters.LogFrameBytes += int64(len(frame))
-	if bad {
-		c.counters.DecodeErrors++
-	}
-	c.countersMu.Unlock()
 }
 
 // disconnect detaches the host (it stops receiving; its downlink keeps

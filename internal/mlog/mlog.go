@@ -157,8 +157,11 @@ type hostLog struct {
 
 // Log is the MSS-resident message log of one computation (all hosts).
 type Log struct {
-	cfg      Config
-	hosts    map[mobile.HostID]*hostLog
+	cfg Config
+	// hosts is indexed by HostID (ids are dense); slots stay nil until
+	// the host's first delivery is logged. A flat slice instead of a map
+	// keeps the per-delivery Append path hash-free at n=1e6.
+	hosts    []*hostLog
 	retained int64 // current stable entries across hosts
 	counters Counters
 
@@ -174,7 +177,7 @@ func New(cfg Config) (*Log, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Log{cfg: cfg, hosts: make(map[mobile.HostID]*hostLog)}, nil
+	return &Log{cfg: cfg}, nil
 }
 
 // Mode returns the logging discipline.
@@ -184,12 +187,23 @@ func (l *Log) Mode() Mode { return l.cfg.Mode }
 func (l *Log) Counters() Counters { return l.counters }
 
 func (l *Log) host(h mobile.HostID) *hostLog {
+	for int(h) >= len(l.hosts) {
+		l.hosts = append(l.hosts, nil)
+	}
 	hl := l.hosts[h]
 	if hl == nil {
 		hl = &hostLog{host: h, mss: mobile.NoMSS}
 		l.hosts[h] = hl
 	}
 	return hl
+}
+
+// peek returns host h's log without materializing one.
+func (l *Log) peek(h mobile.HostID) *hostLog {
+	if h < 0 || int(h) >= len(l.hosts) {
+		return nil
+	}
+	return l.hosts[h]
 }
 
 // Instrument registers the log's activity with reg as sampled
@@ -253,7 +267,7 @@ func (l *Log) flush(hl *hostLog) {
 // environment calls it when a delivery gap makes the suffix durable
 // anyway, e.g. at disconnection).
 func (l *Log) Flush(h mobile.HostID) {
-	if hl := l.hosts[h]; hl != nil {
+	if hl := l.peek(h); hl != nil {
 		l.flush(hl)
 	}
 }
@@ -276,7 +290,7 @@ func (l *Log) Handoff(h mobile.HostID, to mobile.MSSID) []*Entry {
 
 // Holder returns the station holding host h's stable log, or NoMSS.
 func (l *Log) Holder(h mobile.HostID) mobile.MSSID {
-	if hl := l.hosts[h]; hl != nil {
+	if hl := l.peek(h); hl != nil {
 		return hl.mss
 	}
 	return mobile.NoMSS
@@ -286,7 +300,7 @@ func (l *Log) Holder(h mobile.HostID) mobile.MSSID {
 // Seq < StableBound survives a failure on MSS stable storage. Under
 // Pessimistic logging this equals AppendedCount.
 func (l *Log) StableBound(h mobile.HostID) int {
-	if hl := l.hosts[h]; hl != nil {
+	if hl := l.peek(h); hl != nil {
 		return hl.stableSeq
 	}
 	return 0
@@ -294,7 +308,7 @@ func (l *Log) StableBound(h mobile.HostID) int {
 
 // AppendedCount returns the number of deliveries ever logged for host h.
 func (l *Log) AppendedCount(h mobile.HostID) int {
-	if hl := l.hosts[h]; hl != nil {
+	if hl := l.peek(h); hl != nil {
 		return hl.nextSeq
 	}
 	return 0
@@ -302,7 +316,7 @@ func (l *Log) AppendedCount(h mobile.HostID) int {
 
 // PendingCount returns host h's buffered (volatile) entries.
 func (l *Log) PendingCount(h mobile.HostID) int {
-	if hl := l.hosts[h]; hl != nil {
+	if hl := l.peek(h); hl != nil {
 		return len(hl.pending)
 	}
 	return 0
@@ -311,7 +325,7 @@ func (l *Log) PendingCount(h mobile.HostID) int {
 // RetainedFrom returns the seq of host h's earliest retained stable
 // entry (entries below it were pruned by garbage collection).
 func (l *Log) RetainedFrom(h mobile.HostID) int {
-	if hl := l.hosts[h]; hl != nil {
+	if hl := l.peek(h); hl != nil {
 		return hl.minSeq
 	}
 	return 0
@@ -320,7 +334,7 @@ func (l *Log) RetainedFrom(h mobile.HostID) int {
 // EntryAt returns host h's entry with the given seq — stable or still
 // pending — or nil when it was pruned or never logged.
 func (l *Log) EntryAt(h mobile.HostID, seq int) *Entry {
-	hl := l.hosts[h]
+	hl := l.peek(h)
 	if hl == nil || seq < hl.minSeq || seq >= hl.nextSeq {
 		return nil
 	}
@@ -336,7 +350,7 @@ func (l *Log) EntryAt(h mobile.HostID, seq int) *Entry {
 // pruned by garbage collection never qualify: pruning requires that no
 // future recovery line restores below them.
 func (l *Log) ReplayFrom(h mobile.HostID, restored int) []*Entry {
-	hl := l.hosts[h]
+	hl := l.peek(h)
 	if hl == nil {
 		return nil
 	}
@@ -356,7 +370,7 @@ func (l *Log) ReplayFrom(h mobile.HostID, restored int) []*Entry {
 // nondecreasing, so this removes a prefix. It returns the number of
 // entries discarded.
 func (l *Log) PruneDelivered(h mobile.HostID, frontier int) int {
-	hl := l.hosts[h]
+	hl := l.peek(h)
 	if hl == nil {
 		return 0
 	}

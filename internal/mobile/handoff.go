@@ -12,7 +12,7 @@ import (
 // The OnCellSwitch hook fires after the move (the point where protocols
 // take a basic checkpoint).
 func (n *Network) SwitchCell(id HostID, to MSSID) error {
-	h := n.hosts[id]
+	h := n.host(id)
 	if !h.connected {
 		return fmt.Errorf("mobile: host %d cannot switch cells while disconnected", id)
 	}
@@ -28,8 +28,8 @@ func (n *Network) SwitchCell(id HostID, to MSSID) error {
 	n.counters.CtrlMessages += 2
 	n.counters.WirelessHops += 2
 
-	delete(n.stations[from].members, id)
-	n.stations[to].members[id] = true
+	n.stations[from].members--
+	n.stations[to].members++
 	h.mss = to
 	h.lastMSS = to
 	h.switches++
@@ -49,14 +49,14 @@ func (n *Network) SwitchCell(id HostID, to MSSID) error {
 // checkpoint that will represent the host in every recovery line
 // collected during the disconnection, §2.2).
 func (n *Network) Disconnect(id HostID) error {
-	h := n.hosts[id]
+	h := n.host(id)
 	if !h.connected {
 		return fmt.Errorf("mobile: host %d is already disconnected", id)
 	}
 	n.counters.CtrlMessages++
 	n.counters.WirelessHops++
 
-	delete(n.stations[h.mss].members, id)
+	n.stations[h.mss].members--
 	h.lastMSS = h.mss
 	h.mss = NoMSS
 	h.connected = false
@@ -74,7 +74,7 @@ func (n *Network) Disconnect(id HostID) error {
 // become receivable shortly after reconnection. The OnReconnect hook
 // fires immediately.
 func (n *Network) Reconnect(id HostID, at MSSID) error {
-	h := n.hosts[id]
+	h := n.host(id)
 	if h.connected {
 		return fmt.Errorf("mobile: host %d is already connected", id)
 	}
@@ -86,7 +86,7 @@ func (n *Network) Reconnect(id HostID, at MSSID) error {
 
 	h.mss = at
 	h.connected = true
-	n.stations[at].members[id] = true
+	n.stations[at].members++
 	n.updateLocation(id, at)
 
 	parked := h.parked
@@ -99,10 +99,11 @@ func (n *Network) Reconnect(id HostID, at MSSID) error {
 			n.counters.WiredHops++
 			m.Hops++
 		}
-		mm := m
-		n.sim.After(delay, "flush-parked", func(sim *des.Simulator, now des.Time) {
-			n.arrive(mm, at, now)
-		})
+		// Ride the pooled arrive trampoline (the target station travels
+		// in m.route) instead of allocating one closure per parked
+		// message — reconnect storms at large n stay allocation-free.
+		m.route = at
+		n.sim.ScheduleArgAfter(delay, "flush-parked", n.arriveFn, m)
 	}
 	h.lastMSS = at
 

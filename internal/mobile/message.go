@@ -76,7 +76,7 @@ func (n *Network) reserveWireless(st MSSID) des.Time {
 //
 // It returns the message so callers (the trace recorder) can observe ids.
 func (n *Network) Send(from, to HostID, payload any) (*Message, error) {
-	src := n.hosts[from]
+	src := n.host(from)
 	if !src.connected {
 		return nil, fmt.Errorf("mobile: host %d cannot send while disconnected", from)
 	}
@@ -123,7 +123,7 @@ func (n *Network) Send(from, to HostID, payload any) (*Message, error) {
 // disconnected it parks; otherwise it takes the cell's downlink and is
 // appended to the inbox when the transmission completes.
 func (n *Network) arrive(m *Message, at MSSID, now des.Time) {
-	dst := n.hosts[m.To]
+	dst := n.host(m.To)
 	if !dst.connected {
 		m.ArrivedAt = now
 		n.counters.Parked++
@@ -151,7 +151,7 @@ func (n *Network) arrive(m *Message, at MSSID, now des.Time) {
 // cell of station m.route. The host may have moved or disconnected while
 // the transmission was in progress; re-route if so.
 func (n *Network) finishDownlink(m *Message, now des.Time) {
-	dst := n.hosts[m.To]
+	dst := n.host(m.To)
 	if !dst.connected || dst.mss != m.route {
 		m.Hops-- // the failed downlink is re-attempted elsewhere
 		n.arrive(m, m.route, now)
@@ -167,14 +167,28 @@ func (n *Network) finishDownlink(m *Message, now des.Time) {
 // degenerates to an internal event, as in the workload model) or when the
 // host is disconnected.
 func (n *Network) TryReceive(id HostID) *Message {
-	h := n.hosts[id]
-	if !h.connected || len(h.inbox) == 0 {
+	h := n.host(id)
+	if !h.connected || h.inboxHead == len(h.inbox) {
 		return nil
 	}
-	m := h.inbox[0]
-	copy(h.inbox, h.inbox[1:])
-	h.inbox[len(h.inbox)-1] = nil
-	h.inbox = h.inbox[:len(h.inbox)-1]
+	m := h.inbox[h.inboxHead]
+	h.inbox[h.inboxHead] = nil
+	h.inboxHead++
+	switch {
+	case h.inboxHead == len(h.inbox):
+		// Drained: reuse the slice from the start.
+		h.inbox = h.inbox[:0]
+		h.inboxHead = 0
+	case h.inboxHead >= 64 && 2*h.inboxHead >= len(h.inbox):
+		// Mostly consumed: slide the live tail down so a never-empty
+		// queue cannot grow the slice without bound. Amortized O(1) per
+		// receive (each compaction is paid for by the receives since the
+		// last one).
+		live := copy(h.inbox, h.inbox[h.inboxHead:])
+		clear(h.inbox[live:])
+		h.inbox = h.inbox[:live]
+		h.inboxHead = 0
+	}
 	n.counters.Delivered++
 	if n.hooks.OnDeliver != nil {
 		n.hooks.OnDeliver(n.sim.Now(), h, m)

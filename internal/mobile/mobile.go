@@ -8,6 +8,12 @@
 // and a home-agent location directory — while the stochastic *policies*
 // (when hosts move, when they communicate) live in internal/workload.
 //
+// Host state lives in a sharded flat arena indexed by HostID rather than
+// a slice of per-host allocations: records are contiguous (cache-friendly
+// sweeps at n=1e6), *Host pointers stay stable across dynamic joins
+// because shards never reallocate, and a generation counter lets layers
+// that cache per-host derived state detect joins cheaply.
+//
 // Every action is accounted in Counters so higher layers can derive the
 // channel-contention and energy costs the paper discusses in §2.1.
 package mobile
@@ -118,7 +124,9 @@ type Counters struct {
 }
 
 // Host is a mobile host. Exported fields are stable identity/state read
-// by higher layers; mutation goes through Network methods.
+// by higher layers; mutation goes through Network methods. Host records
+// live inside the network's arena — higher layers hold *Host freely (the
+// arena never moves a record) but must not copy the struct.
 type Host struct {
 	ID HostID
 
@@ -126,11 +134,16 @@ type Host struct {
 	connected bool
 	lastMSS   MSSID // station the host was attached to before disconnecting
 
-	inbox  []*Message // arrived, awaiting a receive operation; sorted by arrival
-	parked []*Message // arrived while disconnected; flushed on reconnect
+	// inbox is a head-indexed ring: arrivals append at the tail, receives
+	// advance inboxHead instead of sliding every element down (the old
+	// O(queue) copy per receive is what made deep queues quadratic).
+	inbox     []*Message
+	inboxHead int
+	parked    []*Message // arrived while disconnected; flushed on reconnect
 
-	switches    int // completed hand-offs
-	disconnects int // completed disconnections
+	switches    int    // completed hand-offs
+	disconnects int    // completed disconnections
+	gen         uint64 // network generation at which this host joined
 }
 
 // MSS reports the host's current station, or NoMSS when disconnected.
@@ -150,7 +163,7 @@ func (h *Host) LastMSS() MSSID {
 }
 
 // QueueLen returns the number of arrived-but-undelivered messages.
-func (h *Host) QueueLen() int { return len(h.inbox) }
+func (h *Host) QueueLen() int { return len(h.inbox) - h.inboxHead }
 
 // ParkedLen returns the number of messages buffered during disconnection.
 func (h *Host) ParkedLen() int { return len(h.parked) }
@@ -161,22 +174,38 @@ func (h *Host) Switches() int { return h.switches }
 // Disconnects returns the number of completed disconnections.
 func (h *Host) Disconnects() int { return h.disconnects }
 
+// Generation returns the network generation at which the host joined:
+// zero for hosts present since New, and the value Network.Generation had
+// right after the AddHost that created it otherwise.
+func (h *Host) Generation() uint64 { return h.gen }
+
 // Station is a mobile support station. It owns the per-cell bookkeeping;
 // checkpoint stable storage is layered on top by internal/storage.
 type Station struct {
 	ID      MSSID
-	members map[HostID]bool // hosts currently in this cell
+	members int // hosts currently in this cell
 }
 
 // Members returns the number of hosts currently in the cell.
-func (s *Station) Members() int { return len(s.members) }
+func (s *Station) Members() int { return s.members }
+
+// Host arena geometry: records are stored in fixed-capacity shards so a
+// shard's backing array never reallocates — *Host pointers handed out
+// stay valid across AddHost — while lookups stay two indexings.
+const (
+	hostShardBits = 12
+	hostShardSize = 1 << hostShardBits
+	hostShardMask = hostShardSize - 1
+)
 
 // Network binds hosts and stations to a DES simulator.
 type Network struct {
 	sim      *des.Simulator
 	cfg      Config
-	hosts    []*Host
-	stations []*Station
+	shards   [][]Host // sharded flat host arena, indexed by HostID
+	numHosts int
+	gen      uint64     // bumped once per AddHost
+	stations []Station  // flat, fixed at NumMSS
 	homes    []MSSID    // home-agent directory: host -> believed current MSS
 	busy     []des.Time // per-station wireless channel busy-until (contention model)
 	loss     lossSource // variate source for the loss model; nil when disabled
@@ -211,35 +240,59 @@ func New(sim *des.Simulator, cfg Config, hooks Hooks) (*Network, error) {
 		n.finishDownlink(arg.(*Message), now)
 	}
 	n.busy = make([]des.Time, cfg.NumMSS)
-	n.stations = make([]*Station, cfg.NumMSS)
+	n.stations = make([]Station, cfg.NumMSS)
 	for i := range n.stations {
-		n.stations[i] = &Station{ID: MSSID(i), members: make(map[HostID]bool)}
+		n.stations[i].ID = MSSID(i)
 	}
-	n.hosts = make([]*Host, cfg.NumHosts)
-	n.homes = make([]MSSID, cfg.NumHosts)
-	for i := range n.hosts {
+	n.homes = make([]MSSID, 0, cfg.NumHosts)
+	for i := 0; i < cfg.NumHosts; i++ {
 		at := MSSID(i % cfg.NumMSS)
-		n.hosts[i] = &Host{ID: HostID(i), mss: at, connected: true, lastMSS: at}
-		n.stations[at].members[HostID(i)] = true
-		n.homes[i] = at
+		n.newHost(at)
+		n.stations[at].members++
+		n.homes = append(n.homes, at)
 	}
 	return n, nil
+}
+
+// newHost appends one host record to the arena, opening a fresh shard
+// when the last one is full, and returns its stable address. The new
+// host's id is numHosts before the call; ids stay dense.
+func (n *Network) newHost(at MSSID) *Host {
+	id := HostID(n.numHosts)
+	si := int(id) >> hostShardBits
+	if si == len(n.shards) {
+		n.shards = append(n.shards, make([]Host, 0, hostShardSize))
+	}
+	n.shards[si] = append(n.shards[si], Host{ID: id, mss: at, connected: true, lastMSS: at, gen: n.gen})
+	n.numHosts++
+	return &n.shards[si][int(id)&hostShardMask]
+}
+
+// host resolves a HostID to its arena record. Out-of-range ids panic on
+// the shard indexing (caller bug), matching the old slice behavior.
+func (n *Network) host(id HostID) *Host {
+	return &n.shards[int(id)>>hostShardBits][int(id)&hostShardMask]
 }
 
 // Config returns the static configuration.
 func (n *Network) Config() Config { return n.cfg }
 
 // Host returns host id. It panics on out-of-range ids (caller bug).
-func (n *Network) Host(id HostID) *Host { return n.hosts[id] }
+func (n *Network) Host(id HostID) *Host { return n.host(id) }
 
 // Station returns station id.
-func (n *Network) Station(id MSSID) *Station { return n.stations[id] }
+func (n *Network) Station(id MSSID) *Station { return &n.stations[id] }
 
 // NumHosts returns the number of hosts.
-func (n *Network) NumHosts() int { return len(n.hosts) }
+func (n *Network) NumHosts() int { return n.numHosts }
 
 // NumStations returns the number of stations.
 func (n *Network) NumStations() int { return len(n.stations) }
+
+// Generation returns the join generation: it starts at zero and
+// increments once per AddHost. Layers that size per-host caches off
+// NumHosts can compare generations to detect joins without hooks.
+func (n *Network) Generation() uint64 { return n.gen }
 
 // Counters returns a snapshot of the accumulated activity counters.
 func (n *Network) Counters() Counters { return n.counters }
@@ -285,17 +338,17 @@ func (n *Network) updateLocation(id HostID, at MSSID) {
 // join itself costs one control message (registration with the station);
 // what it costs each checkpointing protocol is the interesting part,
 // measured by experiment E16. The new host's id is returned; ids stay
-// dense.
+// dense. Each join bumps the network generation (see Generation).
 func (n *Network) AddHost(at MSSID) (HostID, error) {
 	if at < 0 || int(at) >= len(n.stations) {
 		return 0, fmt.Errorf("mobile: joining unknown station %d", at)
 	}
-	id := HostID(len(n.hosts))
-	n.hosts = append(n.hosts, &Host{ID: id, mss: at, connected: true, lastMSS: at})
-	n.stations[at].members[id] = true
+	n.gen++
+	h := n.newHost(at)
+	n.stations[at].members++
 	n.homes = append(n.homes, at)
 	n.counters.CtrlMessages++
 	n.counters.WirelessHops++
 	n.counters.LocationUpdates++
-	return id, nil
+	return h.ID, nil
 }

@@ -9,33 +9,35 @@ import (
 )
 
 // checkInvariants asserts the structural invariants of the network:
-// every connected host is a member of exactly its current station and of
-// no other; disconnected hosts are members of none; the location
-// directory agrees with reality for connected hosts.
+// every station's member count equals the number of connected hosts
+// whose current station it is (so counts, host state, and the location
+// directory never drift apart), and disconnected hosts have a valid
+// departure station recorded.
 func checkInvariants(t *testing.T, n *Network) {
 	t.Helper()
+	perStation := make([]int, n.NumStations())
 	for i := 0; i < n.NumHosts(); i++ {
 		h := n.Host(HostID(i))
-		memberships := 0
-		for s := 0; s < n.NumStations(); s++ {
-			if n.Station(MSSID(s)).members[h.ID] {
-				memberships++
-				if !h.Connected() {
-					t.Fatalf("disconnected host %d is a member of station %d", i, s)
-				}
-				if h.MSS() != MSSID(s) {
-					t.Fatalf("host %d member of %d but MSS() = %d", i, s, h.MSS())
-				}
+		if h.Connected() {
+			if h.MSS() < 0 || int(h.MSS()) >= n.NumStations() {
+				t.Fatalf("connected host %d at invalid station %d", i, h.MSS())
+			}
+			perStation[h.MSS()]++
+			if n.homes[i] != h.MSS() {
+				t.Fatalf("directory says host %d at %d, actually at %d", i, n.homes[i], h.MSS())
+			}
+		} else {
+			if h.MSS() != NoMSS {
+				t.Fatalf("disconnected host %d reports station %d", i, h.MSS())
+			}
+			if h.LastMSS() < 0 || int(h.LastMSS()) >= n.NumStations() {
+				t.Fatalf("disconnected host %d has invalid departure station %d", i, h.LastMSS())
 			}
 		}
-		switch {
-		case h.Connected() && memberships != 1:
-			t.Fatalf("connected host %d has %d memberships", i, memberships)
-		case !h.Connected() && memberships != 0:
-			t.Fatalf("disconnected host %d has %d memberships", i, memberships)
-		}
-		if h.Connected() && n.homes[i] != h.MSS() {
-			t.Fatalf("directory says host %d at %d, actually at %d", i, n.homes[i], h.MSS())
+	}
+	for s := 0; s < n.NumStations(); s++ {
+		if got := n.Station(MSSID(s)).Members(); got != perStation[s] {
+			t.Fatalf("station %d counts %d members, %d hosts are there", s, got, perStation[s])
 		}
 	}
 }

@@ -131,13 +131,25 @@ type Histogram struct {
 	labels  []Label
 }
 
-// Observe records one value.
+// Observe records one value. The bucket search is an inlined binary
+// search — sort.SearchFloat64s costs an extra call and closure per
+// observation, which is measurable once million-host runs observe on the
+// per-event path (TestHistogramObserveZeroAlloc and the histogram case
+// of BenchmarkObsOverhead guard the cost).
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
-	i := sort.SearchFloat64s(h.bounds, v)
-	h.buckets[i].Add(1)
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.buckets[lo].Add(1)
 	h.count.Add(1)
 	for {
 		old := h.sumBits.Load()

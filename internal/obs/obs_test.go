@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -116,6 +117,54 @@ func TestHistogram(t *testing.T) {
 		if hs.Counts[i] < hs.Counts[i-1] {
 			t.Fatalf("bucket counts not monotone at %d", i)
 		}
+	}
+}
+
+// TestHistogramBucketSearch cross-checks Observe's inlined binary search
+// against sort.SearchFloat64s, the specification it replaced, over wide
+// bucket sets and boundary-exact values.
+func TestHistogramBucketSearch(t *testing.T) {
+	bounds := make([]float64, 64)
+	for i := range bounds {
+		bounds[i] = float64(i * i)
+	}
+	r := NewRegistry()
+	h := r.Histogram("wide", bounds)
+	var values []float64
+	for i := -1; i < 66; i++ {
+		v := float64(i * i) // hits every bound exactly
+		values = append(values, v, v-0.5, v+0.5)
+	}
+	want := make([]int64, len(bounds)+1)
+	for _, v := range values {
+		h.Observe(v)
+		want[sort.SearchFloat64s(bounds, v)]++
+	}
+	for i := range h.buckets {
+		if got := h.buckets[i].Load(); got != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, got, want[i])
+		}
+	}
+}
+
+// TestHistogramObserveZeroAlloc guards the per-event observation path:
+// recording into even a wide histogram must not allocate.
+func TestHistogramObserveZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc bounds only hold in normal builds")
+	}
+	bounds := make([]float64, 128)
+	for i := range bounds {
+		bounds[i] = float64(i)
+	}
+	h := NewRegistry().Histogram("wide", bounds)
+	v := 0.0
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(v)
+		v += 0.37
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocated %v times per call, want 0", allocs)
 	}
 }
 

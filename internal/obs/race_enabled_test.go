@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector is compiled in. Alloc
+// regression tests skip under -race: race instrumentation allocates on
+// paths that are allocation-free in a normal build.
+const raceEnabled = true

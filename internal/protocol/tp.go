@@ -33,6 +33,11 @@ func (p Phase) String() string {
 type TPPiggyback struct {
 	Ckpt vclock.Vector
 	Loc  vclock.Vector
+
+	// refs counts the holders of a pooled, copy-on-write shared snapshot:
+	// one for the sender's snapshot slot plus one per in-flight message.
+	// Zero on value-form piggybacks (wire decodes, recovery metadata).
+	refs int32
 }
 
 // TP is the two-phase protocol of Acharya–Badrinath (§4.1), an adaptation
@@ -54,11 +59,23 @@ type TP struct {
 	// used to assemble a recovery line during rollback.
 	meta map[*storage.Record]TPPiggyback
 
+	// snap[i] is host i's current shared piggyback snapshot: the vectors
+	// are copied once after a mutation (checkpoint, merge, join) and every
+	// send until the next mutation reuses the same immutable buffer,
+	// refcounted via TPPiggyback.refs. This bounds TP's O(n) copy cost by
+	// the *mutation* rate instead of the send rate — the measured
+	// blow-up that remains is the protocol's, not the simulator's
+	// (E21; sim_tp_vector_copies_total vs sim_tp_snapshot_reuses_total).
+	snap       []*TPPiggyback
+	snapCopies int64
+	snapReuses int64
+
 	// pbFree is the free list of piggyback buffers OnSend hands out and
-	// Recycle takes back. Because checkpointing is instantaneous in the
-	// model, the number of simultaneously in-flight messages bounds the
-	// list, and the O(n) vector copies reuse the same backing arrays —
-	// the zero-allocation message path for TP.
+	// Recycle takes back once the last holder drops its reference.
+	// Because checkpointing is instantaneous in the model, the number of
+	// simultaneously in-flight snapshots bounds the list, and the O(n)
+	// vector copies reuse the same backing arrays — the zero-allocation
+	// message path for TP.
 	pbFree []*TPPiggyback
 
 	piggyback int64
@@ -75,6 +92,7 @@ func NewTP(n int, ckpt Checkpointer, mssOf func(mobile.HostID) mobile.MSSID) *TP
 		phase:   make([]Phase, n),
 		ckptVec: make([]vclock.Vector, n),
 		locVec:  make([]vclock.Vector, n),
+		snap:    make([]*TPPiggyback, n),
 		meta:    make(map[*storage.Record]TPPiggyback),
 	}
 	for i := range t.ckptVec {
@@ -96,9 +114,21 @@ func (t *TP) Init() {
 	}
 }
 
+// invalidate drops host h's shared send snapshot because its vectors are
+// about to change; in-flight messages keep their references alive.
+func (t *TP) invalidate(h mobile.HostID) {
+	if pb := t.snap[h]; pb != nil {
+		t.snap[h] = nil
+		if pb.refs--; pb.refs == 0 {
+			t.pbFree = append(t.pbFree, pb)
+		}
+	}
+}
+
 // takeCheckpoint advances host h into a new checkpoint interval and
 // records the dependency vectors alongside the checkpoint.
 func (t *TP) takeCheckpoint(h mobile.HostID, kind storage.Kind) {
+	t.invalidate(h)
 	t.ckptVec[h][h]++
 	t.locVec[h][h] = int(t.mssOf(h))
 	rec := t.ckpt(h, t.ckptVec[h][h], kind)
@@ -106,12 +136,20 @@ func (t *TP) takeCheckpoint(h mobile.HostID, kind storage.Kind) {
 }
 
 // OnSend implements Protocol: sending flips the host into the SEND phase
-// and piggybacks both dependency vectors. The returned *TPPiggyback is a
-// snapshot copy (safe while the message is in flight) drawn from the
-// free list; the environment may return it via Recycle once consumed.
+// and piggybacks both dependency vectors. The returned *TPPiggyback is an
+// immutable copy-on-write snapshot (safe while the message is in flight,
+// shared by every send since the host's last vector mutation); the
+// environment must return each reference via Recycle once consumed. The
+// piggyback *accounting* still charges the full 2n-word vectors per
+// message — sharing is a simulator optimization, not a protocol change.
 func (t *TP) OnSend(from, to mobile.HostID) any {
 	t.phase[from] = SEND
 	t.piggyback += int64(2 * len(t.ckptVec) * intSize)
+	if pb := t.snap[from]; pb != nil {
+		pb.refs++
+		t.snapReuses++
+		return pb
+	}
 	var pb *TPPiggyback
 	if n := len(t.pbFree); n > 0 {
 		pb = t.pbFree[n-1]
@@ -122,17 +160,29 @@ func (t *TP) OnSend(from, to mobile.HostID) any {
 	}
 	pb.Ckpt = append(pb.Ckpt[:0], t.ckptVec[from]...)
 	pb.Loc = append(pb.Loc[:0], t.locVec[from]...)
+	pb.refs = 2 // the snapshot slot plus this message
+	t.snap[from] = pb
+	t.snapCopies++
 	return pb
 }
 
-// Recycle implements Recycler: hands a piggyback buffer produced by
-// OnSend back to the free list. Values of other types (e.g. the value-
-// form TPPiggyback decoded from the wire) are ignored.
+// Recycle implements Recycler: drops one reference to a snapshot produced
+// by OnSend, returning the buffer to the free list when the last holder
+// (message or snapshot slot) lets go. Values of other types (e.g. the
+// value-form TPPiggyback decoded from the wire) are ignored.
 func (t *TP) Recycle(pb any) {
 	if p, ok := pb.(*TPPiggyback); ok && p != nil {
-		t.pbFree = append(t.pbFree, p)
+		if p.refs--; p.refs <= 0 {
+			p.refs = 0
+			t.pbFree = append(t.pbFree, p)
+		}
 	}
 }
+
+// SnapshotStats reports the copy-on-write economics: copies counts full
+// O(n) vector materializations, reuses counts sends that shared a live
+// snapshot. Their sum is the number of sends.
+func (t *TP) SnapshotStats() (copies, reuses int64) { return t.snapCopies, t.snapReuses }
 
 // OnDeliver implements Protocol: a delivery in SEND phase forces a
 // checkpoint *before* the message is processed, then the sender's
@@ -153,6 +203,7 @@ func (t *TP) OnDeliver(h, from mobile.HostID, pb any) {
 	default:
 		panic("protocol: TP delivery with non-TP piggyback")
 	}
+	t.invalidate(h)
 	t.ckptVec[h].MergeWithLocations(t.locVec[h], p.Ckpt, p.Loc)
 }
 
@@ -187,9 +238,14 @@ func (t *TP) OnJoin(h mobile.HostID) int64 {
 	n := len(t.phase) + 1
 	t.phase = append(t.phase, RECV)
 	for i := range t.ckptVec {
+		// Every host's vectors gain a component, so every live snapshot
+		// is stale (in-flight references keep theirs alive; ragged
+		// merges accept the shorter vectors).
+		t.invalidate(mobile.HostID(i))
 		t.ckptVec[i] = t.ckptVec[i].Grow(n, -1)
 		t.locVec[i] = t.locVec[i].Grow(n, -1)
 	}
+	t.snap = append(t.snap, nil)
 	t.ckptVec = append(t.ckptVec, vclock.New(n, -1))
 	t.locVec = append(t.locVec, vclock.New(n, -1))
 	t.takeCheckpoint(h, storage.Initial)

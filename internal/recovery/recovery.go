@@ -23,6 +23,7 @@ package recovery
 
 import (
 	"math"
+	"sort"
 
 	"mobickpt/internal/des"
 	"mobickpt/internal/mobile"
@@ -86,21 +87,136 @@ func Orphans(tr *trace.Trace, cut Cut) int {
 // resulting consistent cut and the number of elimination steps (extra
 // rollbacks beyond the seed — the domino measure).
 func Propagate(tr *trace.Trace, seed Cut) (Cut, int) {
+	return eliminate(tr, seed, nil, nil)
+}
+
+// eliminate is the orphan-elimination core shared by Propagate and
+// PropagateReplay. It is worklist-driven — O((r + eliminations) log r)
+// instead of the reference algorithm's full-trace rescans, which at
+// million-host trace sizes dominated every recovery experiment — yet
+// reproduces the reference's step count *exactly*, because DominoSteps
+// is observable (E8) and depends on evaluation order.
+//
+// The reference repeatedly sweeps the trace in delivery order, applying
+// eliminations as it encounters them, until a sweep changes nothing. The
+// worklist replays precisely those evaluation moments that can act: an
+// event is eligible only once its send is undone, which (cuts only ever
+// decrease) happens at most once, when cut[From] first drops below its
+// SendCount. At that moment the sweep would next evaluate it at (round,
+// index): the current round if the sweep position has not yet passed the
+// event's trace index, the next round otherwise. Ordering pending events
+// by that key pops them in exactly the reference's order; everything a
+// full sweep would merely re-inspect without acting is never touched.
+//
+// An event enters the worklist at most once: send-undoneness is
+// permanent, and an event popped while its receive is already undone (or
+// stably logged, for replay) can never become an orphan again.
+func eliminate(tr *trace.Trace, seed Cut, logged LoggedFunc, seqs []int) (Cut, int) {
+	events := tr.Events()
 	cut := seed.Clone()
-	steps := 0
-	for {
-		changed := false
-		for _, ev := range tr.Events() {
-			if ev.SendCount > cut[ev.From] && ev.RecvCount <= cut[ev.To] {
-				cut[ev.To] = ev.RecvCount - 1
-				steps++
-				changed = true
-			}
-		}
-		if !changed {
-			return cut, steps
-		}
+
+	// sends[h] lists h's send events as trace indices, sorted by
+	// SendCount (the trace is in *delivery* order, under which SendCount
+	// is not monotone), so the undone sends always form a suffix. lo[h]
+	// marks the suffix already handed to the worklist.
+	sends := make([][]int32, len(cut))
+	for i := range events {
+		f := events[i].From
+		sends[f] = append(sends[f], int32(i))
 	}
+	lo := make([]int, len(cut))
+	for h := range lo {
+		s := sends[h]
+		sort.Slice(s, func(a, b int) bool {
+			if events[s[a]].SendCount != events[s[b]].SendCount {
+				return events[s[a]].SendCount < events[s[b]].SendCount
+			}
+			return s[a] < s[b]
+		})
+		lo[h] = len(s)
+	}
+
+	// Keys order the pending evaluations as (round, trace index); both
+	// fit comfortably in one int64 (rounds and indices are bounded by the
+	// trace length, and int32 indices are enforced above).
+	var wl worklist
+	push := func(h int, round, pos int) {
+		s := sends[h]
+		i := lo[h]
+		for i > 0 && events[s[i-1]].SendCount > cut[h] {
+			i--
+		}
+		for _, idx := range s[i:lo[h]] {
+			r := round
+			if int(idx) <= pos {
+				r++
+			}
+			wl.push(int64(r)<<32 | int64(idx))
+		}
+		lo[h] = i
+	}
+	for h := range cut {
+		push(h, 0, -1)
+	}
+
+	steps := 0
+	for len(wl) > 0 {
+		k := wl.pop()
+		round, pos := int(k>>32), int(k&0x7fffffff)
+		ev := &events[pos]
+		if ev.RecvCount > cut[ev.To] {
+			continue // receive already undone; permanently not an orphan
+		}
+		if logged != nil && logged(*ev, seqs[pos]) {
+			continue // stably logged deliveries survive any rollback
+		}
+		cut[ev.To] = ev.RecvCount - 1
+		steps++
+		push(int(ev.To), round, pos)
+	}
+	return cut, steps
+}
+
+// worklist is a minimal int64 min-heap (container/heap's interface would
+// box every key).
+type worklist []int64
+
+func (w *worklist) push(k int64) {
+	*w = append(*w, k)
+	s := *w
+	for i := len(s) - 1; i > 0; {
+		p := (i - 1) / 2
+		if s[p] <= s[i] {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func (w *worklist) pop() int64 {
+	s := *w
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	*w = s[:n]
+	s = s[:n]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && s[l] < s[m] {
+			m = l
+		}
+		if r < n && s[r] < s[m] {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
 }
 
 // FailureCut seeds recovery after a crash of host failed: the failed host

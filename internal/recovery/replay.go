@@ -22,7 +22,7 @@ type LoggedFunc func(ev trace.MessageEvent, seq int) bool
 // ordinal — the position mlog keys its entries by.
 func deliverySeqs(tr *trace.Trace) []int {
 	seqs := make([]int, len(tr.Events()))
-	next := make(map[mobile.HostID]int)
+	next := make([]int, tr.NumHosts())
 	for i, ev := range tr.Events() {
 		seqs[i] = next[ev.To]
 		next[ev.To]++
@@ -40,22 +40,7 @@ func PropagateReplay(tr *trace.Trace, seed Cut, logged LoggedFunc) (Cut, int) {
 	if logged == nil {
 		return Propagate(tr, seed)
 	}
-	seqs := deliverySeqs(tr)
-	cut := seed.Clone()
-	steps := 0
-	for {
-		changed := false
-		for i, ev := range tr.Events() {
-			if ev.SendCount > cut[ev.From] && ev.RecvCount <= cut[ev.To] && !logged(ev, seqs[i]) {
-				cut[ev.To] = ev.RecvCount - 1
-				steps++
-				changed = true
-			}
-		}
-		if !changed {
-			return cut, steps
-		}
-	}
+	return eliminate(tr, seed, logged, deliverySeqs(tr))
 }
 
 // UnloggedOrphans counts the messages of tr that are orphan with respect

@@ -1,0 +1,138 @@
+package recovery
+
+import (
+	"testing"
+
+	"mobickpt/internal/des"
+	"mobickpt/internal/mobile"
+	"mobickpt/internal/rng"
+	"mobickpt/internal/trace"
+)
+
+// propagateReference is the original full-rescan fixpoint. The worklist
+// in eliminate must reproduce not just its cut (that is forced by the
+// lattice) but its exact step count, which depends on evaluation order —
+// DominoSteps is a reported figure (E8).
+func propagateReference(tr *trace.Trace, seed Cut, logged LoggedFunc) (Cut, int) {
+	var seqs []int
+	if logged != nil {
+		seqs = deliverySeqs(tr)
+	}
+	cut := seed.Clone()
+	steps := 0
+	for {
+		changed := false
+		for i, ev := range tr.Events() {
+			if ev.SendCount > cut[ev.From] && ev.RecvCount <= cut[ev.To] &&
+				(logged == nil || !logged(ev, seqs[i])) {
+				cut[ev.To] = ev.RecvCount - 1
+				steps++
+				changed = true
+			}
+		}
+		if !changed {
+			return cut, steps
+		}
+	}
+}
+
+// randomTrace builds a messy execution: out-of-order deliveries (so
+// per-host SendCounts are not monotone in trace order), occasional
+// checkpoints, and enough cross-traffic for long domino chains.
+func randomTrace(src *rng.Source, hosts, msgs int) *trace.Trace {
+	tr := trace.New(hosts)
+	counts := make([]int, hosts) // checkpoints taken so far, incl. initial
+	for i := range counts {
+		counts[i] = 1
+	}
+	type pending struct {
+		id uint64
+		to mobile.HostID
+	}
+	var inflight []pending
+	id := uint64(0)
+	for sent := 0; sent < msgs || len(inflight) > 0; {
+		// Bias toward sending while messages remain, then drain.
+		if sent < msgs && (len(inflight) == 0 || src.Intn(3) > 0) {
+			from := mobile.HostID(src.Intn(hosts))
+			to := mobile.HostID(src.Intn(hosts))
+			if to == from {
+				to = mobile.HostID((int(to) + 1) % hosts)
+			}
+			tr.RecordSend(id, from, to, counts[from], des.Time(sent))
+			inflight = append(inflight, pending{id: id, to: to})
+			id++
+			sent++
+			if src.Intn(4) == 0 {
+				counts[from]++ // checkpoint between sends
+			}
+		} else {
+			// Deliver a random in-flight message: delivery order is
+			// deliberately decoupled from send order.
+			k := src.Intn(len(inflight))
+			p := inflight[k]
+			inflight[k] = inflight[len(inflight)-1]
+			inflight = inflight[:len(inflight)-1]
+			if src.Intn(5) == 0 {
+				counts[p.to]++ // forced checkpoint on delivery
+			}
+			tr.RecordDeliver(p.id, counts[p.to], des.Time(int(p.id)))
+		}
+	}
+	return tr
+}
+
+// TestWorklistMatchesReference drives the worklist and the reference
+// over randomized traces, seeds, and logged-delivery patterns, demanding
+// identical cuts AND identical step counts.
+func TestWorklistMatchesReference(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		src := rng.New(seed)
+		hosts := 3 + src.Intn(8)
+		tr := randomTrace(src, hosts, 200)
+
+		// Random rollback seeds: a single failed host, sometimes several.
+		cut := NewCut(hosts)
+		for k := 0; k <= src.Intn(3); k++ {
+			h := src.Intn(hosts)
+			cut[h] = src.Intn(3)
+		}
+
+		var logged LoggedFunc
+		if seed%2 == 0 {
+			// Half the runs exercise the replay variant: host h's first
+			// b(h) deliveries are stably logged.
+			bound := make([]int, hosts)
+			for h := range bound {
+				bound[h] = src.Intn(20)
+			}
+			logged = func(ev trace.MessageEvent, seq int) bool {
+				return seq < bound[ev.To]
+			}
+		}
+
+		wantCut, wantSteps := propagateReference(tr, cut, logged)
+		var gotCut Cut
+		var gotSteps int
+		if logged == nil {
+			gotCut, gotSteps = Propagate(tr, cut)
+		} else {
+			gotCut, gotSteps = PropagateReplay(tr, cut, logged)
+		}
+		if gotSteps != wantSteps {
+			t.Fatalf("seed %d: steps = %d, reference = %d", seed, gotSteps, wantSteps)
+		}
+		for h := range wantCut {
+			if gotCut[h] != wantCut[h] {
+				t.Fatalf("seed %d: cut[%d] = %d, reference = %d", seed, h, gotCut[h], wantCut[h])
+			}
+		}
+		if logged == nil {
+			if n := Orphans(tr, gotCut); n != 0 {
+				t.Fatalf("seed %d: fixpoint left %d orphans", seed, n)
+			}
+		} else if n := UnloggedOrphans(tr, gotCut, logged); n != 0 {
+			t.Fatalf("seed %d: fixpoint left %d unlogged orphans", seed, n)
+		}
+	}
+}

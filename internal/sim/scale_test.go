@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mobickpt/internal/des"
+	"mobickpt/internal/mobile"
+)
+
+// TestQueueAblationIdentical is the refactor's gate at the engine level:
+// a full paper-environment run — every protocol, hand-offs, disconnects,
+// dynamic joins, the runtime invariant checker on — must produce
+// identical results on the heap and on the calendar queue. Both realize
+// the same (time, seq) total order, so any divergence is a queue bug.
+func TestQueueAblationIdentical(t *testing.T) {
+	run := func(kind des.QueueKind) *Result {
+		c := testConfig()
+		c.Horizon = 3000
+		c.Protocols = AllProtocols()
+		c.JoinTimes = []des.Time{700, 1900}
+		c.Queue = kind
+		return mustRun(t, c)
+	}
+	a, b := run(des.QueueHeap), run(des.QueueCalendar)
+	if a.EventsFired != b.EventsFired {
+		t.Fatalf("events fired: heap=%d calendar=%d", a.EventsFired, b.EventsFired)
+	}
+	if a.Network != b.Network {
+		t.Fatalf("network counters diverged:\nheap:     %+v\ncalendar: %+v", a.Network, b.Network)
+	}
+	for i := range a.Protocols {
+		pa, pb := &a.Protocols[i], &b.Protocols[i]
+		if pa.Ntot != pb.Ntot || pa.Basic != pb.Basic || pa.Forced != pb.Forced ||
+			pa.PiggybackBytes != pb.PiggybackBytes || pa.CtrlMessages != pb.CtrlMessages {
+			t.Fatalf("%s diverged across queues:\nheap:     Ntot=%d B=%d F=%d pb=%d ctrl=%d\ncalendar: Ntot=%d B=%d F=%d pb=%d ctrl=%d",
+				pa.Name, pa.Ntot, pa.Basic, pa.Forced, pa.PiggybackBytes, pa.CtrlMessages,
+				pb.Ntot, pb.Basic, pb.Forced, pb.PiggybackBytes, pb.CtrlMessages)
+		}
+	}
+}
+
+// TestScaleSmoke runs a genuinely large world — 50,000 hosts (5,000
+// under -short) with a mid-run join — end to end on the calendar queue:
+// the flat-array arena, sharded host storage, and O(1) scheduling have
+// to survive contact with a host count three orders beyond the paper's.
+func TestScaleSmoke(t *testing.T) {
+	n := 50000
+	if testing.Short() {
+		n = 5000
+	}
+	cfg := DefaultConfig()
+	cfg.Mobile.NumHosts = n
+	cfg.Mobile.NumMSS = (n + 1) / 2
+	cfg.Workload.TSwitch = 100
+	cfg.Horizon = 20
+	cfg.Protocols = []ProtocolName{QBC}
+	cfg.JoinTimes = []des.Time{10}
+	cfg.Queue = des.QueueCalendar
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalHosts != n+1 {
+		t.Fatalf("final hosts = %d, want %d", res.FinalHosts, n+1)
+	}
+	pr := res.Protocol(QBC)
+	if pr.Initial != int64(n+1) {
+		t.Fatalf("initial checkpoints = %d, want %d", pr.Initial, n+1)
+	}
+	if pr.Ntot == 0 {
+		t.Fatal("no checkpoints beyond the initial ones: the world never moved")
+	}
+	if len(pr.Store.Chain(mobile.HostID(n))) == 0 {
+		t.Fatal("joined host has no checkpoints")
+	}
+}
+
+// TestScalePoints pins the sweep's shape: decades from 10 to the cap, TP
+// only while affordable, horizons shrinking with n but never below the
+// mobility floor.
+func TestScalePoints(t *testing.T) {
+	pts := ScalePoints(1000000)
+	if len(pts) != 6 {
+		t.Fatalf("got %d points, want 6", len(pts))
+	}
+	wantN := 10
+	for _, p := range pts {
+		if p.Hosts != wantN {
+			t.Fatalf("point hosts = %d, want %d", p.Hosts, wantN)
+		}
+		wantN *= 10
+		hasTP := false
+		for _, name := range p.Protocols {
+			if name == TP {
+				hasTP = true
+			}
+		}
+		if want := p.Hosts <= ScaleTPMaxHosts; hasTP != want {
+			t.Fatalf("n=%d: TP included = %v, want %v", p.Hosts, hasTP, want)
+		}
+		if p.Horizon < scaleMinHorizon {
+			t.Fatalf("n=%d: horizon %v below floor", p.Hosts, p.Horizon)
+		}
+		if cfg := p.Config(1, des.QueueCalendar); cfg.Validate() != nil {
+			t.Fatalf("n=%d: invalid config: %v", p.Hosts, cfg.Validate())
+		}
+	}
+}
+
+// TestMeasureScale runs the smallest point on both queues and checks the
+// deterministic fields agree (the bit-identity gate applied to E21
+// itself) and that the JSON round-trips.
+func TestMeasureScale(t *testing.T) {
+	pt := ScalePoints(10)[0]
+	pt.Horizon = 2000 // keep the test quick; the budget-derived horizon is for benches
+	mh, err := MeasureScale(pt, 1, des.QueueHeap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := MeasureScale(pt, 1, des.QueueCalendar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mh.Events != mc.Events {
+		t.Fatalf("events: heap=%d calendar=%d", mh.Events, mc.Events)
+	}
+	for name, v := range mh.NtotRate {
+		if mc.NtotRate[name] != v {
+			t.Fatalf("%s ntot rate: heap=%v calendar=%v", name, v, mc.NtotRate[name])
+		}
+	}
+	if mh.NtotRate["TP"] <= 0 {
+		t.Fatalf("TP ntot rate = %v, want > 0", mh.NtotRate["TP"])
+	}
+	if mh.PiggybackPerMsg["TP"] <= mh.PiggybackPerMsg["QBC"] {
+		t.Fatalf("TP piggyback (%v B/msg) should already exceed QBC's (%v) at n=10",
+			mh.PiggybackPerMsg["TP"], mh.PiggybackPerMsg["QBC"])
+	}
+	var buf bytes.Buffer
+	if err := WriteScaleJSON(&buf, []*ScaleMeasurement{mh, mc}); err != nil {
+		t.Fatal(err)
+	}
+	var back []ScaleMeasurement
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].Hosts != 10 || back[0].Queue != "heap" || back[1].Queue != "calendar" {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+}

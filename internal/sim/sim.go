@@ -86,8 +86,9 @@ type Config struct {
 	RecordTrace bool
 
 	// JoinTimes schedules dynamic membership (E16): at each listed time a
-	// new mobile host joins the computation at station (id mod NumMSS)
-	// and immediately starts communicating and roaming. Protocols admit
+	// new mobile host joins the computation at a station drawn from a
+	// dedicated seed-derived stream and immediately starts communicating
+	// and roaming. Protocols admit
 	// it through their Dynamic interface; the per-protocol join cost is
 	// reported in ProtocolResult.JoinCtrlMessages.
 	JoinTimes []des.Time
@@ -145,6 +146,14 @@ type Config struct {
 	// overhead is a constant factor on protocol events; leave false for
 	// large performance sweeps.
 	Checks bool
+
+	// Queue selects the engine's event-queue implementation (DESIGN.md
+	// §7): the zero value is the reference binary heap; des.QueueCalendar
+	// selects the O(1)-amortized calendar queue for large-n sweeps. Both
+	// realize the same (time, seq) total order, so the choice never
+	// changes a result — TestQueueAblationIdentical holds the engine to
+	// that.
+	Queue des.QueueKind
 }
 
 // DefaultConfig returns the paper's §5.1 environment at T_switch = 1000,
@@ -325,6 +334,13 @@ type engine struct {
 	net    *mobile.Network
 	driver *workload.Driver
 
+	// joinRNG places dynamically joining hosts on a dedicated stream
+	// (like the loss model's): placement must be seed-dependent — the
+	// old NumHosts()%NumMSS rule parked every k-th joiner on the same
+	// station regardless of seed — yet must not perturb the workload's
+	// randomness. Created lazily on the first join.
+	joinRNG *rng.Source
+
 	protos []protocol.Protocol
 	// recyclers[i] is protos[i]'s piggyback free-list hook (nil when the
 	// protocol's piggybacks need no recycling); plFree recycles the
@@ -359,7 +375,26 @@ type engine struct {
 	tl          *obs.Timeline
 	ckptByCause []map[string]*obs.Counter // cached sim_checkpoints_total counters
 	forcedHost  [][]*obs.Counter          // cached per-host forced-checkpoint counters
-	discAt      map[mobile.HostID]des.Time
+	discAt      []des.Time                // timeline only: disconnect start per host, -1 when connected
+}
+
+// markDisconnected records the start of host h's disconnection span for
+// the timeline, growing the flat per-host table past dynamic joins.
+func (e *engine) markDisconnected(h mobile.HostID, at des.Time) {
+	for int(h) >= len(e.discAt) {
+		e.discAt = append(e.discAt, -1)
+	}
+	e.discAt[h] = at
+}
+
+// takeDisconnected returns and clears host h's disconnection start.
+func (e *engine) takeDisconnected(h mobile.HostID) (des.Time, bool) {
+	if int(h) >= len(e.discAt) || e.discAt[h] < 0 {
+		return 0, false
+	}
+	at := e.discAt[h]
+	e.discAt[h] = -1
+	return at, true
 }
 
 // setCause marks the engine activity about to drive protocol callbacks
@@ -401,10 +436,13 @@ type payload struct {
 }
 
 func newEngine(cfg Config) (*engine, error) {
-	e := &engine{cfg: cfg, sim: des.New(), reg: cfg.Metrics, tl: cfg.Timeline}
+	e := &engine{cfg: cfg, sim: des.NewWith(cfg.Queue), reg: cfg.Metrics, tl: cfg.Timeline}
 	e.sim.Instrument(cfg.Metrics)
 	if e.tl != nil {
-		e.discAt = make(map[mobile.HostID]des.Time)
+		e.discAt = make([]des.Time, cfg.Mobile.NumHosts)
+		for i := range e.discAt {
+			e.discAt[i] = -1
+		}
 	}
 
 	n := cfg.Mobile.NumHosts
@@ -443,7 +481,7 @@ func newEngine(cfg Config) (*engine, error) {
 				}
 			}
 			if e.tl != nil {
-				e.discAt[h.ID] = now
+				e.markDisconnected(h.ID, now)
 				e.tl.Instant(float64(now), int(h.ID), "disconnect",
 					"from", strconv.Itoa(int(h.LastMSS())))
 			}
@@ -458,9 +496,8 @@ func newEngine(cfg Config) (*engine, error) {
 				}
 			}
 			if e.tl != nil {
-				if start, ok := e.discAt[h.ID]; ok {
+				if start, ok := e.takeDisconnected(h.ID); ok {
 					e.tl.Span(float64(start), float64(now-start), int(h.ID), "disconnected")
-					delete(e.discAt, h.ID)
 				}
 				e.tl.Instant(float64(now), int(h.ID), "reconnect",
 					"at", strconv.Itoa(int(at)))
@@ -589,6 +626,15 @@ func newEngine(cfg Config) (*engine, error) {
 			if init, ok := e.protos[i].(protocol.Initiator); ok {
 				e.reg.CounterFunc("sim_ctrl_messages_total",
 					func() int64 { return init.ControlMessages() }, "proto", name)
+			}
+			if tp, ok := e.protos[i].(*protocol.TP); ok {
+				// The copy-on-write snapshot economics (E21): how many
+				// O(n) vector materializations actually happened versus
+				// sends that shared a live snapshot.
+				e.reg.CounterFunc("sim_tp_vector_copies_total",
+					func() int64 { c, _ := tp.SnapshotStats(); return c }, "proto", name)
+				e.reg.CounterFunc("sim_tp_snapshot_reuses_total",
+					func() int64 { _, r := tp.SnapshotStats(); return r }, "proto", name)
 			}
 			if lg := e.mlogs[i]; lg != nil {
 				lg.Instrument(e.reg, "proto", name)
@@ -831,7 +877,12 @@ func (e *engine) scheduleGC() {
 // communicate and roam like any other.
 func (e *engine) join() {
 	defer e.setCause(e.setCause("join"))
-	at := mobile.MSSID(e.net.NumHosts() % e.cfg.Mobile.NumMSS)
+	if e.joinRNG == nil {
+		// Stream ids: host i owns 2i/2i+1, the loss model owns 1<<32;
+		// (1<<33)+1 collides with none of them at any feasible n.
+		e.joinRNG = rng.NewStream(e.cfg.Seed, (1<<33)+1)
+	}
+	at := mobile.MSSID(e.joinRNG.Intn(e.cfg.Mobile.NumMSS))
 	id, err := e.net.AddHost(at)
 	if err != nil {
 		panic("sim: " + err.Error())

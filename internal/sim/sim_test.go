@@ -5,12 +5,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"slices"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	"mobickpt/internal/des"
 	"mobickpt/internal/mobile"
+	"mobickpt/internal/obs"
 	"mobickpt/internal/recovery"
 	"mobickpt/internal/storage"
 )
@@ -748,6 +751,48 @@ func TestDynamicJoins(t *testing.T) {
 	cut, _ := recovery.Propagate(pr.Trace, seed)
 	if recovery.Orphans(pr.Trace, cut) != 0 {
 		t.Fatal("TP recovery left orphans after joins")
+	}
+}
+
+// Joined hosts must land on seed-dependent stations: the old placement
+// rule (NumHosts() mod NumMSS) parked the k-th joiner on the same
+// station for every seed, so E16's multi-seed averages all measured one
+// fixed placement. Placement now draws from a dedicated stream — it
+// varies with the seed, is reproducible under it, and never perturbs
+// the workload (TestDynamicJoinsDeterministic covers the latter).
+func TestJoinPlacementSeedDependent(t *testing.T) {
+	placements := func(seed uint64) []string {
+		c := testConfig()
+		c.Seed = seed
+		c.Horizon = 3000
+		c.JoinTimes = []des.Time{200, 400, 600, 800, 1000, 1200, 1400, 1600}
+		tl := obs.NewTimeline()
+		c.Timeline = tl
+		if _, err := Run(c); err != nil {
+			t.Fatal(err)
+		}
+		var at []string
+		for _, ev := range tl.Events() {
+			if ev.Phase == "i" && ev.Name == "join" {
+				s := ev.Args["at"]
+				mss, err := strconv.Atoi(s)
+				if err != nil || mss < 0 || mss >= c.Mobile.NumMSS {
+					t.Fatalf("join placed at invalid station %q", s)
+				}
+				at = append(at, s)
+			}
+		}
+		if len(at) != len(c.JoinTimes) {
+			t.Fatalf("saw %d join instants, want %d", len(at), len(c.JoinTimes))
+		}
+		return at
+	}
+	a1, a2, b := placements(1), placements(1), placements(2)
+	if !slices.Equal(a1, a2) {
+		t.Fatalf("same seed, different placements: %v vs %v", a1, a2)
+	}
+	if slices.Equal(a1, b) {
+		t.Fatalf("seeds 1 and 2 placed all %d joiners identically (%v): placement ignores the seed", len(a1), a1)
 	}
 }
 

@@ -107,14 +107,25 @@ type Counters struct {
 }
 
 // Store holds every host's checkpoint chain and the per-MSS placement.
+// Host ids are dense (mobile keeps them so), so the chains live in a
+// flat slice indexed by HostID rather than a map: no hashing on the
+// checkpoint path and cache-friendly sweeps when aggregating at n=1e6.
 type Store struct {
 	model  CostModel
-	chains map[mobile.HostID][]*Record
+	chains [][]*Record // indexed by HostID; grown on first Take
 }
 
 // NewStore returns an empty store with the given cost model.
 func NewStore(model CostModel) *Store {
-	return &Store{model: model, chains: make(map[mobile.HostID][]*Record)}
+	return &Store{model: model}
+}
+
+// chain returns host's chain, nil for hosts that never checkpointed.
+func (s *Store) chain(host mobile.HostID) []*Record {
+	if int(host) >= len(s.chains) {
+		return nil
+	}
+	return s.chains[host]
 }
 
 // Take records a new checkpoint of host at station mss with the given
@@ -127,6 +138,9 @@ func NewStore(model CostModel) *Store {
 //     full-state fetch over the wired network so the new MSS can
 //     reconstruct (§2.2 "Incremental Checkpointing").
 func (s *Store) Take(host mobile.HostID, mss mobile.MSSID, index int, kind Kind, now des.Time) *Record {
+	for int(host) >= len(s.chains) {
+		s.chains = append(s.chains, nil)
+	}
 	chain := s.chains[host]
 	r := &Record{
 		Host:    host,
@@ -155,7 +169,7 @@ func (s *Store) Take(host mobile.HostID, mss mobile.MSSID, index int, kind Kind,
 // recovery line with that index. It returns the superseded record, or
 // nil if none existed.
 func (s *Store) Supersede(rec *Record) *Record {
-	chain := s.chains[rec.Host]
+	chain := s.chain(rec.Host)
 	for i := len(chain) - 1; i >= 0; i-- {
 		c := chain[i]
 		if c == rec || c.Superseded {
@@ -174,11 +188,11 @@ func (s *Store) Supersede(rec *Record) *Record {
 
 // Chain returns host's checkpoints in creation order. The returned slice
 // is owned by the store; callers must not mutate it.
-func (s *Store) Chain(host mobile.HostID) []*Record { return s.chains[host] }
+func (s *Store) Chain(host mobile.HostID) []*Record { return s.chain(host) }
 
 // Latest returns host's most recent checkpoint, or nil if none.
 func (s *Store) Latest(host mobile.HostID) *Record {
-	chain := s.chains[host]
+	chain := s.chain(host)
 	if len(chain) == 0 {
 		return nil
 	}
@@ -188,7 +202,7 @@ func (s *Store) Latest(host mobile.HostID) *Record {
 // LatestLive returns host's most recent non-superseded, non-pruned
 // checkpoint, or nil.
 func (s *Store) LatestLive(host mobile.HostID) *Record {
-	chain := s.chains[host]
+	chain := s.chain(host)
 	for i := len(chain) - 1; i >= 0; i-- {
 		if !chain[i].Superseded && !chain[i].Pruned {
 			return chain[i]
@@ -203,7 +217,7 @@ func (s *Store) LatestLive(host mobile.HostID) *Record {
 // sequence number of a process, the first checkpoint with greater
 // sequence number must be included".
 func (s *Store) FirstWithIndexAtLeast(host mobile.HostID, index int) *Record {
-	for _, c := range s.chains[host] {
+	for _, c := range s.chain(host) {
 		if c.Superseded || c.Pruned {
 			continue
 		}
@@ -220,7 +234,7 @@ func (s *Store) FirstWithIndexAtLeast(host mobile.HostID, index int) *Record {
 // Records stay in the chain (ordinals are stable identifiers) but are
 // excluded from recovery-line construction.
 func (s *Store) PruneBefore(host mobile.HostID, keepOrdinal int) (records int, units int64) {
-	for _, c := range s.chains[host] {
+	for _, c := range s.chain(host) {
 		if c.Ordinal >= keepOrdinal {
 			break
 		}
@@ -250,7 +264,7 @@ func (s *Store) LiveRecords(host mobile.HostID) int {
 		return n
 	}
 	if host >= 0 {
-		return count(s.chains[host])
+		return count(s.chain(host))
 	}
 	total := 0
 	for _, chain := range s.chains {
@@ -299,7 +313,7 @@ func (s *Store) CountByKind(host mobile.HostID) (initial, basic, forced int) {
 		}
 	}
 	if host >= 0 {
-		count(s.chains[host])
+		count(s.chain(host))
 		return
 	}
 	for _, chain := range s.chains {

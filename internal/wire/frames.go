@@ -16,9 +16,14 @@ import (
 //
 //	frame := kind:u8 body
 //	  kind 0 (app)          := packet                       (see wire.go)
-//	  kind 1 (log-transfer) := host:u16 from:u16 to:u16 n:u32 rec:[n]record
-//	    record              := seq:u64 id:u64 from:u16 recvCount:i64 at:f64
-//	  kind 2 (log-ack)      := host:u16 mss:u16 stableSeq:u64
+//	  kind 1 (log-transfer) := host:u32 from:u32 to:u32 n:u32 rec:[n]record
+//	    record              := seq:u64 id:u64 from:u32 recvCount:i64 at:f64
+//	  kind 2 (log-ack)      := host:u32 mss:u32 stableSeq:u64
+//
+// Ids are u32 like the packet format's (the u16 of the original layout
+// truncated beyond 65,536 hosts). A transfer larger than
+// MaxTransferRecords should be split with SplitTransfer so no single
+// frame grows unboundedly with the log length.
 
 // Frame kinds.
 const (
@@ -37,7 +42,13 @@ type LogRecord struct {
 }
 
 // logRecordSize is the encoded size of one LogRecord.
-const logRecordSize = 8 + 8 + 2 + 8 + 8
+const logRecordSize = 8 + 8 + 4 + 8 + 8
+
+// MaxTransferRecords bounds how many records one log-transfer frame may
+// carry. A host whose retained log outgrows the bound hands off in
+// several frames (SplitTransfer); at 36 bytes per record the largest
+// frame body stays under 256 KiB regardless of log length.
+const MaxTransferRecords = 7280
 
 // LogTransfer ships host's retained message log from station FromMSS to
 // station ToMSS during a hand-off.
@@ -55,11 +66,35 @@ type LogAck struct {
 	StableSeq uint64
 }
 
-func checkU16(what string, v int) error {
-	if v < 0 || v > math.MaxUint16 {
+func checkU32(what string, v int) error {
+	if v < 0 || v > math.MaxUint32 {
 		return fmt.Errorf("wire: %s out of range: %d", what, v)
 	}
 	return nil
+}
+
+// SplitTransfer splits t into frames of at most MaxTransferRecords
+// records each, preserving order. A transfer within the bound is
+// returned as-is (no copy); an empty transfer still yields one frame so
+// the hand-off is visible to the receiving station.
+func SplitTransfer(t *LogTransfer) []*LogTransfer {
+	if len(t.Records) <= MaxTransferRecords {
+		return []*LogTransfer{t}
+	}
+	out := make([]*LogTransfer, 0, (len(t.Records)+MaxTransferRecords-1)/MaxTransferRecords)
+	for off := 0; off < len(t.Records); off += MaxTransferRecords {
+		end := off + MaxTransferRecords
+		if end > len(t.Records) {
+			end = len(t.Records)
+		}
+		out = append(out, &LogTransfer{
+			Host:    t.Host,
+			FromMSS: t.FromMSS,
+			ToMSS:   t.ToMSS,
+			Records: t.Records[off:end],
+		})
+	}
+	return out
 }
 
 // EncodeFrame encodes a *Packet, *LogTransfer or *LogAck as one tagged
@@ -73,46 +108,46 @@ func EncodeFrame(v any) ([]byte, error) {
 		}
 		return append([]byte{FrameApp}, body...), nil
 	case *LogTransfer:
-		if err := checkU16("host id", int(f.Host)); err != nil {
+		if err := checkU32("host id", int(f.Host)); err != nil {
 			return nil, err
 		}
-		if err := checkU16("source station", int(f.FromMSS)); err != nil {
+		if err := checkU32("source station", int(f.FromMSS)); err != nil {
 			return nil, err
 		}
-		if err := checkU16("target station", int(f.ToMSS)); err != nil {
+		if err := checkU32("target station", int(f.ToMSS)); err != nil {
 			return nil, err
 		}
-		if len(f.Records) > math.MaxUint32 {
-			return nil, fmt.Errorf("wire: log transfer too large: %d records", len(f.Records))
+		if len(f.Records) > MaxTransferRecords {
+			return nil, fmt.Errorf("wire: log transfer too large: %d records (split with SplitTransfer)", len(f.Records))
 		}
-		buf := make([]byte, 0, 1+2+2+2+4+len(f.Records)*logRecordSize)
+		buf := make([]byte, 0, 1+4+4+4+4+len(f.Records)*logRecordSize)
 		buf = append(buf, FrameLogTransfer)
-		buf = binary.BigEndian.AppendUint16(buf, uint16(f.Host))
-		buf = binary.BigEndian.AppendUint16(buf, uint16(f.FromMSS))
-		buf = binary.BigEndian.AppendUint16(buf, uint16(f.ToMSS))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(f.Host))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(f.FromMSS))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(f.ToMSS))
 		buf = binary.BigEndian.AppendUint32(buf, uint32(len(f.Records)))
 		for _, r := range f.Records {
-			if err := checkU16("record sender", int(r.From)); err != nil {
+			if err := checkU32("record sender", int(r.From)); err != nil {
 				return nil, err
 			}
 			buf = binary.BigEndian.AppendUint64(buf, r.Seq)
 			buf = binary.BigEndian.AppendUint64(buf, r.MsgID)
-			buf = binary.BigEndian.AppendUint16(buf, uint16(r.From))
+			buf = binary.BigEndian.AppendUint32(buf, uint32(r.From))
 			buf = binary.BigEndian.AppendUint64(buf, uint64(r.RecvCount))
 			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(r.At))
 		}
 		return buf, nil
 	case *LogAck:
-		if err := checkU16("host id", int(f.Host)); err != nil {
+		if err := checkU32("host id", int(f.Host)); err != nil {
 			return nil, err
 		}
-		if err := checkU16("station", int(f.MSS)); err != nil {
+		if err := checkU32("station", int(f.MSS)); err != nil {
 			return nil, err
 		}
-		buf := make([]byte, 0, 1+2+2+8)
+		buf := make([]byte, 0, 1+4+4+8)
 		buf = append(buf, FrameLogAck)
-		buf = binary.BigEndian.AppendUint16(buf, uint16(f.Host))
-		buf = binary.BigEndian.AppendUint16(buf, uint16(f.MSS))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(f.Host))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(f.MSS))
 		buf = binary.BigEndian.AppendUint64(buf, f.StableSeq)
 		return buf, nil
 	default:
@@ -131,16 +166,19 @@ func DecodeFrame(b []byte) (any, error) {
 	case FrameApp:
 		return Unmarshal(b[1:])
 	case FrameLogTransfer:
-		const header = 1 + 2 + 2 + 2 + 4
+		const header = 1 + 4 + 4 + 4 + 4
 		if len(b) < header {
 			return nil, fmt.Errorf("wire: truncated log-transfer header: %d bytes", len(b))
 		}
 		f := &LogTransfer{
-			Host:    mobile.HostID(binary.BigEndian.Uint16(b[1:])),
-			FromMSS: mobile.MSSID(binary.BigEndian.Uint16(b[3:])),
-			ToMSS:   mobile.MSSID(binary.BigEndian.Uint16(b[5:])),
+			Host:    mobile.HostID(binary.BigEndian.Uint32(b[1:])),
+			FromMSS: mobile.MSSID(binary.BigEndian.Uint32(b[5:])),
+			ToMSS:   mobile.MSSID(binary.BigEndian.Uint32(b[9:])),
 		}
-		n := binary.BigEndian.Uint32(b[7:])
+		n := binary.BigEndian.Uint32(b[13:])
+		if n > MaxTransferRecords {
+			return nil, fmt.Errorf("wire: log transfer of %d records exceeds frame bound %d", n, MaxTransferRecords)
+		}
 		need := uint64(header) + uint64(n)*logRecordSize
 		if uint64(len(b)) != need {
 			return nil, fmt.Errorf("wire: log transfer of %d records needs %d bytes, have %d", n, need, len(b))
@@ -150,22 +188,22 @@ func DecodeFrame(b []byte) (any, error) {
 			f.Records = append(f.Records, LogRecord{
 				Seq:       binary.BigEndian.Uint64(b[off:]),
 				MsgID:     binary.BigEndian.Uint64(b[off+8:]),
-				From:      mobile.HostID(binary.BigEndian.Uint16(b[off+16:])),
-				RecvCount: int64(binary.BigEndian.Uint64(b[off+18:])),
-				At:        math.Float64frombits(binary.BigEndian.Uint64(b[off+26:])),
+				From:      mobile.HostID(binary.BigEndian.Uint32(b[off+16:])),
+				RecvCount: int64(binary.BigEndian.Uint64(b[off+20:])),
+				At:        math.Float64frombits(binary.BigEndian.Uint64(b[off+28:])),
 			})
 			off += logRecordSize
 		}
 		return f, nil
 	case FrameLogAck:
-		const need = 1 + 2 + 2 + 8
+		const need = 1 + 4 + 4 + 8
 		if len(b) != need {
 			return nil, fmt.Errorf("wire: log ack needs %d bytes, have %d", need, len(b))
 		}
 		return &LogAck{
-			Host:      mobile.HostID(binary.BigEndian.Uint16(b[1:])),
-			MSS:       mobile.MSSID(binary.BigEndian.Uint16(b[3:])),
-			StableSeq: binary.BigEndian.Uint64(b[5:]),
+			Host:      mobile.HostID(binary.BigEndian.Uint32(b[1:])),
+			MSS:       mobile.MSSID(binary.BigEndian.Uint32(b[5:])),
+			StableSeq: binary.BigEndian.Uint64(b[9:]),
 		}, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown frame kind %d", b[0])

@@ -41,7 +41,7 @@ func TestFrameRoundTripLogTransfer(t *testing.T) {
 	if err != nil {
 		t.Fatalf("EncodeFrame: %v", err)
 	}
-	if want := 1 + 2 + 2 + 2 + 4 + 2*logRecordSize; len(b) != want {
+	if want := 1 + 4 + 4 + 4 + 4 + 2*logRecordSize; len(b) != want {
 		t.Fatalf("frame is %d bytes, want %d", len(b), want)
 	}
 	got, err := DecodeFrame(b)
@@ -85,14 +85,106 @@ func TestEncodeFrameRejects(t *testing.T) {
 	cases := []any{
 		42,
 		&LogTransfer{Host: -1},
-		&LogTransfer{Host: 0, FromMSS: math.MaxUint16 + 1},
+		&LogTransfer{Host: 0, FromMSS: math.MaxUint32 + 1},
 		&LogTransfer{Host: 0, Records: []LogRecord{{From: -2}}},
-		&LogAck{Host: math.MaxUint16 + 1},
+		&LogTransfer{Host: 0, Records: make([]LogRecord, MaxTransferRecords+1)},
+		&LogAck{Host: math.MaxUint32 + 1},
 	}
 	for _, v := range cases {
 		if _, err := EncodeFrame(v); err == nil {
 			t.Errorf("EncodeFrame(%+v) accepted", v)
 		}
+	}
+}
+
+// TestFrameHostIDsBeyondU16 pins the widened id space: the original
+// format's u16 ids rejected (or would have truncated) any deployment
+// past 65,536 hosts, which E21 crosses by design.
+func TestFrameHostIDsBeyondU16(t *testing.T) {
+	f := &LogTransfer{
+		Host:    math.MaxUint16 + 7,
+		FromMSS: math.MaxUint16 + 1,
+		ToMSS:   1,
+		Records: []LogRecord{{Seq: 1, MsgID: 2, From: 1 << 20, RecvCount: 3, At: 0.5}},
+	}
+	b, err := EncodeFrame(f)
+	if err != nil {
+		t.Fatalf("EncodeFrame: %v", err)
+	}
+	got, err := DecodeFrame(b)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if !reflect.DeepEqual(got, f) {
+		t.Fatalf("got %+v, want %+v", got, f)
+	}
+	a := &LogAck{Host: 1 << 19, MSS: math.MaxUint32, StableSeq: 9}
+	b, err = EncodeFrame(a)
+	if err != nil {
+		t.Fatalf("EncodeFrame(ack): %v", err)
+	}
+	got, err = DecodeFrame(b)
+	if err != nil {
+		t.Fatalf("DecodeFrame(ack): %v", err)
+	}
+	if !reflect.DeepEqual(got, a) {
+		t.Fatalf("got %+v, want %+v", got, a)
+	}
+	p := &Packet{ID: 3, From: 70_000, To: 999_999, Piggyback: nil}
+	pb, err := EncodeFrame(p)
+	if err != nil {
+		t.Fatalf("EncodeFrame(packet): %v", err)
+	}
+	gp, err := DecodeFrame(pb)
+	if err != nil {
+		t.Fatalf("DecodeFrame(packet): %v", err)
+	}
+	if !reflect.DeepEqual(gp, p) {
+		t.Fatalf("got %+v, want %+v", gp, p)
+	}
+}
+
+func TestSplitTransfer(t *testing.T) {
+	rec := func(n int) []LogRecord {
+		rs := make([]LogRecord, n)
+		for i := range rs {
+			rs[i] = LogRecord{Seq: uint64(i), MsgID: uint64(1000 + i), From: 1, RecvCount: int64(i), At: float64(i)}
+		}
+		return rs
+	}
+	small := &LogTransfer{Host: 1, FromMSS: 0, ToMSS: 1, Records: rec(3)}
+	if got := SplitTransfer(small); len(got) != 1 || got[0] != small {
+		t.Fatalf("small transfer split into %d frames", len(got))
+	}
+	empty := &LogTransfer{Host: 2, FromMSS: 1, ToMSS: 0}
+	if got := SplitTransfer(empty); len(got) != 1 || got[0] != empty {
+		t.Fatalf("empty transfer split into %d frames", len(got))
+	}
+	big := &LogTransfer{Host: 3, FromMSS: 0, ToMSS: 1, Records: rec(2*MaxTransferRecords + 5)}
+	chunks := SplitTransfer(big)
+	if len(chunks) != 3 {
+		t.Fatalf("split into %d chunks, want 3", len(chunks))
+	}
+	var seq uint64
+	for i, c := range chunks {
+		if c.Host != big.Host || c.FromMSS != big.FromMSS || c.ToMSS != big.ToMSS {
+			t.Fatalf("chunk %d lost identity: %+v", i, c)
+		}
+		if i < len(chunks)-1 && len(c.Records) != MaxTransferRecords {
+			t.Fatalf("chunk %d has %d records", i, len(c.Records))
+		}
+		for _, r := range c.Records {
+			if r.Seq != seq {
+				t.Fatalf("chunk %d: seq %d, want %d", i, r.Seq, seq)
+			}
+			seq++
+		}
+		if _, err := EncodeFrame(c); err != nil {
+			t.Fatalf("chunk %d rejected: %v", i, err)
+		}
+	}
+	if seq != uint64(len(big.Records)) {
+		t.Fatalf("chunks cover %d records, want %d", seq, len(big.Records))
 	}
 }
 
@@ -128,6 +220,11 @@ func FuzzFrameRoundTrip(f *testing.F) {
 		&Packet{ID: 2, From: 1, To: 0, Piggyback: protocol.IndexPiggyback(9)},
 		&LogTransfer{Host: 1, FromMSS: 0, ToMSS: 1, Records: []LogRecord{{Seq: 0, MsgID: 5, From: 0, RecvCount: 1, At: 3.5}}},
 		&LogAck{Host: 2, MSS: 1, StableSeq: 17},
+		// Ids past the old u16 ceiling: these frames were unencodable
+		// before the u32 widening.
+		&Packet{ID: 3, From: 70_000, To: 1_000_000, Piggyback: nil},
+		&LogTransfer{Host: 70_000, FromMSS: 65_536, ToMSS: 1, Records: []LogRecord{{Seq: 2, MsgID: 6, From: 99_999, RecvCount: 1, At: 1.5}}},
+		&LogAck{Host: 1 << 20, MSS: 70_001, StableSeq: 4},
 	}
 	for _, v := range seed {
 		b, err := EncodeFrame(v)

@@ -7,11 +7,15 @@
 //
 // Format (big endian):
 //
-//	packet  := id:u64 from:u16 to:u16 piggyback
+//	packet  := id:u64 from:u32 to:u32 piggyback
 //	piggyback := tag:u8 body
 //	  tag 0 (none)   := -
 //	  tag 1 (index)  := sn:i64                         (BCS, QBC)
-//	  tag 2 (vector) := n:u16 ckpt:[n]i64 loc:[n]i64   (TP)
+//	  tag 2 (vector) := n:u32 ckpt:[n]i64 loc:[n]i64   (TP)
+//
+// Host and station ids are u32 on the wire: the u16 ids of the original
+// format silently capped a deployment at 65,536 hosts, a limit the
+// million-host experiments (E21) cross by design.
 package wire
 
 import (
@@ -51,11 +55,11 @@ func AppendPiggyback(buf []byte, pb any) ([]byte, error) {
 		if len(v.Ckpt) != len(v.Loc) {
 			return nil, fmt.Errorf("wire: vector widths differ: %d vs %d", len(v.Ckpt), len(v.Loc))
 		}
-		if len(v.Ckpt) > math.MaxUint16 {
+		if len(v.Ckpt) > math.MaxUint32 {
 			return nil, fmt.Errorf("wire: vector too wide: %d", len(v.Ckpt))
 		}
 		buf = append(buf, TagVector)
-		buf = binary.BigEndian.AppendUint16(buf, uint16(len(v.Ckpt)))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(v.Ckpt)))
 		for _, x := range v.Ckpt {
 			buf = binary.BigEndian.AppendUint64(buf, uint64(int64(x)))
 		}
@@ -83,17 +87,17 @@ func DecodePiggyback(b []byte) (any, int, error) {
 		}
 		return protocol.IndexPiggyback(int64(binary.BigEndian.Uint64(b[1:]))), 9, nil
 	case TagVector:
-		if len(b) < 3 {
+		if len(b) < 5 {
 			return nil, 0, fmt.Errorf("wire: truncated vector header")
 		}
-		n := int(binary.BigEndian.Uint16(b[1:]))
-		need := 3 + 16*n
+		n := int(binary.BigEndian.Uint32(b[1:]))
+		need := 5 + 16*n
 		if len(b) < need {
 			return nil, 0, fmt.Errorf("wire: truncated vectors: have %d, need %d", len(b), need)
 		}
 		ckpt := vclock.New(n, 0)
 		loc := vclock.New(n, 0)
-		off := 3
+		off := 5
 		for i := 0; i < n; i++ {
 			ckpt[i] = int(int64(binary.BigEndian.Uint64(b[off:])))
 			off += 8
@@ -116,17 +120,17 @@ type Packet struct {
 }
 
 // packetHeader is id + from + to.
-const packetHeader = 8 + 2 + 2
+const packetHeader = 8 + 4 + 4
 
 // Marshal encodes the packet.
 func (p *Packet) Marshal() ([]byte, error) {
-	if p.From < 0 || p.From > math.MaxUint16 || p.To < 0 || p.To > math.MaxUint16 {
+	if p.From < 0 || p.From > math.MaxUint32 || p.To < 0 || p.To > math.MaxUint32 {
 		return nil, fmt.Errorf("wire: host id out of range: %d -> %d", p.From, p.To)
 	}
 	buf := make([]byte, 0, packetHeader+8)
 	buf = binary.BigEndian.AppendUint64(buf, p.ID)
-	buf = binary.BigEndian.AppendUint16(buf, uint16(p.From))
-	buf = binary.BigEndian.AppendUint16(buf, uint16(p.To))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(p.From))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(p.To))
 	return AppendPiggyback(buf, p.Piggyback)
 }
 
@@ -138,8 +142,8 @@ func Unmarshal(b []byte) (*Packet, error) {
 	}
 	p := &Packet{
 		ID:   binary.BigEndian.Uint64(b),
-		From: mobile.HostID(binary.BigEndian.Uint16(b[8:])),
-		To:   mobile.HostID(binary.BigEndian.Uint16(b[10:])),
+		From: mobile.HostID(binary.BigEndian.Uint32(b[8:])),
+		To:   mobile.HostID(binary.BigEndian.Uint32(b[12:])),
 	}
 	pb, n, err := DecodePiggyback(b[packetHeader:])
 	if err != nil {

@@ -88,8 +88,8 @@ func TestTrailingBytesDetected(t *testing.T) {
 }
 
 func TestUnknownTagFails(t *testing.T) {
-	b := make([]byte, 13)
-	b[12] = 99
+	b := make([]byte, packetHeader+1)
+	b[packetHeader] = 99
 	if _, err := Unmarshal(b); err == nil {
 		t.Fatal("unknown tag must fail")
 	}
@@ -100,7 +100,13 @@ func TestHostIDRange(t *testing.T) {
 	if _, err := p.Marshal(); err == nil {
 		t.Fatal("negative host id must fail")
 	}
+	// 1<<17 crossed the old u16 ceiling; it is valid since the u32
+	// widening. The new ceiling is u32.
 	p = &Packet{ID: 1, From: 0, To: 1 << 17}
+	if _, err := p.Marshal(); err != nil {
+		t.Fatalf("host id 1<<17 must encode after u32 widening: %v", err)
+	}
+	p = &Packet{ID: 1, From: 0, To: 1 << 33}
 	if _, err := p.Marshal(); err == nil {
 		t.Fatal("oversized host id must fail")
 	}
