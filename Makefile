@@ -10,7 +10,7 @@ GOVULNCHECK_VERSION ?= v1.1.4
 
 SIMLINT_BIN = bin/simlint
 
-.PHONY: all build test test-short race bench bench-smoke bench-scale bench-compare check fmt lint simlint staticcheck-install govulncheck-install fuzz figures results clean FORCE
+.PHONY: all build test test-short race bench bench-smoke bench-scale bench-pdes bench-compare check fmt lint simlint staticcheck-install govulncheck-install fuzz figures results clean FORCE
 
 all: build test
 
@@ -23,11 +23,13 @@ test:
 
 # The CI gate: formatting, lint, vet, build, the full suite under the
 # race detector (the engine tests run with the invariant checker
-# enabled; internal/sim's TestScaleSmoke runs a 50k-host world — the
-# -short suite shrinks it to 5k), a short fuzz smoke of the wire-format
-# decoder, and the observability-overhead bench smoke (one iteration at
-# smoke scale; it asserts that metrics+timeline do not perturb the
-# simulated trace).
+# enabled; internal/sim's TestScaleSmoke runs a 50k-host world twice —
+# sequentially and on the two-lane Time Warp engine, which must agree —
+# and the -short suite shrinks it to 5k; the pdes lane/rollback tests
+# and the cross-engine equivalence suite ride the same -race run), a
+# short fuzz smoke of the wire-format decoder, and the bench smokes
+# (one iteration at smoke scale: obs overhead must not perturb the
+# trace, and every engine must complete the small scale world).
 check: fmt lint
 	$(GO) vet ./...
 	$(GO) build ./...
@@ -72,10 +74,21 @@ govulncheck-install:
 
 FORCE:
 
-# One smoke iteration of the obs-overhead benchmark (-short shrinks the
-# horizon); the full baseline lives in results/BENCH_obs.json.
+# One smoke iteration of the obs-overhead benchmark and of the engine
+# sweep (-short shrinks the horizon and keeps only the smallest world);
+# the full baselines live in results/BENCH_obs.json and
+# results/BENCH_pdes.json.
 bench-smoke:
-	$(GO) test -short -run '^$$' -bench BenchmarkObsOverhead -benchtime 1x .
+	$(GO) test -short -run '^$$' -bench 'BenchmarkObsOverhead|BenchmarkPDES' -benchtime 1x .
+
+# The engine-throughput sweep: sequential vs conservative vs Time Warp
+# over 1e4..1e6 hosts in the E21 scale environment, written to
+# results/BENCH_pdes.json (the committed artifact). The engines are
+# bit-identical — this measures wall clock only. Takes minutes and a few
+# GB of RSS at the million-host points.
+bench-pdes:
+	BENCH_PDES_OUT=$(CURDIR)/results/BENCH_pdes.json \
+		$(GO) test -run '^$$' -bench BenchmarkPDES -benchtime 1x -timeout 60m .
 
 # E21: the scale sweep n = 10 → 1e6 on the calendar queue, writing
 # results/BENCH_scale.json (N_tot rate, piggyback bytes/msg, events/sec,
@@ -122,7 +135,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/live/ ./internal/des/... ./internal/sim/
+	$(GO) test -race ./internal/live/ ./internal/des/... ./internal/pdes/ ./internal/sim/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -31,6 +31,7 @@ import (
 
 	"mobickpt/internal/des"
 	"mobickpt/internal/obs"
+	"mobickpt/internal/pdes"
 	"mobickpt/internal/sim"
 	"mobickpt/internal/stats"
 )
@@ -53,6 +54,8 @@ func main() {
 		scale       = flag.Bool("scale", false, "run the million-host scale sweep (E21) and emit JSON")
 		scaleMax    = flag.Int("scalemax", 1_000_000, "largest host count of the -scale sweep")
 		queue       = flag.String("queue", "heap", "event-queue implementation: heap or calendar (never changes results)")
+		engine      = flag.String("engine", "sequential", "execution engine: sequential, conservative or timewarp (never changes results)")
+		lanes       = flag.Int("lanes", 0, "logical processes for parallel engines; 0 = GOMAXPROCS")
 		metrics     = flag.Bool("metrics", false, "print engine metrics (Prometheus text) to stderr after the run")
 		plot        = flag.Bool("plot", false, "render figures as ASCII log-log charts instead of tables")
 		pcomm       = flag.Float64("pcomm", 0.05, "probability an operation is a communication (calibration knob)")
@@ -66,6 +69,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	em, err := pdes.ParseMode(*engine)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *scale {
 		if err := runScale(*scaleMax, qk, *seed, *outDir); err != nil {
@@ -76,6 +83,8 @@ func main() {
 
 	base := sim.DefaultConfig()
 	base.Queue = qk
+	base.Engine = em
+	base.Lanes = *lanes
 	base.Horizon = des.Time(*horizon)
 	base.Workload.PComm = *pcomm
 	if *metrics {

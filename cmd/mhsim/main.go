@@ -15,6 +15,7 @@ import (
 	"mobickpt/internal/des"
 	"mobickpt/internal/mlog"
 	"mobickpt/internal/obs"
+	"mobickpt/internal/pdes"
 	"mobickpt/internal/sim"
 	"mobickpt/internal/stats"
 )
@@ -41,6 +42,8 @@ func main() {
 		audit      = flag.Bool("audit", false, "run the determinism/ablation audit: re-run each protocol alone and require exact agreement with the shared trace")
 		logMode    = flag.String("log", "off", "MSS message logging: off, pessimistic or optimistic")
 		queue      = flag.String("queue", "heap", "event-queue implementation: heap or calendar (never changes results)")
+		engine     = flag.String("engine", "sequential", "execution engine: sequential, conservative or timewarp (never changes results)")
+		lanes      = flag.Int("lanes", 0, "logical processes for parallel engines; 0 = GOMAXPROCS")
 		logBatch   = flag.Int("logbatch", 0, "optimistic flush batch (0 = mlog default)")
 		metrics    = flag.Bool("metrics", false, "print the run's metrics as Prometheus text after the results (single-run mode)")
 		timeline   = flag.String("timeline", "", "write a per-host Chrome trace-event timeline (Perfetto-loadable) to this file (single-run mode)")
@@ -84,6 +87,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mhsim:", err)
 		os.Exit(2)
 	}
+	cfg.Engine, err = pdes.ParseMode(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mhsim:", err)
+		os.Exit(2)
+	}
+	cfg.Lanes = *lanes
 	if cfg.Checks && mode != mlog.Off {
 		// The log-reconciliation invariants compare the log against the
 		// recorded trace.
@@ -93,7 +102,8 @@ func main() {
 	for _, p := range strings.Split(*protos, ",") {
 		cfg.Protocols = append(cfg.Protocols, sim.ProtocolName(strings.TrimSpace(p)))
 	}
-	if *verbose {
+	if *verbose && cfg.Engine == pdes.ModeSequential {
+		// Parallel runs have no single clock to report against.
 		cfg.Progress = func(now des.Time, fired uint64) {
 			fmt.Fprintf(os.Stderr, "mhsim: t=%.0f/%.0f (%.0f%%) events=%d\n",
 				float64(now), float64(cfg.Horizon), 100*float64(now)/float64(cfg.Horizon), fired)
@@ -217,5 +227,9 @@ func printRun(res *sim.Result, verbose bool) {
 			fmt.Printf("%s energy: %s  storage: %+v\n", pr.Name, pr.Energy, pr.Storage)
 		}
 		fmt.Printf("DES events fired: %d\n", res.EventsFired)
+		if st := res.PDES; st != nil {
+			fmt.Printf("pdes: mode=%s lanes=%d processed=%d windows=%d serial=%d fences=%d global=%d efficiency=%.3f\n",
+				st.Mode, st.Lanes, st.Processed, st.Windows, st.SerialSteps, st.WriteFences, st.GlobalEvents, st.Efficiency)
+		}
 	}
 }

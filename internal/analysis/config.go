@@ -36,10 +36,15 @@ type scope struct {
 //     itself. The engine exemption is the root package only: the queue
 //     implementations under internal/des/equeue are ordinary code that
 //     must honour the scheduler contracts like everyone else.
+//   - internal/pdes is in scope for all three contract analyzers: a
+//     wall-clock read in a lane would destroy bit-identical replays
+//     (detlint), its lane shards recycle the shared message/payload
+//     pools like any sim client (poollint), and the lane-handler rule
+//     reaches its clients through schedlint's "*" include.
 func DefaultConfig() Config {
 	return Config{scopes: map[string]scope{
 		"detlint": {include: []string{
-			"internal/des/...", "internal/sim", "internal/protocol",
+			"internal/des/...", "internal/pdes", "internal/sim", "internal/protocol",
 			"internal/mobile", "internal/workload", "internal/mlog",
 			"internal/recovery", "internal/check", "internal/trace",
 			"internal/stats", "internal/vclock", "internal/statestore",
@@ -48,7 +53,7 @@ func DefaultConfig() Config {
 		}},
 		"maporder": {include: []string{"*"}, exclude: []string{"examples/..."}},
 		"poollint": {include: []string{
-			"internal/sim", "internal/protocol", "internal/mlog",
+			"internal/sim", "internal/pdes", "internal/protocol", "internal/mlog",
 			"internal/recovery", "internal/workload", "internal/check",
 			"internal/trace", "internal/des/equeue",
 		}},

@@ -15,6 +15,7 @@ func TestDefaultConfigScopes(t *testing.T) {
 		{"detlint", "mobickpt/internal/sim", true},
 		{"detlint", "mobickpt/internal/des", true},
 		{"detlint", "mobickpt/internal/des/proc", true}, // subtree pattern
+		{"detlint", "mobickpt/internal/pdes", true},     // parallel engine: lane code must stay clock-free
 		{"detlint", "mobickpt/internal/protocol", true},
 		{"detlint", "mobickpt/internal/mlog", true},
 		{"detlint", "mobickpt/internal/obs", true},
@@ -45,6 +46,8 @@ func TestDefaultConfigScopes(t *testing.T) {
 		{"schedlint", "mobickpt/internal/mobile", true},
 		{"schedlint", "mobickpt/internal/des", false},
 		{"schedlint", "mobickpt/internal/des/equeue", true},
+		{"schedlint", "mobickpt/internal/pdes", true}, // lane-handler rule polices pdes clients and the engine's tests alike
+		{"poollint", "mobickpt/internal/pdes", true},  // lane shards recycle shared pools like any sim client
 
 		// Unknown analyzers are in scope nowhere.
 		{"speedlint", "mobickpt/internal/sim", false},

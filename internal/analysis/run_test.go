@@ -8,11 +8,11 @@ import (
 )
 
 // TestSeededViolationsFail drives the real loader over the scratch
-// module under testdata/module: the deliberately seeded wall-clock read
-// and map-order print must surface as findings, proving the gate can
-// actually fail a build.
+// module under testdata/module: the deliberately seeded wall-clock read,
+// map-order print and lane-handler global schedule must surface as
+// findings, proving the gate can actually fail a build.
 func TestSeededViolationsFail(t *testing.T) {
-	cfg, err := analysis.ParseConfig("detlint: *\nmaporder: *")
+	cfg, err := analysis.ParseConfig("detlint: *\nmaporder: *\nschedlint: *")
 	if err != nil {
 		t.Fatalf("ParseConfig: %v", err)
 	}
@@ -20,17 +20,20 @@ func TestSeededViolationsFail(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
-	var haveDet, haveMap bool
+	var haveDet, haveMap, haveSched bool
 	for _, f := range findings {
 		switch f.Analyzer {
 		case "detlint":
 			haveDet = haveDet || strings.Contains(f.Message, "time.Now")
 		case "maporder":
 			haveMap = haveMap || strings.Contains(f.Message, "map")
+		case "schedlint":
+			haveSched = haveSched || strings.Contains(f.Message, "pdes lane handler")
 		}
 	}
-	if !haveDet || !haveMap {
-		t.Fatalf("seeded violations not all found (detlint=%v, maporder=%v): %v", haveDet, haveMap, findings)
+	if !haveDet || !haveMap || !haveSched {
+		t.Fatalf("seeded violations not all found (detlint=%v, maporder=%v, schedlint=%v): %v",
+			haveDet, haveMap, haveSched, findings)
 	}
 }
 

@@ -17,7 +17,9 @@ var Schedlint = &Analyzer{
 	Doc: "enforce internal/des scheduler contracts: no zero-value Event " +
 		"construction outside the engine, no constant negative delays/times, " +
 		"no Cancel of an event from inside its own handler (the event is " +
-		"recycled the moment the handler fires)",
+		"recycled the moment the handler fires), and no direct des.Simulator " +
+		"scheduling inside a pdes lane handler (lane handlers run " +
+		"concurrently; the global queue is only safe world-stopped)",
 	Run: runSchedlint,
 }
 
@@ -42,6 +44,7 @@ func runSchedlint(pass *Pass) error {
 			case *ast.CallExpr:
 				checkNewEvent(pass, node)
 				checkNegativeDelay(pass, node)
+				checkLaneHandlerSched(pass, node)
 			case *ast.AssignStmt:
 				checkSelfCancel(pass, node)
 			}
@@ -100,6 +103,47 @@ func checkNegativeDelay(pass *Pass, call *ast.CallExpr) {
 			pass.Reportf(arg.Pos(),
 				"constant negative time/delay passed to Simulator.%s: the engine panics on events scheduled in the past", method)
 		}
+	}
+}
+
+// checkLaneHandlerSched flags des.Simulator scheduling calls made from
+// inside a handler literal passed to pdes.Core.Schedule:
+//
+//	core.Schedule(e, o, t, func(s *des.Simulator, now des.Time, arg any) {
+//		... s.ScheduleArg(...) ...
+//	}, arg, false)
+//
+// A lane handler runs concurrently with the other lanes while the global
+// des.Simulator queue is single-threaded and only touched world-stopped;
+// pushing into it from a lane corrupts the heap. Lane handlers must
+// schedule through the lane-aware path (pdes.Core.Schedule, reached via
+// the des.Sched the engine wires up).
+func checkLaneHandlerSched(pass *Pass, call *ast.CallExpr) {
+	recvPath, recvType, method, ok := methodCall(pass.TypesInfo, call)
+	if !ok || !pathIs(recvPath, "pdes") || recvType != "Core" || method != "Schedule" {
+		return
+	}
+	for _, arg := range call.Args {
+		lit, isLit := arg.(*ast.FuncLit)
+		if !isLit {
+			continue
+		}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			inner, isInner := n.(*ast.CallExpr)
+			if !isInner {
+				return true
+			}
+			m, isSim := simulatorMethod(pass, inner)
+			if !isSim {
+				return true
+			}
+			if _, scheduling := delayArg[m]; !scheduling {
+				return true
+			}
+			pass.Reportf(inner.Pos(),
+				"des.Simulator.%s called inside a pdes lane handler: the global queue is not lane-safe; schedule through pdes.Core.Schedule (the lane's des.Sched) instead", m)
+			return true
+		})
 	}
 }
 

@@ -1,0 +1,8 @@
+// Package pdes is the scratch module's stub of the parallel engine.
+package pdes
+
+import "scratch/des"
+
+type Core struct{}
+
+func (c *Core) Schedule(emitter, owner int, at des.Time, fn des.ArgHandler, arg any, write bool) {}

@@ -6,6 +6,9 @@ package scratch
 import (
 	"fmt"
 	"time"
+
+	"scratch/des"
+	"scratch/pdes"
 )
 
 // Stamp reads the wall clock: detlint must flag it.
@@ -18,4 +21,12 @@ func Dump(m map[string]int) {
 	for k, v := range m {
 		fmt.Println(k, v)
 	}
+}
+
+// LaneEscape schedules on the global simulator from inside a pdes lane
+// handler: schedlint must flag it.
+func LaneEscape(c *pdes.Core) {
+	c.Schedule(0, 0, 1, func(s *des.Simulator, now des.Time, arg any) {
+		s.ScheduleArg(2, "escape", nil, nil)
+	}, nil, false)
 }

@@ -1,6 +1,9 @@
 package sched_bad
 
-import "des"
+import (
+	"des"
+	"pdes"
+)
 
 func zeroValue(s *des.Simulator) {
 	e := des.Event{} // want "zero-value des.Event constructed outside the engine"
@@ -27,4 +30,13 @@ func selfCancel(s *des.Simulator) {
 		s.Cancel(ev) // want "ev is cancelled from inside its own handler"
 	})
 	_ = ev
+}
+
+func laneHandlerGlobalSchedule(c *pdes.Core, s *des.Simulator) {
+	c.Schedule(0, 0, 10, func(s *des.Simulator, now des.Time, arg any) {
+		s.ScheduleArg(20, "global", nil, nil)                     // want "des.Simulator.ScheduleArg called inside a pdes lane handler"
+		s.After(1, "tick", func(s *des.Simulator, now des.Time) { // want "des.Simulator.After called inside a pdes lane handler"
+			s.Schedule(30, "nested", nil) // want "des.Simulator.Schedule called inside a pdes lane handler"
+		})
+	}, nil, false)
 }

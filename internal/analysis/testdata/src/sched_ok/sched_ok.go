@@ -1,6 +1,9 @@
 package sched_ok
 
-import "des"
+import (
+	"des"
+	"pdes"
+)
 
 // Events come from the Simulator pool: the sanctioned constructors.
 func schedule(s *des.Simulator) *des.Event {
@@ -34,4 +37,19 @@ func cancelOther(s *des.Simulator) {
 func reschedule(s *des.Simulator) {
 	ev := s.After(1, "r", nil)
 	s.Reschedule(ev, 20)
+}
+
+// A lane handler schedules through the Core — the lane-safe path.
+func laneHandlerViaCore(c *pdes.Core) {
+	c.Schedule(0, 1, 10, func(s *des.Simulator, now des.Time, arg any) {
+		c.Schedule(1, 1, now+5, nil, nil, false)
+		_ = c.Now(1)
+	}, nil, false)
+}
+
+// Outside a lane handler the global queue is fair game (pre-run setup
+// and world-stopped global events are single-threaded).
+func globalPhaseSchedule(c *pdes.Core, s *des.Simulator) {
+	s.ScheduleArg(10, "setup", nil, nil)
+	c.Schedule(0, 0, 20, nil, nil, false)
 }

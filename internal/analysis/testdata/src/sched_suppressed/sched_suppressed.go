@@ -1,6 +1,9 @@
 package sched_suppressed
 
-import "des"
+import (
+	"des"
+	"pdes"
+)
 
 // The engine's own panic-path tests deliberately schedule into the past.
 func panicPath(s *des.Simulator) {
@@ -10,4 +13,19 @@ func panicPath(s *des.Simulator) {
 // Without the annotation the same call fires.
 func stillCaught(s *des.Simulator) {
 	s.After(-1, "oops", nil) // want "constant negative time/delay passed to Simulator.After"
+}
+
+// The engine's own world-stopped bridge reaches the global queue from a
+// handler body by design; the annotation documents the invariant.
+func worldStoppedBridge(c *pdes.Core) {
+	c.Schedule(0, 0, 5, func(s *des.Simulator, now des.Time, arg any) {
+		s.Schedule(10, "bridge", nil) //lint:allow simlint/schedlint runs world-stopped: the coordinator quiesced every lane first
+	}, nil, false)
+}
+
+// Without the annotation the same call fires.
+func laneStillCaught(c *pdes.Core) {
+	c.Schedule(0, 0, 5, func(s *des.Simulator, now des.Time, arg any) {
+		s.Schedule(10, "oops", nil) // want "des.Simulator.Schedule called inside a pdes lane handler"
+	}, nil, false)
 }

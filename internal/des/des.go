@@ -284,6 +284,27 @@ func (s *Simulator) ScheduleArg(at Time, label string, fn ArgHandler, arg any) {
 	s.queue.Push(&e.ent)
 }
 
+// ScheduleArgKeyed is ScheduleArg with a caller-supplied tie-break key
+// in place of the FIFO sequence number. The parallel engine orders each
+// lane's events by (time, emitter key) — a pure function of the event
+// population — and the sequential engine must break ties identically for
+// a parallel run to be bit-identical to it, which insertion order cannot
+// provide (it is not reconstructible across lanes). Keys carry bit 63
+// (see KeyFor), so among simultaneous events every FIFO-numbered event
+// fires before every keyed one — the same global-first rule the parallel
+// drivers apply between the global timeline and the lanes.
+func (s *Simulator) ScheduleArgKeyed(at Time, key uint64, label string, fn ArgHandler, arg any) {
+	s.checkAt(at, label)
+	if fn == nil {
+		panic("des: nil handler")
+	}
+	e := s.acquire(at, label, true)
+	e.ent.Seq = key
+	e.argFn = fn
+	e.arg = arg
+	s.queue.Push(&e.ent)
+}
+
 // ScheduleArgAfter is ScheduleArg with a relative delay.
 func (s *Simulator) ScheduleArgAfter(delay Time, label string, fn ArgHandler, arg any) {
 	if delay < 0 {
@@ -417,6 +438,17 @@ func (s *Simulator) Run(horizon Time) uint64 {
 		s.now = horizon
 	}
 	return s.fired - start
+}
+
+// NextTime returns the firing time of the earliest pending event, or
+// false when the queue is empty. It never fires anything; the parallel
+// kernel uses it to interleave the global timeline with the lanes.
+func (s *Simulator) NextTime() (Time, bool) {
+	ent := s.queue.Peek()
+	if ent == nil {
+		return 0, false
+	}
+	return Time(ent.At), true
 }
 
 // Step executes exactly one event if any is queued, regardless of horizon,

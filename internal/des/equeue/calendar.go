@@ -151,6 +151,35 @@ func (c *Calendar) Pop() *Entry {
 	return c.take(bestB, best)
 }
 
+// Peek returns the minimum entry without removing it, or nil when
+// empty. It runs Pop's sweep (including the far-future fallback) but
+// leaves the entry chained; advancing cur to the found slot is safe
+// because the found entry is a global minimum, so every queued entry's
+// slot stays >= cur.
+func (c *Calendar) Peek() *Entry {
+	if c.n == 0 {
+		return nil
+	}
+	cur := c.cur
+	for k := 0; k < len(c.buckets); k++ {
+		b := &c.buckets[cur&c.mask]
+		if h := b.head; h != nil && c.slotOf(h.At) <= cur {
+			c.cur = cur
+			return h
+		}
+		cur++
+	}
+	var best *Entry
+	for i := range c.buckets {
+		b := &c.buckets[i]
+		if b.head != nil && (best == nil || b.head.before(best)) {
+			best = b.head
+		}
+	}
+	c.cur = c.slotOf(best.At)
+	return best
+}
+
 // take unlinks the head h of bucket b and returns it.
 func (c *Calendar) take(b *calBucket, h *Entry) *Entry {
 	b.head = h.next

@@ -66,6 +66,9 @@ type Queue interface {
 	Push(e *Entry)
 	// Pop removes and returns the minimum entry, or nil when empty.
 	Pop() *Entry
+	// Peek returns the minimum entry without removing it, or nil when
+	// empty. The caller must not mutate the returned entry.
+	Peek() *Entry
 	// Remove unlinks e if it is actually queued here, reporting whether
 	// it did. Stale or foreign handles return false without side
 	// effects.

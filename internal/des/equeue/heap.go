@@ -43,6 +43,14 @@ func (h *Heap) Pop() *Entry {
 	return e
 }
 
+// Peek returns the minimum entry without removing it, or nil when empty.
+func (h *Heap) Peek() *Entry {
+	if len(h.s) == 0 {
+		return nil
+	}
+	return h.s[0]
+}
+
 // Remove unlinks e if it is actually queued here. The identity check
 // (the slot e claims must hold e itself) makes stale handles — events
 // that already fired, or whose slot was since reused — a safe no-op.

@@ -25,8 +25,9 @@ func (n *Network) SwitchCell(id HostID, to MSSID) error {
 	}
 
 	// Two hand-off control messages (leave + join), each over wireless.
-	n.counters.CtrlMessages += 2
-	n.counters.WirelessHops += 2
+	c := &n.counters[n.lane(id)].Counters
+	c.CtrlMessages += 2
+	c.WirelessHops += 2
 
 	n.stations[from].members--
 	n.stations[to].members++
@@ -36,7 +37,7 @@ func (n *Network) SwitchCell(id HostID, to MSSID) error {
 	n.updateLocation(id, to)
 
 	if n.hooks.OnCellSwitch != nil {
-		n.hooks.OnCellSwitch(n.sim.Now(), h, from, to)
+		n.hooks.OnCellSwitch(n.sched.Now(int(id)), h, from, to)
 	}
 	return nil
 }
@@ -53,8 +54,9 @@ func (n *Network) Disconnect(id HostID) error {
 	if !h.connected {
 		return fmt.Errorf("mobile: host %d is already disconnected", id)
 	}
-	n.counters.CtrlMessages++
-	n.counters.WirelessHops++
+	c := &n.counters[n.lane(id)].Counters
+	c.CtrlMessages++
+	c.WirelessHops++
 
 	n.stations[h.mss].members--
 	h.lastMSS = h.mss
@@ -63,7 +65,7 @@ func (n *Network) Disconnect(id HostID) error {
 	h.disconnects++
 
 	if n.hooks.OnDisconnect != nil {
-		n.hooks.OnDisconnect(n.sim.Now(), h)
+		n.hooks.OnDisconnect(n.sched.Now(int(id)), h)
 	}
 	return nil
 }
@@ -81,8 +83,9 @@ func (n *Network) Reconnect(id HostID, at MSSID) error {
 	if at < 0 || int(at) >= len(n.stations) {
 		return fmt.Errorf("mobile: host %d reconnecting at unknown station %d", id, at)
 	}
-	n.counters.CtrlMessages++
-	n.counters.WirelessHops++
+	c := &n.counters[n.lane(id)].Counters
+	c.CtrlMessages++
+	c.WirelessHops++
 
 	h.mss = at
 	h.connected = true
@@ -96,19 +99,21 @@ func (n *Network) Reconnect(id HostID, at MSSID) error {
 		if h.lastMSS != at {
 			// The parked messages follow the host over the wired network.
 			delay = n.cfg.WiredLatency
-			n.counters.WiredHops++
+			c.WiredHops++
 			m.Hops++
 		}
 		// Ride the pooled arrive trampoline (the target station travels
 		// in m.route) instead of allocating one closure per parked
 		// message — reconnect storms at large n stay allocation-free.
+		// Parked messages are addressed to this host, so the flush is a
+		// self-schedule on its own timeline.
 		m.route = at
-		n.sim.ScheduleArgAfter(delay, "flush-parked", n.arriveFn, m)
+		n.sched.ScheduleArgAfter(int(id), delay, "flush-parked", n.arriveFn, m)
 	}
 	h.lastMSS = at
 
 	if n.hooks.OnReconnect != nil {
-		n.hooks.OnReconnect(n.sim.Now(), h, at)
+		n.hooks.OnReconnect(n.sched.Now(int(id)), h, at)
 	}
 	return nil
 }

@@ -35,18 +35,21 @@ func (m *Message) String() string {
 // cell is a FIFO server — concurrent transmissions queue, which is the
 // "high channel contention" of §2.1 point (b). Queueing time is
 // accumulated in Counters.ContentionDelay.
-func (n *Network) reserveWireless(st MSSID) des.Time {
-	n.counters.WirelessHops++
-	now := n.sim.Now()
+// lane is the executing lane (the shard for the hop counters) and now
+// the executing timeline's current time.
+func (n *Network) reserveWireless(st MSSID, lane int, now des.Time) des.Time {
+	c := &n.counters[lane].Counters
+	c.WirelessHops++
 
 	// At-least-once loss model: each attempt is lost independently; the
 	// sender retries after the timeout, so a hop with k losses costs
 	// k*(latency+timeout) extra. The hop always completes eventually
-	// (LossProbability < 1).
+	// (LossProbability < 1). The shared variate stream keeps this model
+	// sequential-only (NewSched rejects it for lanes > 1).
 	var retryCost des.Time
 	if n.cfg.LossProbability > 0 && n.loss != nil {
 		for n.loss.Bernoulli(n.cfg.LossProbability) {
-			n.counters.Retransmissions++
+			c.Retransmissions++
 			retryCost += n.cfg.WirelessLatency + n.cfg.RetransmitTimeout
 		}
 	}
@@ -60,7 +63,7 @@ func (n *Network) reserveWireless(st MSSID) des.Time {
 	}
 	end := start + retryCost + n.cfg.WirelessLatency
 	n.busy[st] = end
-	n.counters.ContentionDelay += start - now
+	c.ContentionDelay += start - now
 	return end
 }
 
@@ -83,38 +86,42 @@ func (n *Network) Send(from, to HostID, payload any) (*Message, error) {
 	if from == to {
 		return nil, fmt.Errorf("mobile: host %d sending to itself", from)
 	}
+	lane := n.lane(from) // Send executes on the sender's timeline
 	var m *Message
-	if k := len(n.msgFree); k > 0 {
-		m = n.msgFree[k-1]
-		n.msgFree[k-1] = nil
-		n.msgFree = n.msgFree[:k-1]
+	free := n.msgFree[lane]
+	if k := len(free); k > 0 {
+		m = free[k-1]
+		free[k-1] = nil
+		n.msgFree[lane] = free[:k-1]
 		*m = Message{}
 	} else {
 		m = &Message{}
 	}
-	m.ID = n.nextMsg
+	now := n.sched.Now(int(from))
+	m.ID = n.nextMsg.Add(1) - 1
 	m.From = from
 	m.To = to
-	m.SentAt = n.sim.Now()
+	m.SentAt = now
 	m.Payload = payload
-	n.nextMsg++
-	n.counters.AppMessages++
+	n.counters[lane].AppMessages++
 
 	// Uplink into the sender's cell.
 	m.Hops++
-	atMSS := n.reserveWireless(src.mss)
+	atMSS := n.reserveWireless(src.mss, lane, now)
 
 	// The sender's MSS locates the recipient and forwards over the wired
 	// network if the recipient is (believed to be) in another cell.
-	dstMSS := n.Locate(to)
+	dstMSS := n.locateFrom(to, lane)
 	if dstMSS != src.mss {
-		n.counters.WiredHops++
+		n.counters[lane].WiredHops++
 		m.Hops++
 		atMSS += n.cfg.WiredLatency
 	}
 
+	// The arrival runs on the recipient's timeline; the uplink latency is
+	// the wireless lookahead bound every cross-lane hop respects.
 	m.route = dstMSS
-	n.sim.ScheduleArg(atMSS, "at-mss", n.arriveFn, m)
+	n.sched.Route(int(from), int(to), atMSS, "at-mss", n.arriveFn, m)
 	return m, nil
 }
 
@@ -124,27 +131,29 @@ func (n *Network) Send(from, to HostID, payload any) (*Message, error) {
 // appended to the inbox when the transmission completes.
 func (n *Network) arrive(m *Message, at MSSID, now des.Time) {
 	dst := n.host(m.To)
+	lane := n.lane(m.To) // arrivals execute on the recipient's timeline
 	if !dst.connected {
 		m.ArrivedAt = now
-		n.counters.Parked++
+		n.counters[lane].Parked++
 		dst.parked = append(dst.parked, m)
 		return
 	}
 	if dst.mss != at {
 		// The host switched cells while the message was in flight: the
 		// old MSS forwards it to the current one.
-		n.counters.Forwards++
-		n.counters.WiredHops++
+		c := &n.counters[lane].Counters
+		c.Forwards++
+		c.WiredHops++
 		m.Hops++
 		m.route = dst.mss
-		n.sim.ScheduleArgAfter(n.cfg.WiredLatency, "forward", n.arriveFn, m)
+		n.sched.ScheduleArgAfter(int(m.To), n.cfg.WiredLatency, "forward", n.arriveFn, m)
 		return
 	}
 	// Downlink into the recipient's cell.
 	m.Hops++
-	done := n.reserveWireless(at)
+	done := n.reserveWireless(at, lane, now)
 	m.route = at
-	n.sim.ScheduleArg(done, "downlink", n.downlinkFn, m)
+	n.sched.ScheduleArg(int(m.To), done, "downlink", n.downlinkFn, m)
 }
 
 // finishDownlink completes message m's downlink transmission into the
@@ -189,9 +198,9 @@ func (n *Network) TryReceive(id HostID) *Message {
 		h.inbox = h.inbox[:live]
 		h.inboxHead = 0
 	}
-	n.counters.Delivered++
+	n.counters[n.lane(id)].Delivered++
 	if n.hooks.OnDeliver != nil {
-		n.hooks.OnDeliver(n.sim.Now(), h, m)
+		n.hooks.OnDeliver(n.sched.Now(int(id)), h, m)
 	}
 	return m
 }
@@ -200,10 +209,14 @@ func (n *Network) TryReceive(id HostID) *Message {
 // is an explicit opt-in for callers (the sim engine) that fully own the
 // message once OnDeliver has run and retain no reference to it; callers
 // that keep delivered messages simply never call Recycle.
+// Recycle executes on the receiver's timeline, so the message returns to
+// the receiver's lane's free list; the object migrates lanes with the
+// traffic, which is fine — ownership travels with the message.
 func (n *Network) Recycle(m *Message) {
 	if m == nil {
 		return
 	}
 	m.Payload = nil
-	n.msgFree = append(n.msgFree, m)
+	lane := n.lane(m.To)
+	n.msgFree[lane] = append(n.msgFree[lane], m)
 }

@@ -20,6 +20,7 @@ package mobile
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"mobickpt/internal/des"
 )
@@ -198,9 +199,20 @@ const (
 	hostShardMask = hostShardSize - 1
 )
 
-// Network binds hosts and stations to a DES simulator.
+// laneCounters is one lane's private Counters shard, padded so adjacent
+// lanes' hot counters do not share a cache line.
+type laneCounters struct {
+	Counters
+	_ [40]byte
+}
+
+// Network binds hosts and stations to a scheduling surface (des.Sched):
+// the sequential simulator via des.Solo, or a parallel lane kernel. Every
+// event the network schedules names the acting host as its owner, which
+// is what lets the parallel engines partition the event population.
 type Network struct {
-	sim      *des.Simulator
+	sched    des.Sched
+	lanes    int // counter/pool shard count; 1 for sequential runs
 	cfg      Config
 	shards   [][]Host // sharded flat host arena, indexed by HostID
 	numHosts int
@@ -210,8 +222,8 @@ type Network struct {
 	busy     []des.Time // per-station wireless channel busy-until (contention model)
 	loss     lossSource // variate source for the loss model; nil when disabled
 	hooks    Hooks
-	counters Counters
-	nextMsg  uint64
+	counters []laneCounters // sharded by executing lane, merged in Counters()
+	nextMsg  atomic.Uint64
 
 	// Routing trampolines for the pooled-event fast path: one long-lived
 	// handler per leg instead of one closure per message hop. The moving
@@ -220,18 +232,42 @@ type Network struct {
 	downlinkFn des.ArgHandler
 
 	// msgFree recycles Message structs returned via Recycle (an explicit
-	// caller opt-in; the network never recycles on its own).
-	msgFree []*Message
+	// caller opt-in; the network never recycles on its own). One free list
+	// per lane: Send pops on the sender's lane, Recycle pushes on the
+	// receiver's — each list is only ever touched by its lane's goroutine.
+	msgFree [][]*Message
 }
 
 // New creates a network in which host i starts connected to station
 // i mod r (a deterministic initial placement; callers can move hosts
-// before starting the clock).
+// before starting the clock). It binds the network to a sequential
+// simulator; parallel engines use NewSched.
 func New(sim *des.Simulator, cfg Config, hooks Hooks) (*Network, error) {
+	return NewSched(des.Solo(sim), 1, cfg, hooks)
+}
+
+// NewSched creates a network driven through an arbitrary scheduling
+// surface, sharding its counters and pools across lanes goroutines
+// (hosts map to shards by id % lanes, matching the parallel kernel's
+// owner-to-lane mapping). The contention and loss models mutate
+// cross-cell shared state on the message hot path and are therefore
+// sequential-only.
+func NewSched(sched des.Sched, lanes int, cfg Config, hooks Hooks) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	n := &Network{sim: sim, cfg: cfg, hooks: hooks}
+	if lanes < 1 {
+		return nil, fmt.Errorf("mobile: lanes = %d, need >= 1", lanes)
+	}
+	if lanes > 1 && cfg.Contention {
+		return nil, fmt.Errorf("mobile: contention model requires sequential execution (lanes = %d)", lanes)
+	}
+	if lanes > 1 && cfg.LossProbability > 0 {
+		return nil, fmt.Errorf("mobile: loss model requires sequential execution (lanes = %d)", lanes)
+	}
+	n := &Network{sched: sched, lanes: lanes, cfg: cfg, hooks: hooks}
+	n.counters = make([]laneCounters, lanes)
+	n.msgFree = make([][]*Message, lanes)
 	n.arriveFn = func(sim *des.Simulator, now des.Time, arg any) {
 		m := arg.(*Message)
 		n.arrive(m, m.route, now)
@@ -294,8 +330,32 @@ func (n *Network) NumStations() int { return len(n.stations) }
 // NumHosts can compare generations to detect joins without hooks.
 func (n *Network) Generation() uint64 { return n.gen }
 
-// Counters returns a snapshot of the accumulated activity counters.
-func (n *Network) Counters() Counters { return n.counters }
+// lane maps a host to its counter/pool shard, mirroring the parallel
+// kernel's owner-to-lane mapping. Shard safety relies on callers passing
+// the host whose timeline is executing, not an arbitrary peer.
+func (n *Network) lane(id HostID) int { return int(id) % n.lanes }
+
+// Counters returns a snapshot of the accumulated activity counters,
+// merged across lane shards. Call it only while the lanes are quiescent
+// (after the run, or from the world-stopped global phase).
+func (n *Network) Counters() Counters {
+	c := n.counters[0].Counters
+	for i := 1; i < len(n.counters); i++ {
+		s := &n.counters[i].Counters
+		c.AppMessages += s.AppMessages
+		c.CtrlMessages += s.CtrlMessages
+		c.WirelessHops += s.WirelessHops
+		c.WiredHops += s.WiredHops
+		c.Forwards += s.Forwards
+		c.Parked += s.Parked
+		c.Delivered += s.Delivered
+		c.LocationQueries += s.LocationQueries
+		c.LocationUpdates += s.LocationUpdates
+		c.ContentionDelay += s.ContentionDelay
+		c.Retransmissions += s.Retransmissions
+	}
+	return c
+}
 
 // lossSource is the slice of randomness the loss model needs; satisfied
 // by *rng.Source without importing it (keeping mobile free of policy
@@ -312,21 +372,29 @@ func (n *Network) SetLossSource(src lossSource) { n.loss = src }
 
 // Locate consults the home-agent directory for the believed station of
 // host id, counting one location query. The paper's point (d): locating
-// a roaming host has a cost.
-func (n *Network) Locate(id HostID) MSSID {
-	n.counters.LocationQueries++
+// a roaming host has a cost. In parallel runs it may only be called from
+// the world-stopped global phase (the marker loop); lane handlers go
+// through locateFrom so the counter lands on the executing lane's shard.
+func (n *Network) Locate(id HostID) MSSID { return n.locateFrom(id, 0) }
+
+// locateFrom is Locate executing on lane's goroutine.
+func (n *Network) locateFrom(id HostID, lane int) MSSID {
+	n.counters[lane].LocationQueries++
 	return n.homes[id]
 }
 
-// updateLocation records host id's new station at its home agent.
+// updateLocation records host id's new station at its home agent. Its
+// callers (hand-off, reconnect, join) run under full exclusion — the
+// directory write is never concurrent with Send's directory reads.
 func (n *Network) updateLocation(id HostID, at MSSID) {
-	n.counters.LocationUpdates++
-	n.counters.CtrlMessages++
+	c := &n.counters[n.lane(id)].Counters
+	c.LocationUpdates++
+	c.CtrlMessages++
 	if n.homes[id] != at {
 		// Crossing to the home agent costs a wired hop unless the host's
 		// home is the station it just joined.
 		if MSSID(int(id)%n.cfg.NumMSS) != at {
-			n.counters.WiredHops++
+			c.WiredHops++
 		}
 	}
 	n.homes[id] = at
@@ -347,8 +415,9 @@ func (n *Network) AddHost(at MSSID) (HostID, error) {
 	h := n.newHost(at)
 	n.stations[at].members++
 	n.homes = append(n.homes, at)
-	n.counters.CtrlMessages++
-	n.counters.WirelessHops++
-	n.counters.LocationUpdates++
+	c := &n.counters[0].Counters // joins run single-threaded (global phase)
+	c.CtrlMessages++
+	c.WirelessHops++
+	c.LocationUpdates++
 	return h.ID, nil
 }

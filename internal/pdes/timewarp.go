@@ -1,0 +1,631 @@
+package pdes
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mobickpt/internal/des"
+	"mobickpt/internal/des/equeue"
+)
+
+// Msg is the plain-data event of a reversible model: entity Src emits
+// it, entity Dst executes it at virtual time At. Plain data is what
+// makes optimism recoverable — an unexecuted message can be thrown away
+// and an executed one undone by restoring state, neither of which holds
+// for arbitrary closures.
+type Msg struct {
+	At   float64
+	Src  int32
+	Dst  int32
+	Kind int32
+	Data int64
+}
+
+// Model is a reversible simulation the Kernel can run optimistically.
+// Entities are numbered 0..Entities-1 and partitioned over lanes by
+// entity % Lanes; each lane's state shard must be touched only by
+// events whose Dst lives on that lane.
+//
+// Requirements the Kernel cannot check: Execute must be deterministic
+// (same state + same message = same sends), must set Src of every
+// outgoing message to the executing entity, and must use strictly
+// positive send delays. Save must return a snapshot Restore can apply
+// any number of times (no aliasing of live state).
+type Model interface {
+	// Init schedules the initial messages through Kernel.Send. It runs
+	// single-threaded before the lanes start.
+	Init(k *Kernel)
+	// Execute processes m on its lane, mutating lane-local state and
+	// emitting follow-up messages through Kernel.Send.
+	Execute(k *Kernel, lane int, m Msg)
+	// Save snapshots the lane's state shard; Restore applies one.
+	Save(lane int) any
+	Restore(lane int, state any)
+}
+
+// KernelConfig configures an optimistic Time Warp run.
+type KernelConfig struct {
+	Lanes    int
+	Entities int
+	// Horizon is the inclusive virtual-time bound. Lanes never execute
+	// past it (optimism is clamped so committed results match a
+	// sequential run to exactly this horizon).
+	Horizon float64
+	Queue   des.QueueKind
+	// SnapEvery is the state-saving cadence in processed events per
+	// lane (default 32). Rollback restores the latest snapshot at or
+	// before the straggler and cancels everything after it, so a larger
+	// cadence trades snapshot cost for deeper rollbacks.
+	SnapEvery int
+	// Window throttles optimism: a lane never executes an event more
+	// than Window virtual-time units beyond the latest GVT estimate
+	// (0 = unbounded). Unbounded optimism lets one lane race a whole
+	// scheduler quantum ahead of the others — on few-core hosts that
+	// turns every quantum boundary into a massive rollback.
+	Window float64
+	Model  Model
+}
+
+// twEvent is a queued, processed, or anti message.
+type twEvent struct {
+	ent   equeue.Entry // At = msg time, Seq = (src<<32 | ordinal)
+	msg   Msg
+	anti  bool
+	sends []sentRec // messages this event emitted (rollback cancels them)
+	free  *twEvent
+}
+
+// sentRec identifies one emitted message for anti-message cancellation.
+type sentRec struct {
+	dst int32
+	key uint64
+	at  float64
+}
+
+// twLane is one logical process of the optimistic kernel.
+type twLane struct {
+	id         int
+	q          equeue.Queue
+	pending    map[uint64]*twEvent // every live event by key (for annihilation)
+	processed  []*twEvent          // executed events, oldest first (rollback suffix)
+	scratch    []*twEvent
+	cancels    []sentRec // rollback's collected send records (owner-only)
+	snaps      []twSnap
+	ord        []uint32 // per-local-entity emission ordinals (rolled back with state)
+	lvt        float64
+	lastAt     float64 // order point of the newest processed event
+	lastKey    uint64
+	cur        *twEvent // executing event (sends-log target)
+	red        bool     // inside a GVT round: track the minimum send time
+	redMin     float64
+	seenEpoch  uint64
+	fossilAt   float64
+	inRollback bool
+	coasting   bool
+	free       *twEvent
+
+	fired, rolled, rollbacks   uint64
+	antiSent, antiAnn, fossils uint64
+
+	mu      sync.Mutex
+	box     []*twEvent
+	spare   []*twEvent // drained-box double buffer (owner-only)
+	hasMail atomic.Bool
+
+	ack    atomic.Uint64
+	report atomic.Uint64
+	_      [104]byte
+}
+
+// twSnap is a periodic state saving: the model shard, the kernel's
+// emission ordinals, and the processed-prefix length it covers.
+type twSnap struct {
+	n     int
+	at    float64
+	state any
+	ord   []uint32
+}
+
+// Kernel runs a reversible Model under optimistic Time Warp: lanes
+// free-run their local (At, key) order, stragglers roll the receiver
+// back to the latest earlier snapshot, rolled-back sends are cancelled
+// with anti-messages, and a two-round Mattern-style reduction computes
+// GVT — the floor of every lane's local clock, queue, mailbox and
+// in-flight sends — below which history is committed and fossil-
+// collected.
+type Kernel struct {
+	cfg     KernelConfig
+	lanes   []*twLane
+	p       int
+	hb      float64
+	running bool
+	epoch   atomic.Uint64
+	gvt     atomic.Uint64
+	stop    atomic.Bool
+	wg      sync.WaitGroup
+	stats   Stats
+}
+
+// NewKernel validates the configuration, builds the lanes, and runs
+// Model.Init single-threaded.
+func NewKernel(cfg KernelConfig) (*Kernel, error) {
+	if cfg.Lanes < 1 {
+		return nil, fmt.Errorf("pdes: need at least one lane, got %d", cfg.Lanes)
+	}
+	if cfg.Entities < 1 {
+		return nil, fmt.Errorf("pdes: need at least one entity, got %d", cfg.Entities)
+	}
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("pdes: nil model")
+	}
+	if cfg.SnapEvery <= 0 {
+		cfg.SnapEvery = 32
+	}
+	k := &Kernel{
+		cfg: cfg,
+		p:   cfg.Lanes,
+		hb:  math.Nextafter(cfg.Horizon, math.Inf(1)),
+	}
+	k.stats.Lanes = cfg.Lanes
+	k.stats.Mode = ModeTimeWarp
+	k.gvt.Store(toBits(0))
+	for i := 0; i < cfg.Lanes; i++ {
+		l := &twLane{
+			id:       i,
+			pending:  make(map[uint64]*twEvent),
+			lastAt:   math.Inf(-1),
+			fossilAt: math.Inf(-1),
+		}
+		switch cfg.Queue {
+		case des.QueueCalendar:
+			l.q = equeue.NewCalendar()
+		default:
+			l.q = equeue.NewHeap()
+		}
+		locals := (cfg.Entities - i + cfg.Lanes - 1) / cfg.Lanes
+		l.ord = make([]uint32, locals)
+		k.lanes = append(k.lanes, l)
+	}
+	cfg.Model.Init(k)
+	// The base snapshot: rollback can always land on the initial state.
+	for _, l := range k.lanes {
+		l.snaps = append(l.snaps, twSnap{n: 0, at: 0, state: cfg.Model.Save(l.id), ord: append([]uint32(nil), l.ord...)})
+	}
+	return k, nil
+}
+
+// Stats returns the run accounting.
+func (k *Kernel) Stats() *Stats { return &k.stats }
+
+// LaneOf maps an entity to its lane.
+func (k *Kernel) LaneOf(entity int32) int { return int(entity) % k.p }
+
+// GVT returns the last committed global virtual time.
+func (k *Kernel) GVT() float64 { return fromBits(k.gvt.Load()) }
+
+// Send emits m. Callable from Model.Init (single-threaded) and from
+// Model.Execute on the lane executing m.Src.
+func (k *Kernel) Send(m Msg) {
+	sl := k.lanes[int(m.Src)%k.p]
+	li := int(m.Src) / k.p
+	if sl.coasting {
+		// Coast-forward replay: the original message is still live at its
+		// receiver, so advance the ordinal stream (keeping future keys
+		// aligned with the first execution) and drop the duplicate.
+		sl.ord[li]++
+		return
+	}
+	key := uint64(uint32(m.Src))<<32 | uint64(sl.ord[li])
+	sl.ord[li]++
+	ev := sl.take()
+	ev.ent.At = m.At
+	ev.ent.Seq = key
+	ev.msg = m
+	ev.anti = false
+	if sl.cur != nil {
+		sl.cur.sends = append(sl.cur.sends, sentRec{dst: m.Dst, key: key, at: m.At})
+	}
+	if sl.red && m.At < sl.redMin {
+		sl.redMin = m.At
+	}
+	dl := k.lanes[int(m.Dst)%k.p]
+	if !k.running || dl == sl {
+		// Init, or a same-lane send from the executing goroutine: no
+		// straggler possible (send delays are positive), insert directly.
+		dl.q.Push(&ev.ent)
+		dl.pending[key] = ev
+		return
+	}
+	dl.appendBox(ev)
+}
+
+// appendBox delivers ev into the lane's mailbox (FIFO order preserved;
+// anti-messages therefore never overtake their positives).
+func (l *twLane) appendBox(ev *twEvent) {
+	l.mu.Lock()
+	l.box = append(l.box, ev)
+	l.hasMail.Store(true)
+	l.mu.Unlock()
+}
+
+// take pops a pooled event from the caller's lane.
+func (l *twLane) take() *twEvent {
+	ev := l.free
+	if ev == nil {
+		ev = &twEvent{}
+		ev.ent.E = ev
+	} else {
+		l.free = ev.free
+		ev.free = nil
+	}
+	return ev
+}
+
+// recycle returns an annihilated or fossil-collected event to the
+// executing lane's pool.
+func (l *twLane) recycle(ev *twEvent) {
+	ev.sends = ev.sends[:0]
+	ev.msg = Msg{}
+	ev.free = l.free
+	l.free = ev
+}
+
+// Run executes the model to the horizon and returns once GVT passes it.
+func (k *Kernel) Run() {
+	k.running = true
+	for _, l := range k.lanes {
+		k.wg.Add(1)
+		go k.laneRun(l)
+	}
+	k.coordinate()
+	k.wg.Wait()
+	k.running = false
+	for _, l := range k.lanes {
+		k.stats.Processed.Add(l.fired)
+		k.stats.RolledBack.Add(l.rolled)
+		k.stats.Rollbacks.Add(l.rollbacks)
+		k.stats.AntiSent.Add(l.antiSent)
+		k.stats.AntiAnnihilated.Add(l.antiAnn)
+		k.stats.Fossils.Add(l.fossils)
+	}
+	k.stats.Committed.Store(k.stats.Processed.Load() - k.stats.RolledBack.Load())
+}
+
+// laneRun is the optimistic lane loop: drain the mailbox (stragglers
+// roll us back, anti-messages annihilate), then execute the local
+// minimum without any global synchronization.
+func (k *Kernel) laneRun(l *twLane) {
+	defer k.wg.Done()
+	spins := 0
+	for {
+		if k.stop.Load() {
+			return
+		}
+		k.gvtCheck(l)
+		if k.step(l) {
+			spins = 0
+			if l.fired&63 == 0 {
+				// Share the processor even while busy: on few-core hosts
+				// an uninterrupted lane outruns the others by a whole
+				// scheduler quantum and then pays it all back in rollbacks.
+				runtime.Gosched()
+			}
+		} else {
+			spinWait(&spins)
+		}
+	}
+}
+
+// step drains the mailbox (applying stragglers and anti-messages) and
+// executes the lane's next event, reporting whether one fired.
+func (k *Kernel) step(l *twLane) bool {
+	if l.hasMail.Load() {
+		k.drainBox(l)
+	}
+	e := l.q.Peek()
+	if e == nil || e.At >= k.hb {
+		return false
+	}
+	if k.cfg.Window > 0 && e.At > fromBits(k.gvt.Load())+k.cfg.Window {
+		return false
+	}
+	ev := l.q.Pop().E.(*twEvent)
+	l.cur = ev
+	l.lvt = ev.ent.At
+	k.cfg.Model.Execute(k, l.id, ev.msg)
+	l.cur = nil
+	l.processed = append(l.processed, ev)
+	l.lastAt, l.lastKey = ev.ent.At, ev.ent.Seq
+	l.fired++
+	if l.fired%uint64(k.cfg.SnapEvery) == 0 {
+		l.snaps = append(l.snaps, twSnap{
+			n:     len(l.processed),
+			at:    l.lvt,
+			state: k.cfg.Model.Save(l.id),
+			ord:   append([]uint32(nil), l.ord...),
+		})
+	}
+	return true
+}
+
+// drainBox applies mailbox arrivals in FIFO order.
+func (k *Kernel) drainBox(l *twLane) {
+	l.mu.Lock()
+	items := l.box
+	l.box = l.spare[:0] // alternate the two backing arrays
+	l.hasMail.Store(false)
+	l.mu.Unlock()
+	l.spare = items[:0]
+	for i, ev := range items {
+		if ev.anti {
+			k.annihilate(l, ev)
+			l.recycle(ev)
+		} else {
+			k.insert(l, ev)
+		}
+		items[i] = nil
+	}
+}
+
+// insert adds a positive message to the lane, rolling back first when
+// it is a straggler (ordered before the newest processed event).
+func (k *Kernel) insert(l *twLane, ev *twEvent) {
+	if len(l.processed) > 0 && orderLess(ev.ent.At, ev.ent.Seq, l.lastAt, l.lastKey) {
+		k.rollback(l, ev.ent.At, ev.ent.Seq, false)
+	}
+	l.q.Push(&ev.ent)
+	l.pending[ev.ent.Seq] = ev
+}
+
+// annihilate cancels the positive matching an anti-message. A processed
+// positive forces a rollback to just before it (which re-queues it),
+// after which it is removed like a pending one.
+func (k *Kernel) annihilate(l *twLane, anti *twEvent) {
+	ev := l.pending[anti.ent.Seq]
+	if ev == nil {
+		panic("pdes: anti-message with no matching positive (send discipline violated)")
+	}
+	if !ev.ent.Queued() {
+		k.rollback(l, ev.ent.At, ev.ent.Seq, true)
+	}
+	l.q.Remove(&ev.ent)
+	delete(l.pending, ev.ent.Seq)
+	// If the positive executed earlier and was re-queued by a rollback
+	// whose cancellation loop has not reached it yet, its own emitted
+	// messages are still live: cancel them here, or they leak (and their
+	// keys get re-issued by the sender's restored ordinals). Already-
+	// cancelled logs are empty, so this never double-sends.
+	for _, sr := range ev.sends {
+		k.sendAnti(l, sr)
+	}
+	ev.sends = ev.sends[:0]
+	l.recycle(ev)
+	l.antiAnn++
+}
+
+// orderLess is the lane execution order (At, key).
+func orderLess(a1 float64, k1 uint64, a2 float64, k2 uint64) bool {
+	if a1 != a2 {
+		return a1 < a2
+	}
+	return k1 < k2
+}
+
+// rollback undoes every processed event ordered after (at, key) —
+// inclusive of (at, key) itself when inclusive is set. State is restored
+// from the latest snapshot at or before the boundary and then
+// coast-forwarded: the events between the snapshot and the boundary
+// re-execute with sends suppressed, because their original messages are
+// still valid at the receivers. Cancelling (or re-sending) them instead
+// would start an anti-message echo — the cancelled low-timestamp message
+// pins GVT and triggers the receiver's rollback, which echoes back
+// forever. Only events at or after the boundary are undone: re-queued
+// and their sends cancelled with anti-messages.
+func (k *Kernel) rollback(l *twLane, at float64, key uint64, inclusive bool) {
+	// Rollback never nests: cancellation inside the anti loop only ever
+	// annihilates events this same rollback just re-queued (sends land
+	// after their emitting event, so the target sits in the rolled
+	// suffix), and queued targets need no rollback. The guard protects
+	// the scratch buffer, which a nested call would clobber.
+	if l.inRollback {
+		panic("pdes: nested rollback (cancellation invariant violated)")
+	}
+	l.inRollback = true
+	defer func() { l.inRollback = false }()
+	undo := func(ev *twEvent) bool {
+		if ev.ent.At != at {
+			return ev.ent.At > at
+		}
+		return ev.ent.Seq > key || (inclusive && ev.ent.Seq == key)
+	}
+	i := len(l.processed)
+	for i > 0 && undo(l.processed[i-1]) {
+		i--
+	}
+	if i == len(l.processed) {
+		return
+	}
+	si := len(l.snaps) - 1
+	for l.snaps[si].n > i {
+		si--
+	}
+	sp := l.snaps[si]
+	l.snaps = l.snaps[:si+1]
+	k.cfg.Model.Restore(l.id, sp.state)
+	l.ord = append(l.ord[:0], sp.ord...)
+
+	rolled := append(l.scratch[:0], l.processed[i:]...)
+	for j := i; j < len(l.processed); j++ {
+		l.processed[j] = nil
+	}
+	l.processed = l.processed[:i]
+	l.coasting = true
+	for _, ev := range l.processed[sp.n:] {
+		k.cfg.Model.Execute(k, l.id, ev.msg)
+	}
+	l.coasting = false
+	for _, ev := range rolled {
+		l.q.Push(&ev.ent)
+	}
+	// Collect every send to cancel before dispatching any anti: an
+	// inline same-lane annihilation recycles its target — which sits in
+	// this same rolled suffix — and the pool can hand the object straight
+	// to a cross-lane anti, so touching it after dispatch would race with
+	// the receiving lane.
+	cancels := l.cancels[:0]
+	for _, ev := range rolled {
+		cancels = append(cancels, ev.sends...)
+		ev.sends = ev.sends[:0]
+	}
+	for _, sr := range cancels {
+		k.sendAnti(l, sr)
+	}
+	l.cancels = cancels[:0]
+	l.scratch = rolled[:0]
+	if i > 0 {
+		last := l.processed[i-1]
+		l.lastAt, l.lastKey = last.ent.At, last.ent.Seq
+		l.lvt = last.ent.At
+	} else {
+		l.lastAt, l.lastKey = math.Inf(-1), 0
+		l.lvt = sp.at
+	}
+	l.rollbacks++
+	l.rolled += uint64(len(rolled))
+}
+
+// sendAnti cancels one previously emitted message.
+func (k *Kernel) sendAnti(l *twLane, sr sentRec) {
+	l.antiSent++
+	dl := k.lanes[int(sr.dst)%k.p]
+	if dl == l {
+		// The positive is on our own lane and was just re-queued (sends
+		// land after their emitting event, so it sits in the rolled
+		// suffix): annihilate inline.
+		anti := &twEvent{anti: true}
+		anti.ent.At, anti.ent.Seq = sr.at, sr.key
+		k.annihilate(l, anti)
+		return
+	}
+	anti := l.take()
+	anti.ent.At, anti.ent.Seq = sr.at, sr.key
+	anti.anti = true
+	dl.appendBox(anti)
+}
+
+// gvtCheck participates in the two-round GVT reduction and fossil-
+// collects when GVT advanced. Round one turns the lane red (it starts
+// tracking the minimum timestamp it sends); round two reports
+// min(queue, mailbox, red sends) — every in-flight message is counted
+// either by its sender's red minimum or by its receiver's mailbox, so
+// the reduction's minimum is a true floor of future activity.
+func (k *Kernel) gvtCheck(l *twLane) {
+	ep := k.epoch.Load()
+	if ep != l.seenEpoch {
+		if ep%2 == 1 {
+			l.red = true
+			l.redMin = math.Inf(1)
+		} else {
+			r := l.redMin
+			if e := l.q.Peek(); e != nil && e.At < r {
+				r = e.At
+			}
+			l.mu.Lock()
+			for _, ev := range l.box {
+				if ev.ent.At < r {
+					r = ev.ent.At
+				}
+			}
+			l.mu.Unlock()
+			l.red = false
+			l.report.Store(toBits(r))
+		}
+		l.seenEpoch = ep
+		l.ack.Store(ep)
+	}
+	if g := fromBits(k.gvt.Load()); g > l.fossilAt {
+		k.fossil(l, g)
+	}
+}
+
+// fossil commits history strictly below gvt: processed events up to the
+// latest snapshot covered by gvt are freed (their keys can never be
+// annihilated again — a sender would have to roll below GVT), earlier
+// snapshots are dropped, and indices rebase.
+func (k *Kernel) fossil(l *twLane, gvt float64) {
+	l.fossilAt = gvt
+	cut := 0
+	for cut < len(l.processed) && l.processed[cut].ent.At < gvt {
+		cut++
+	}
+	si := 0
+	for si+1 < len(l.snaps) && l.snaps[si+1].n <= cut {
+		si++
+	}
+	base := l.snaps[si].n
+	if base == 0 {
+		return
+	}
+	for _, ev := range l.processed[:base] {
+		delete(l.pending, ev.ent.Seq)
+		l.recycle(ev)
+	}
+	n := copy(l.processed, l.processed[base:])
+	for j := n; j < len(l.processed); j++ {
+		l.processed[j] = nil
+	}
+	l.processed = l.processed[:n]
+	ns := copy(l.snaps, l.snaps[si:])
+	for j := ns; j < len(l.snaps); j++ {
+		l.snaps[j] = twSnap{}
+	}
+	l.snaps = l.snaps[:ns]
+	for j := range l.snaps {
+		l.snaps[j].n -= base
+	}
+	l.fossils += uint64(base)
+}
+
+// coordinate drives GVT reductions until GVT passes the horizon.
+func (k *Kernel) coordinate() {
+	epoch := uint64(0)
+	spins := 0
+	for {
+		epoch++
+		k.epoch.Store(epoch)
+		for _, l := range k.lanes {
+			for l.ack.Load() != epoch {
+				spinWait(&spins)
+			}
+		}
+		epoch++
+		k.epoch.Store(epoch)
+		for _, l := range k.lanes {
+			for l.ack.Load() != epoch {
+				spinWait(&spins)
+			}
+		}
+		gvt, maxR := math.Inf(1), math.Inf(-1)
+		for _, l := range k.lanes {
+			r := fromBits(l.report.Load())
+			if r < gvt {
+				gvt = r
+			}
+			if r > maxR && !math.IsInf(r, 1) {
+				maxR = r
+			}
+		}
+		k.stats.GVTRounds.Add(1)
+		if !math.IsInf(gvt, 1) && maxR > gvt {
+			k.stats.observeLag(math.Min(maxR, k.cfg.Horizon) - gvt)
+		}
+		k.gvt.Store(toBits(gvt))
+		if gvt >= k.hb {
+			k.stop.Store(true)
+			return
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package pdes
+
+import (
+	"math"
+	"testing"
+
+	"mobickpt/internal/des"
+)
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// pholdEnt is one PHOLD entity: a private rng stream and accumulators
+// whose float order sensitivity makes any execution-order divergence
+// visible bit-for-bit.
+type pholdEnt struct {
+	rng   uint64
+	count int64
+	sum   float64
+}
+
+// phold is the classic Time Warp stress model: every event forwards
+// itself to a pseudo-random entity after a pseudo-random delay, so
+// cross-lane stragglers (and therefore rollbacks) occur naturally.
+type phold struct {
+	n, p   int
+	shards [][]pholdEnt
+}
+
+func newPhold(n, p int) *phold {
+	m := &phold{n: n, p: p}
+	m.shards = make([][]pholdEnt, p)
+	for lane := 0; lane < p; lane++ {
+		locals := (n - lane + p - 1) / p
+		m.shards[lane] = make([]pholdEnt, locals)
+		for li := range m.shards[lane] {
+			m.shards[lane][li].rng = splitmix(uint64(lane + li*p))
+		}
+	}
+	return m
+}
+
+func (m *phold) Init(k *Kernel) {
+	for e := 0; e < m.n; e++ {
+		at := 0.01 + float64(e)/997.0
+		k.Send(Msg{At: at, Src: int32(e), Dst: int32(e)})
+	}
+}
+
+func (m *phold) Execute(k *Kernel, lane int, msg Msg) {
+	st := &m.shards[lane][int(msg.Dst)/m.p]
+	st.rng = splitmix(st.rng)
+	st.count++
+	st.sum += msg.At
+	dst := int32(st.rng % uint64(m.n))
+	delay := 0.01 + float64((st.rng>>20)&1023)/4096.0
+	k.Send(Msg{At: msg.At + delay, Src: msg.Dst, Dst: dst})
+}
+
+func (m *phold) Save(lane int) any {
+	return append([]pholdEnt(nil), m.shards[lane]...)
+}
+
+func (m *phold) Restore(lane int, state any) {
+	copy(m.shards[lane], state.([]pholdEnt))
+}
+
+// fingerprint folds every entity's final state, in entity order, into
+// one hash: equal across runs iff the committed histories are identical.
+func (m *phold) fingerprint() uint64 {
+	var h uint64 = 1469598103934665603
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	for e := 0; e < m.n; e++ {
+		st := m.shards[e%m.p][e/m.p]
+		mix(st.rng)
+		mix(uint64(st.count))
+		mix(math.Float64bits(st.sum))
+	}
+	return h
+}
+
+func runPhold(t *testing.T, n, lanes int, horizon float64, qk des.QueueKind) (*phold, *Kernel) {
+	t.Helper()
+	m := newPhold(n, lanes)
+	k, err := NewKernel(KernelConfig{
+		Lanes:    lanes,
+		Entities: n,
+		Horizon:  horizon,
+		Queue:    qk,
+		Window:   1.5,
+		Model:    m,
+	})
+	if err != nil {
+		t.Fatalf("NewKernel: %v", err)
+	}
+	k.Run()
+	return m, k
+}
+
+// TestKernelPHOLDEquivalence checks that the optimistic kernel's
+// committed history is bit-identical to the one-lane (sequential)
+// reference at every lane count: same per-entity event counts, rng
+// streams and float accumulators, and the same committed event total.
+func TestKernelPHOLDEquivalence(t *testing.T) {
+	const n, horizon = 64, 12.0
+	ref, rk := runPhold(t, n, 1, horizon, des.QueueHeap)
+	want := ref.fingerprint()
+	wantCommitted := rk.Stats().Committed.Load()
+	if rk.Stats().Rollbacks.Load() != 0 {
+		t.Fatalf("one-lane run rolled back %d times", rk.Stats().Rollbacks.Load())
+	}
+	for _, lanes := range []int{2, 4} {
+		for _, qk := range []des.QueueKind{des.QueueHeap, des.QueueCalendar} {
+			m, k := runPhold(t, n, lanes, horizon, qk)
+			if got := m.fingerprint(); got != want {
+				t.Errorf("lanes=%d queue=%v: fingerprint %x, want %x", lanes, qk, got, want)
+			}
+			st := k.Stats()
+			if got := st.Committed.Load(); got != wantCommitted {
+				t.Errorf("lanes=%d queue=%v: committed %d, want %d", lanes, qk, got, wantCommitted)
+			}
+			if p, c := st.Processed.Load(), st.Committed.Load(); p < c {
+				t.Errorf("lanes=%d: processed %d < committed %d", lanes, p, c)
+			}
+			if eff := st.Efficiency(); eff <= 0 || eff > 1 {
+				t.Errorf("lanes=%d: efficiency %v out of range", lanes, eff)
+			}
+			if st.GVTRounds.Load() == 0 {
+				t.Errorf("lanes=%d: no GVT reductions ran", lanes)
+			}
+			if st.Rollbacks.Load() > 0 && st.AntiSent.Load() == 0 {
+				t.Errorf("lanes=%d: %d rollbacks but no anti-messages", lanes, st.Rollbacks.Load())
+			}
+			t.Logf("lanes=%d queue=%v: processed=%d committed=%d rollbacks=%d anti=%d/%d gvt_rounds=%d eff=%.3f",
+				lanes, qk, st.Processed.Load(), st.Committed.Load(), st.Rollbacks.Load(),
+				st.AntiSent.Load(), st.AntiAnnihilated.Load(), st.GVTRounds.Load(), st.Efficiency())
+		}
+	}
+}
+
+// scriptState records executed event times per lane; float append order
+// exposes any mis-ordered re-execution.
+type scriptState struct {
+	log []float64
+}
+
+// scriptModel is a two-entity scripted model for driving the rollback
+// machinery deterministically: entity 1's event at 0.5 sends to entity
+// 0 at 1.5 (a straggler once lane 0 ran ahead), and entity 0's event at
+// 2 sends to entity 1 at 2.5 (cancelled and re-sent around rollbacks).
+type scriptModel struct {
+	lanes []scriptState
+}
+
+func (m *scriptModel) Init(k *Kernel) {
+	for _, at := range []float64{1, 2, 3} {
+		k.Send(Msg{At: at, Src: 0, Dst: 0})
+	}
+	k.Send(Msg{At: 0.5, Src: 1, Dst: 1})
+}
+
+func (m *scriptModel) Execute(k *Kernel, lane int, msg Msg) {
+	st := &m.lanes[lane]
+	st.log = append(st.log, msg.At)
+	if msg.Dst == 1 && msg.At == 0.5 {
+		k.Send(Msg{At: 1.5, Src: 1, Dst: 0})
+	}
+	if msg.Dst == 0 && msg.At == 2 {
+		k.Send(Msg{At: 2.5, Src: 0, Dst: 1})
+	}
+}
+
+func (m *scriptModel) Save(lane int) any {
+	return append([]float64(nil), m.lanes[lane].log...)
+}
+
+func (m *scriptModel) Restore(lane int, state any) {
+	m.lanes[lane].log = append(m.lanes[lane].log[:0], state.([]float64)...)
+}
+
+// TestKernelRollbackScript drives two kernel lanes by hand through a
+// scripted straggler cascade: lane 0 runs ahead optimistically, lane 1's
+// late send rolls it back, and the rollback's anti-message in turn rolls
+// back lane 1 (which had already processed the cancelled event). The
+// final history must match the sequential order exactly.
+func TestKernelRollbackScript(t *testing.T) {
+	m := &scriptModel{lanes: make([]scriptState, 2)}
+	k, err := NewKernel(KernelConfig{
+		Lanes:     2,
+		Entities:  2,
+		Horizon:   10,
+		SnapEvery: 2,
+		Model:     m,
+	})
+	if err != nil {
+		t.Fatalf("NewKernel: %v", err)
+	}
+	k.running = true
+	l0, l1 := k.lanes[0], k.lanes[1]
+
+	// Lane 0 speculates through 1, 2, 3; the send at t=2 emits 2.5 to
+	// lane 1. Lane 1 then processes 0.5 (sending the 1.5 straggler) and
+	// the optimistic 2.5.
+	for i := 0; i < 3; i++ {
+		if !k.step(l0) {
+			t.Fatalf("lane 0 step %d fired nothing", i)
+		}
+	}
+	if !k.step(l1) || !k.step(l1) {
+		t.Fatal("lane 1 steps fired nothing")
+	}
+	if got := m.lanes[1].log; len(got) != 2 || got[1] != 2.5 {
+		t.Fatalf("lane 1 optimistic log = %v, want [0.5 2.5]", got)
+	}
+
+	// Lane 0 drains the 1.5 straggler: rollback to the base snapshot
+	// (SnapEvery=2 put the only later snapshot past the boundary),
+	// cancelling the 2.5 send with an anti-message.
+	if !k.step(l0) {
+		t.Fatal("lane 0 straggler step fired nothing")
+	}
+	if l0.rollbacks != 1 {
+		t.Fatalf("lane 0 rollbacks = %d, want 1", l0.rollbacks)
+	}
+	if l0.antiSent != 1 {
+		t.Fatalf("lane 0 anti sent = %d, want 1", l0.antiSent)
+	}
+
+	// Lane 1 drains the anti-message for its processed 2.5: a secondary
+	// rollback coast-forwards through 0.5 (keeping its still-valid 1.5
+	// send — no echo back to lane 0), re-queues 2.5 and annihilates it.
+	for k.step(l1) {
+	}
+	if l1.rollbacks != 1 {
+		t.Fatalf("lane 1 rollbacks = %d, want 1", l1.rollbacks)
+	}
+	if l1.antiAnn == 0 {
+		t.Fatal("lane 1 annihilated nothing")
+	}
+	for k.step(l0) {
+	}
+	for k.step(l1) {
+	}
+
+	wantL0 := []float64{1, 1.5, 2, 3}
+	if got := m.lanes[0].log; len(got) != len(wantL0) {
+		t.Fatalf("lane 0 log = %v, want %v", got, wantL0)
+	} else {
+		for i := range wantL0 {
+			if got[i] != wantL0[i] {
+				t.Fatalf("lane 0 log = %v, want %v", got, wantL0)
+			}
+		}
+	}
+	wantL1 := []float64{0.5, 2.5}
+	if got := m.lanes[1].log; len(got) != 2 || got[0] != 0.5 || got[1] != 2.5 {
+		t.Fatalf("lane 1 log = %v, want %v", got, wantL1)
+	}
+	if l0.antiAnn != 0 {
+		t.Fatalf("lane 0 annihilations = %d, want 0 (coast-forward kept the 1.5 send)", l0.antiAnn)
+	}
+	if l1.antiSent != 0 {
+		t.Fatalf("lane 1 anti sent = %d, want 0 (coast-forward sends nothing)", l1.antiSent)
+	}
+}
+
+// TestKernelConfigErrors exercises the constructor's validation.
+func TestKernelConfigErrors(t *testing.T) {
+	m := &scriptModel{lanes: make([]scriptState, 1)}
+	cases := []KernelConfig{
+		{Lanes: 0, Entities: 1, Model: m},
+		{Lanes: 1, Entities: 0, Model: m},
+		{Lanes: 1, Entities: 1, Model: nil},
+	}
+	for i, cfg := range cases {
+		if _, err := NewKernel(cfg); err == nil {
+			t.Errorf("case %d: no error for %+v", i, cfg)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package protocol
 
 import (
+	"sync/atomic"
+
 	"mobickpt/internal/mobile"
 	"mobickpt/internal/storage"
 )
@@ -17,9 +19,11 @@ type IndexPiggyback int
 // basic checkpoint (cell switch, disconnection) increments sn_i.
 // Checkpoints with the same sequence number form a recovery line.
 type BCS struct {
-	ckpt      Checkpointer
-	sn        []int
-	piggyback int64
+	ckpt Checkpointer
+	sn   []int
+	// piggyback is atomic: under parallel execution OnSend runs on
+	// concurrently executing lanes.
+	piggyback atomic.Int64
 	indexBox
 }
 
@@ -34,6 +38,7 @@ func (b *BCS) Name() string { return "BCS" }
 // Init implements Protocol: the first checkpoint of every host gets
 // sequence number 0.
 func (b *BCS) Init() {
+	b.grow(0)
 	for i := range b.sn {
 		b.sn[i] = 0
 		b.ckpt(mobile.HostID(i), 0, storage.Initial)
@@ -43,7 +48,7 @@ func (b *BCS) Init() {
 // OnSend implements Protocol: the current sequence number rides on the
 // message.
 func (b *BCS) OnSend(from, to mobile.HostID) any {
-	b.piggyback += intSize
+	b.piggyback.Add(intSize)
 	return b.box(b.sn[from])
 }
 
@@ -63,12 +68,14 @@ func (b *BCS) OnDeliver(h, from mobile.HostID, pb any) {
 // index.
 func (b *BCS) OnCellSwitch(h mobile.HostID, newMSS mobile.MSSID) {
 	b.sn[h]++
+	b.grow(b.sn[h])
 	b.ckpt(h, b.sn[h], storage.Basic)
 }
 
 // OnDisconnect implements Protocol: same rule as a cell switch.
 func (b *BCS) OnDisconnect(h mobile.HostID) {
 	b.sn[h]++
+	b.grow(b.sn[h])
 	b.ckpt(h, b.sn[h], storage.Basic)
 }
 
@@ -76,7 +83,7 @@ func (b *BCS) OnDisconnect(h mobile.HostID) {
 func (b *BCS) OnReconnect(h mobile.HostID, at mobile.MSSID) {}
 
 // PiggybackBytes implements Protocol.
-func (b *BCS) PiggybackBytes() int64 { return b.piggyback }
+func (b *BCS) PiggybackBytes() int64 { return b.piggyback.Load() }
 
 // OnJoin implements Dynamic. BCS admits a host for free: it starts at
 // index 0 with its initial checkpoint, and the first message carrying a

@@ -1,6 +1,8 @@
 package protocol
 
 import (
+	"sync/atomic"
+
 	"mobickpt/internal/mobile"
 	"mobickpt/internal/storage"
 )
@@ -24,7 +26,7 @@ type Periodic interface {
 type MS struct {
 	ckpt      Checkpointer
 	sn        []int
-	piggyback int64
+	piggyback atomic.Int64 // OnSend runs on concurrently executing lanes
 	indexBox
 }
 
@@ -38,6 +40,7 @@ func (m *MS) Name() string { return "MS" }
 
 // Init implements Protocol.
 func (m *MS) Init() {
+	m.grow(0)
 	for i := range m.sn {
 		m.sn[i] = 0
 		m.ckpt(mobile.HostID(i), 0, storage.Initial)
@@ -46,7 +49,7 @@ func (m *MS) Init() {
 
 // OnSend implements Protocol.
 func (m *MS) OnSend(from, to mobile.HostID) any {
-	m.piggyback += intSize
+	m.piggyback.Add(intSize)
 	return m.box(m.sn[from])
 }
 
@@ -62,6 +65,7 @@ func (m *MS) OnDeliver(h, from mobile.HostID, pb any) {
 // bump takes a basic checkpoint with an incremented index.
 func (m *MS) bump(h mobile.HostID) {
 	m.sn[h]++
+	m.grow(m.sn[h])
 	m.ckpt(h, m.sn[h], storage.Basic)
 }
 
@@ -78,7 +82,7 @@ func (m *MS) OnReconnect(h mobile.HostID, at mobile.MSSID) {}
 func (m *MS) OnTick(h mobile.HostID) { m.bump(h) }
 
 // PiggybackBytes implements Protocol.
-func (m *MS) PiggybackBytes() int64 { return m.piggyback }
+func (m *MS) PiggybackBytes() int64 { return m.piggyback.Load() }
 
 // OnJoin implements Dynamic (free, as for BCS).
 func (m *MS) OnJoin(h mobile.HostID) int64 {

@@ -82,10 +82,20 @@ type indexBox struct {
 
 // box returns the interned boxed value of IndexPiggyback(sn).
 func (b *indexBox) box(sn int) any {
+	b.grow(sn)
+	return b.cache[sn]
+}
+
+// grow ensures the cache covers index sn. Under parallel execution box is
+// called from concurrently executing lane handlers (OnSend), so growth
+// must already have happened: the index protocols call grow at every site
+// that raises a sequence number under exclusion (Init, OnJoin, and the
+// fenced basic checkpoints) — forced checkpoints only adopt indices the
+// sender already boxed — leaving box a pure read on the send path.
+func (b *indexBox) grow(sn int) {
 	for len(b.cache) <= sn {
 		b.cache = append(b.cache, IndexPiggyback(len(b.cache)))
 	}
-	return b.cache[sn]
 }
 
 // Dynamic is implemented by protocols that support hosts joining a

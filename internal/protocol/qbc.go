@@ -1,6 +1,8 @@
 package protocol
 
 import (
+	"sync/atomic"
+
 	"mobickpt/internal/mobile"
 	"mobickpt/internal/storage"
 )
@@ -26,12 +28,15 @@ type QBC struct {
 	// may be nil when the environment does not track supersession.
 	store *storage.Store
 
-	sn        []int
-	rn        []int
-	piggyback int64
+	sn []int
+	rn []int
+	// piggyback is atomic: under parallel execution OnSend runs on
+	// concurrently executing lanes. replacements only changes at fenced
+	// basic checkpoints but is grouped with it for uniform reading.
+	piggyback atomic.Int64
 	indexBox
 
-	replacements int64
+	replacements atomic.Int64
 }
 
 // NewQBC creates a QBC instance for n hosts. store may be nil; when
@@ -51,6 +56,7 @@ func (q *QBC) Name() string { return "QBC" }
 // Init implements Protocol: sn_i = 0, rn_i = -1, initial checkpoint at
 // index 0.
 func (q *QBC) Init() {
+	q.grow(0)
 	for i := range q.sn {
 		q.sn[i] = 0
 		q.rn[i] = -1
@@ -60,7 +66,7 @@ func (q *QBC) Init() {
 
 // OnSend implements Protocol.
 func (q *QBC) OnSend(from, to mobile.HostID) any {
-	q.piggyback += intSize
+	q.piggyback.Add(intSize)
 	return q.box(q.sn[from])
 }
 
@@ -82,10 +88,11 @@ func (q *QBC) basic(h mobile.HostID) {
 	replaced := q.rn[h] < q.sn[h]
 	if !replaced {
 		q.sn[h]++
+		q.grow(q.sn[h])
 	}
 	rec := q.ckpt(h, q.sn[h], storage.Basic)
 	if replaced {
-		q.replacements++
+		q.replacements.Add(1)
 		if q.store != nil {
 			q.store.Supersede(rec)
 		}
@@ -102,7 +109,7 @@ func (q *QBC) OnDisconnect(h mobile.HostID) { q.basic(h) }
 func (q *QBC) OnReconnect(h mobile.HostID, at mobile.MSSID) {}
 
 // PiggybackBytes implements Protocol.
-func (q *QBC) PiggybackBytes() int64 { return q.piggyback }
+func (q *QBC) PiggybackBytes() int64 { return q.piggyback.Load() }
 
 // OnJoin implements Dynamic (free, as for BCS).
 func (q *QBC) OnJoin(h mobile.HostID) int64 {
@@ -124,4 +131,4 @@ func (q *QBC) ReceiveNumber(h mobile.HostID) int { return q.rn[h] }
 // Replacements returns how many basic checkpoints replaced their
 // predecessor instead of opening a new index (the benefit of the
 // equivalence rule; tracked for the ablation bench).
-func (q *QBC) Replacements() int64 { return q.replacements }
+func (q *QBC) Replacements() int64 { return q.replacements.Load() }

@@ -1,6 +1,9 @@
 package protocol
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"mobickpt/internal/mobile"
 	"mobickpt/internal/storage"
 	"mobickpt/internal/vclock"
@@ -37,6 +40,10 @@ type TPPiggyback struct {
 	// refs counts the holders of a pooled, copy-on-write shared snapshot:
 	// one for the sender's snapshot slot plus one per in-flight message.
 	// Zero on value-form piggybacks (wire decodes, recovery metadata).
+	// Accessed with sync/atomic operations (a plain int32 so the struct
+	// stays copyable in value form): the sender's lane takes references
+	// while receivers' lanes drop theirs (Recycle) under parallel
+	// execution.
 	refs int32
 }
 
@@ -67,8 +74,8 @@ type TP struct {
 	// blow-up that remains is the protocol's, not the simulator's
 	// (E21; sim_tp_vector_copies_total vs sim_tp_snapshot_reuses_total).
 	snap       []*TPPiggyback
-	snapCopies int64
-	snapReuses int64
+	snapCopies atomic.Int64
+	snapReuses atomic.Int64
 
 	// pbFree is the free list of piggyback buffers OnSend hands out and
 	// Recycle takes back once the last holder drops its reference.
@@ -76,9 +83,14 @@ type TP struct {
 	// simultaneously in-flight snapshots bounds the list, and the O(n)
 	// vector copies reuse the same backing arrays — the zero-allocation
 	// message path for TP.
+	//
+	// mu guards pbFree and meta: sends pop buffers on the sender's lane
+	// while receivers push exhausted ones back, and forced checkpoints
+	// record metadata from whichever lane delivery runs on.
+	mu     sync.Mutex
 	pbFree []*TPPiggyback
 
-	piggyback int64
+	piggyback atomic.Int64
 }
 
 // NewTP creates a TP instance for n hosts. ckpt records checkpoints;
@@ -119,8 +131,10 @@ func (t *TP) Init() {
 func (t *TP) invalidate(h mobile.HostID) {
 	if pb := t.snap[h]; pb != nil {
 		t.snap[h] = nil
-		if pb.refs--; pb.refs == 0 {
+		if atomic.AddInt32(&pb.refs, -1) == 0 {
+			t.mu.Lock()
 			t.pbFree = append(t.pbFree, pb)
+			t.mu.Unlock()
 		}
 	}
 }
@@ -132,7 +146,10 @@ func (t *TP) takeCheckpoint(h mobile.HostID, kind storage.Kind) {
 	t.ckptVec[h][h]++
 	t.locVec[h][h] = int(t.mssOf(h))
 	rec := t.ckpt(h, t.ckptVec[h][h], kind)
-	t.meta[rec] = TPPiggyback{Ckpt: t.ckptVec[h].Clone(), Loc: t.locVec[h].Clone()}
+	m := TPPiggyback{Ckpt: t.ckptVec[h].Clone(), Loc: t.locVec[h].Clone()}
+	t.mu.Lock()
+	t.meta[rec] = m
+	t.mu.Unlock()
 }
 
 // OnSend implements Protocol: sending flips the host into the SEND phase
@@ -144,25 +161,28 @@ func (t *TP) takeCheckpoint(h mobile.HostID, kind storage.Kind) {
 // message — sharing is a simulator optimization, not a protocol change.
 func (t *TP) OnSend(from, to mobile.HostID) any {
 	t.phase[from] = SEND
-	t.piggyback += int64(2 * len(t.ckptVec) * intSize)
+	t.piggyback.Add(int64(2 * len(t.ckptVec) * intSize))
 	if pb := t.snap[from]; pb != nil {
-		pb.refs++
-		t.snapReuses++
+		atomic.AddInt32(&pb.refs, 1)
+		t.snapReuses.Add(1)
 		return pb
 	}
 	var pb *TPPiggyback
+	t.mu.Lock()
 	if n := len(t.pbFree); n > 0 {
 		pb = t.pbFree[n-1]
 		t.pbFree[n-1] = nil
 		t.pbFree = t.pbFree[:n-1]
-	} else {
+	}
+	t.mu.Unlock()
+	if pb == nil {
 		pb = new(TPPiggyback)
 	}
 	pb.Ckpt = append(pb.Ckpt[:0], t.ckptVec[from]...)
 	pb.Loc = append(pb.Loc[:0], t.locVec[from]...)
-	pb.refs = 2 // the snapshot slot plus this message
+	atomic.StoreInt32(&pb.refs, 2) // the snapshot slot plus this message
 	t.snap[from] = pb
-	t.snapCopies++
+	t.snapCopies.Add(1)
 	return pb
 }
 
@@ -172,9 +192,13 @@ func (t *TP) OnSend(from, to mobile.HostID) any {
 // value-form TPPiggyback decoded from the wire) are ignored.
 func (t *TP) Recycle(pb any) {
 	if p, ok := pb.(*TPPiggyback); ok && p != nil {
-		if p.refs--; p.refs <= 0 {
-			p.refs = 0
+		if v := atomic.AddInt32(&p.refs, -1); v <= 0 {
+			if v < 0 {
+				atomic.StoreInt32(&p.refs, 0)
+			}
+			t.mu.Lock()
 			t.pbFree = append(t.pbFree, p)
+			t.mu.Unlock()
 		}
 	}
 }
@@ -182,7 +206,9 @@ func (t *TP) Recycle(pb any) {
 // SnapshotStats reports the copy-on-write economics: copies counts full
 // O(n) vector materializations, reuses counts sends that shared a live
 // snapshot. Their sum is the number of sends.
-func (t *TP) SnapshotStats() (copies, reuses int64) { return t.snapCopies, t.snapReuses }
+func (t *TP) SnapshotStats() (copies, reuses int64) {
+	return t.snapCopies.Load(), t.snapReuses.Load()
+}
 
 // OnDeliver implements Protocol: a delivery in SEND phase forces a
 // checkpoint *before* the message is processed, then the sender's
@@ -193,18 +219,20 @@ func (t *TP) OnDeliver(h, from mobile.HostID, pb any) {
 		t.phase[h] = RECV
 	}
 	// The simulation delivers the pooled pointer OnSend returned; the
-	// live runtime delivers the value form decoded from the wire.
-	var p TPPiggyback
+	// live runtime delivers the value form decoded from the wire. Only
+	// the vectors are read — copying the whole struct would read refs
+	// non-atomically while another lane's Recycle decrements it.
+	var ckpt, loc vclock.Vector
 	switch v := pb.(type) {
 	case *TPPiggyback:
-		p = *v
+		ckpt, loc = v.Ckpt, v.Loc
 	case TPPiggyback:
-		p = v
+		ckpt, loc = v.Ckpt, v.Loc
 	default:
 		panic("protocol: TP delivery with non-TP piggyback")
 	}
 	t.invalidate(h)
-	t.ckptVec[h].MergeWithLocations(t.locVec[h], p.Ckpt, p.Loc)
+	t.ckptVec[h].MergeWithLocations(t.locVec[h], ckpt, loc)
 }
 
 // OnCellSwitch implements Protocol: a hand-off takes a basic checkpoint
@@ -224,7 +252,7 @@ func (t *TP) OnDisconnect(h mobile.HostID) {
 func (t *TP) OnReconnect(h mobile.HostID, at mobile.MSSID) {}
 
 // PiggybackBytes implements Protocol.
-func (t *TP) PiggybackBytes() int64 { return t.piggyback }
+func (t *TP) PiggybackBytes() int64 { return t.piggyback.Load() }
 
 // OnJoin implements Dynamic. Admitting a host into TP is expensive:
 // every existing host's dependency vectors gain a component, which in a

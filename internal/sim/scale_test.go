@@ -7,6 +7,7 @@ import (
 
 	"mobickpt/internal/des"
 	"mobickpt/internal/mobile"
+	"mobickpt/internal/pdes"
 )
 
 // TestQueueAblationIdentical is the refactor's gate at the engine level:
@@ -45,6 +46,9 @@ func TestQueueAblationIdentical(t *testing.T) {
 // under -short) with a mid-run join — end to end on the calendar queue:
 // the flat-array arena, sharded host storage, and O(1) scheduling have
 // to survive contact with a host count three orders beyond the paper's.
+// The same world then runs again on the two-lane Time Warp engine, which
+// must land on the identical result — the scale smoke doubles as the
+// parallel engine's big-world gate (exercised with -short in CI).
 func TestScaleSmoke(t *testing.T) {
 	n := 50000
 	if testing.Short() {
@@ -58,22 +62,49 @@ func TestScaleSmoke(t *testing.T) {
 	cfg.Protocols = []ProtocolName{QBC}
 	cfg.JoinTimes = []des.Time{10}
 	cfg.Queue = des.QueueCalendar
-	res, err := Run(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.FinalHosts != n+1 {
-		t.Fatalf("final hosts = %d, want %d", res.FinalHosts, n+1)
-	}
-	pr := res.Protocol(QBC)
-	if pr.Initial != int64(n+1) {
-		t.Fatalf("initial checkpoints = %d, want %d", pr.Initial, n+1)
-	}
-	if pr.Ntot == 0 {
-		t.Fatal("no checkpoints beyond the initial ones: the world never moved")
-	}
-	if len(pr.Store.Chain(mobile.HostID(n))) == 0 {
-		t.Fatal("joined host has no checkpoints")
+
+	var seq *Result
+	for _, tc := range []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"sequential", func(*Config) {}},
+		{"timewarp-2-lanes", func(c *Config) { c.Engine, c.Lanes = pdes.ModeTimeWarp, 2 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := cfg
+			tc.mut(&c)
+			res, err := Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.FinalHosts != n+1 {
+				t.Fatalf("final hosts = %d, want %d", res.FinalHosts, n+1)
+			}
+			pr := res.Protocol(QBC)
+			if pr.Initial != int64(n+1) {
+				t.Fatalf("initial checkpoints = %d, want %d", pr.Initial, n+1)
+			}
+			if pr.Ntot == 0 {
+				t.Fatal("no checkpoints beyond the initial ones: the world never moved")
+			}
+			if len(pr.Store.Chain(mobile.HostID(n))) == 0 {
+				t.Fatal("joined host has no checkpoints")
+			}
+			if seq == nil {
+				seq = res
+				return
+			}
+			sp := seq.Protocol(QBC)
+			if res.EventsFired != seq.EventsFired || pr.Ntot != sp.Ntot ||
+				pr.Basic != sp.Basic || pr.Forced != sp.Forced ||
+				pr.PiggybackBytes != sp.PiggybackBytes {
+				t.Fatalf("parallel diverged: events=%d/%d Ntot=%d/%d B=%d/%d F=%d/%d pb=%d/%d",
+					res.EventsFired, seq.EventsFired, pr.Ntot, sp.Ntot,
+					pr.Basic, sp.Basic, pr.Forced, sp.Forced,
+					pr.PiggybackBytes, sp.PiggybackBytes)
+			}
+		})
 	}
 }
 

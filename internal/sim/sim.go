@@ -16,6 +16,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
 
 	"mobickpt/internal/check"
@@ -24,6 +25,7 @@ import (
 	"mobickpt/internal/mlog"
 	"mobickpt/internal/mobile"
 	"mobickpt/internal/obs"
+	"mobickpt/internal/pdes"
 	"mobickpt/internal/protocol"
 	"mobickpt/internal/recovery"
 	"mobickpt/internal/rng"
@@ -154,6 +156,25 @@ type Config struct {
 	// changes a result — TestQueueAblationIdentical holds the engine to
 	// that.
 	Queue des.QueueKind
+
+	// Engine selects the execution engine (DESIGN.md §8): the zero value
+	// runs the ordinary sequential des.Simulator loop;
+	// pdes.ModeConservative and pdes.ModeTimeWarp shard the hosts over
+	// Lanes logical processes driven by internal/pdes. Both parallel
+	// engines realize the same (time, key) total order as the sequential
+	// engine, so results are bit-identical at every lane count —
+	// TestEngineEquivalence holds the engine to that. Parallel execution
+	// trades away the observational extras: it rejects Checks,
+	// RecordTrace, MessageLog, Progress, CheckpointLatency and the
+	// contention/loss channel models (all either perturb the trace from a
+	// global vantage point or record through single-threaded paths), and
+	// it requires positive wireless and wired latencies — the cross-lane
+	// lookahead is derived from them, and a zero-latency network has no
+	// safe parallel window.
+	Engine pdes.Mode
+	// Lanes is the logical-process count for parallel engines; 0 selects
+	// GOMAXPROCS. Ignored when Engine is sequential.
+	Lanes int
 }
 
 // DefaultConfig returns the paper's §5.1 environment at T_switch = 1000,
@@ -224,6 +245,54 @@ func (c Config) Validate() error {
 	if c.ProgressEvery < 0 {
 		return fmt.Errorf("sim: negative ProgressEvery")
 	}
+	switch c.Engine {
+	case pdes.ModeSequential:
+	case pdes.ModeConservative, pdes.ModeTimeWarp:
+		if err := c.validateParallel(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("sim: unknown Engine mode %d", c.Engine)
+	}
+	return nil
+}
+
+// validateParallel rejects configurations the parallel engines cannot
+// honor. The lookahead rule is load-bearing, not cosmetic: the lanes'
+// entire progress window is the minimum cross-lane message delay, which
+// this world derives from the network latencies at validation time — a
+// zero latency would make the window empty and every event unsafe.
+func (c Config) validateParallel() error {
+	if c.Lanes < 0 {
+		return fmt.Errorf("sim: Lanes = %d, need >= 0 (0 selects GOMAXPROCS)", c.Lanes)
+	}
+	if c.Mobile.WirelessLatency <= 0 {
+		return fmt.Errorf("sim: engine %s requires Mobile.WirelessLatency > 0 (got %v): the cross-lane lookahead is the minimum uplink delay", c.Engine, c.Mobile.WirelessLatency)
+	}
+	if c.Mobile.WiredLatency <= 0 {
+		return fmt.Errorf("sim: engine %s requires Mobile.WiredLatency > 0 (got %v): a zero-latency backbone collapses the safe window between stations", c.Engine, c.Mobile.WiredLatency)
+	}
+	if c.Mobile.Contention {
+		return fmt.Errorf("sim: engine %s is incompatible with Mobile.Contention (per-cell channel queues are cross-lane shared state)", c.Engine)
+	}
+	if c.Mobile.LossProbability > 0 {
+		return fmt.Errorf("sim: engine %s is incompatible with Mobile.LossProbability (the loss stream's draw order depends on global event order)", c.Engine)
+	}
+	if c.Checks {
+		return fmt.Errorf("sim: engine %s is incompatible with Checks (the shadow models assume single-threaded protocol callbacks)", c.Engine)
+	}
+	if c.RecordTrace {
+		return fmt.Errorf("sim: engine %s is incompatible with RecordTrace (trace recording is single-threaded)", c.Engine)
+	}
+	if c.MessageLog != mlog.Off {
+		return fmt.Errorf("sim: engine %s is incompatible with MessageLog (per-station logs are cross-lane shared state)", c.Engine)
+	}
+	if c.Progress != nil {
+		return fmt.Errorf("sim: engine %s is incompatible with Progress (no single clock to report mid-run)", c.Engine)
+	}
+	if c.CheckpointLatency > 0 {
+		return fmt.Errorf("sim: engine %s is incompatible with CheckpointLatency (the charged delay perturbs lane-local schedules)", c.Engine)
+	}
 	return nil
 }
 
@@ -293,8 +362,15 @@ type Result struct {
 	// FinalHosts is the host count at the horizon (it exceeds
 	// Config.Mobile.NumHosts when JoinTimes admitted new hosts).
 	FinalHosts int
-	// EventsFired is the number of DES events executed (engine load).
+	// EventsFired is the number of DES events executed (engine load). For
+	// parallel runs it sums the lane events and the global-timeline
+	// events, which matches the sequential count exactly.
 	EventsFired uint64
+	// PDES reports the parallel engine's run statistics (lane count,
+	// windows, fences, serialized steps); nil for sequential runs. It is
+	// deliberately excluded from ExportJSON so exports stay byte-identical
+	// across engines.
+	PDES *pdes.StatsSnapshot
 }
 
 // Protocol returns the result for the named protocol, or nil.
@@ -334,6 +410,21 @@ type engine struct {
 	net    *mobile.Network
 	driver *workload.Driver
 
+	// sched is the scheduling surface the world model runs on: des.Solo
+	// over sim for sequential runs, a coreSched over core for parallel
+	// ones. laneCount is 1 sequentially; lane-sharded engine state
+	// (causeLane, causesLane, plFree) is indexed by owner % laneCount,
+	// mirroring pdes.Core's owner-to-lane map.
+	sched     des.Sched
+	core      *pdes.Core
+	laneCount int
+	// inGlobalPhase is true whenever the engine is single-threaded: before
+	// core.Run, inside world-stopped global-timeline events, and during
+	// the post-run drain. Toggled only while no lane handler executes (the
+	// coordinator's frontier handshake orders the accesses), it routes
+	// now() to the global clock instead of a parked lane's local time.
+	inGlobalPhase bool
+
 	// joinRNG places dynamically joining hosts on a dedicated stream
 	// (like the loss model's): placement must be seed-dependent — the
 	// old NumHosts()%NumMSS rule parked every k-th joiner on the same
@@ -347,7 +438,7 @@ type engine struct {
 	// per-message payload carriers. Together they keep the send→deliver
 	// path allocation-free in steady state.
 	recyclers []protocol.Recycler
-	plFree    []*payload
+	plFree    [][]*payload // per lane: send pops lane(from), deliver pushes lane(to)
 	stores    []*storage.Store
 	traces    []*trace.Trace
 	mlogs     []*mlog.Log      // per-protocol MSS message logs; nil entries unless Config.MessageLog
@@ -363,12 +454,16 @@ type engine struct {
 	gcFrontier  []int   // per protocol, highest stable index any GC pruned at
 	joinCtrl    []int64 // per protocol, control messages spent on joins
 
-	// cause names the engine activity driving the protocol callbacks that
-	// are currently running ("switch", "disconnect", "marker", ...); the
-	// checkpointer reads it to attribute each checkpoint to its trigger
-	// (E19). causes accumulates the per-protocol breakdown.
-	cause  string
-	causes []map[string]int64
+	// causeLane names, per lane, the engine activity driving the protocol
+	// callbacks currently running there ("switch", "disconnect", ...); the
+	// checkpointer reads the acting host's lane slot to attribute each
+	// checkpoint to its trigger (E19). Global-phase activities (markers,
+	// ticks, joins, init) run world-stopped and stamp every slot.
+	// causesLane accumulates the per-lane, per-protocol breakdown, merged
+	// into ProtocolResult.Causes after the run. With one lane both reduce
+	// to the old single cause string and map.
+	causeLane  []string
+	causesLane [][]map[string]int64 // [lane][proto][cause]
 
 	// Observability (nil unless Config.Metrics / Config.Timeline).
 	reg         *obs.Registry
@@ -397,12 +492,50 @@ func (e *engine) takeDisconnected(h mobile.HostID) (des.Time, bool) {
 	return at, true
 }
 
-// setCause marks the engine activity about to drive protocol callbacks
-// and returns the previous value, which the caller restores afterwards.
-func (e *engine) setCause(c string) (prev string) {
-	prev = e.cause
-	e.cause = c
+// laneOf maps a host to its engine-side lane shard (pdes.Core uses the
+// same owner % P map, so shard writes stay on the executing lane).
+func (e *engine) laneOf(h mobile.HostID) int { return int(h) % e.laneCount }
+
+// now returns the virtual time on host h's timeline: the global clock
+// while single-threaded (sequential runs, init, world-stopped global
+// events), h's lane-local time while its lane handler executes.
+func (e *engine) now(h mobile.HostID) des.Time {
+	if e.core == nil || e.inGlobalPhase {
+		return e.sim.Now()
+	}
+	return e.sched.Now(int(h))
+}
+
+// setCauseFor marks the activity about to drive protocol callbacks for
+// host h and returns the slot's previous value; restoreCauseFor puts it
+// back. Lane handlers only ever touch their own host's slot.
+func (e *engine) setCauseFor(h mobile.HostID, c string) (prev string) {
+	s := e.laneOf(h)
+	prev = e.causeLane[s]
+	e.causeLane[s] = c
 	return prev
+}
+
+func (e *engine) restoreCauseFor(h mobile.HostID, prev string) {
+	e.causeLane[e.laneOf(h)] = prev
+}
+
+// setCauseAll stamps every lane's cause slot — legal only while
+// single-threaded (init and the world-stopped global phase, where a
+// marker or tick may checkpoint any host). restoreCauseAll undoes it; no
+// lane handler runs in between, so clobbering lane-local values is moot.
+func (e *engine) setCauseAll(c string) (prev string) {
+	prev = e.causeLane[0]
+	for i := range e.causeLane {
+		e.causeLane[i] = c
+	}
+	return prev
+}
+
+func (e *engine) restoreCauseAll(prev string) {
+	for i := range e.causeLane {
+		e.causeLane[i] = prev
+	}
 }
 
 // causeKey classifies a checkpoint for the E19 breakdown: the storage
@@ -435,9 +568,97 @@ type payload struct {
 	piggyback []any
 }
 
+// coreSched adapts pdes.Core to des.Sched for the world model. Labels
+// classify events: the three mobility transitions mutate cross-lane-
+// visible shared state (a hand-off moves the host between stations other
+// lanes' sends route through), so they are flagged as writes and execute
+// under the core's fence/serialization discipline; every other world
+// event is lane-local. Route — the message hop — is never a write: it
+// lands on the receiver's own timeline.
+type coreSched struct {
+	core *pdes.Core
+	e    *engine
+}
+
+// writeLabel reports whether a world event label names a shared-state
+// write. schedlint (internal/analysis) pins the label set: scheduling a
+// new shared-state mutation under a different label would silently race.
+func writeLabel(label string) bool {
+	switch label {
+	case "handoff", "disconnect", "reconnect":
+		return true
+	}
+	return false
+}
+
+// Now returns the virtual time on owner's timeline: the global clock
+// while single-threaded (pre-run scheduling and world-stopped global
+// events — a parked lane's local time would predate the global event),
+// the lane's local time while its handler executes.
+func (s *coreSched) Now(owner int) des.Time {
+	if s.e.inGlobalPhase {
+		return s.e.sim.Now()
+	}
+	return s.core.Now(owner)
+}
+
+func (s *coreSched) ScheduleArg(owner int, at des.Time, label string, fn des.ArgHandler, arg any) {
+	s.core.Schedule(owner, owner, at, fn, arg, writeLabel(label))
+}
+
+func (s *coreSched) ScheduleArgAfter(owner int, delay des.Time, label string, fn des.ArgHandler, arg any) {
+	s.core.Schedule(owner, owner, s.Now(owner)+delay, fn, arg, writeLabel(label))
+}
+
+func (s *coreSched) Route(from, owner int, at des.Time, label string, fn des.ArgHandler, arg any) {
+	s.core.Schedule(from, owner, at, fn, arg, false)
+}
+
 func newEngine(cfg Config) (*engine, error) {
 	e := &engine{cfg: cfg, sim: des.NewWith(cfg.Queue), reg: cfg.Metrics, tl: cfg.Timeline}
 	e.sim.Instrument(cfg.Metrics)
+	e.laneCount = 1
+	e.inGlobalPhase = true // single-threaded until the lanes start
+	if cfg.Engine != pdes.ModeSequential {
+		e.laneCount = cfg.Lanes
+		if e.laneCount <= 0 {
+			e.laneCount = runtime.GOMAXPROCS(0)
+		}
+		// The engine-side per-host timeline records through single-threaded
+		// paths; parallel runs hand Config.Timeline to the core instead,
+		// which emits lane-level windows, fences and global events.
+		e.tl = nil
+		core, err := pdes.NewCore(pdes.CoreConfig{
+			Mode:    cfg.Engine,
+			Lanes:   e.laneCount,
+			Queue:   cfg.Queue,
+			Horizon: cfg.Horizon,
+			// The minimum cross-lane message delay: every cross-lane hop is
+			// a wireless uplink to the receiver's station (Route at
+			// now + WirelessLatency); wired forwarding and the downlink
+			// happen on the receiving lane's own timeline.
+			Lookahead:  cfg.Mobile.WirelessLatency,
+			GlobalNext: e.sim.NextTime,
+			GlobalStep: func() {
+				e.inGlobalPhase = true
+				e.sim.Step()
+				e.inGlobalPhase = false
+			},
+			Timeline: cfg.Timeline,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.core = core
+		e.sched = &coreSched{core: core, e: e}
+		if e.reg != nil {
+			core.Stats().Instrument(e.reg)
+		}
+	} else {
+		e.sched = des.Solo(e.sim)
+	}
+	e.causeLane = make([]string, e.laneCount)
+	e.plFree = make([][]*payload, e.laneCount)
 	if e.tl != nil {
 		e.discAt = make([]des.Time, cfg.Mobile.NumHosts)
 		for i := range e.discAt {
@@ -449,7 +670,7 @@ func newEngine(cfg Config) (*engine, error) {
 	hooks := mobile.Hooks{
 		OnDeliver: e.onDeliver,
 		OnCellSwitch: func(now des.Time, h *mobile.Host, from, to mobile.MSSID) {
-			defer e.setCause(e.setCause("switch"))
+			defer e.restoreCauseFor(h.ID, e.setCauseFor(h.ID, "switch"))
 			for i, p := range e.protos {
 				p.OnCellSwitch(h.ID, to)
 				if e.checks != nil {
@@ -468,7 +689,7 @@ func newEngine(cfg Config) (*engine, error) {
 			e.recordMobility(h.ID, trace.Handoff, from, to, now)
 		},
 		OnDisconnect: func(now des.Time, h *mobile.Host) {
-			defer e.setCause(e.setCause("disconnect"))
+			defer e.restoreCauseFor(h.ID, e.setCauseFor(h.ID, "disconnect"))
 			for i, p := range e.protos {
 				p.OnDisconnect(h.ID)
 				if e.checks != nil {
@@ -488,7 +709,7 @@ func newEngine(cfg Config) (*engine, error) {
 			e.recordMobility(h.ID, trace.Disconnect, h.LastMSS(), mobile.NoMSS, now)
 		},
 		OnReconnect: func(now des.Time, h *mobile.Host, at mobile.MSSID) {
-			defer e.setCause(e.setCause("reconnect"))
+			defer e.restoreCauseFor(h.ID, e.setCauseFor(h.ID, "reconnect"))
 			for i, p := range e.protos {
 				p.OnReconnect(h.ID, at)
 				if e.checks != nil {
@@ -505,7 +726,7 @@ func newEngine(cfg Config) (*engine, error) {
 			e.recordMobility(h.ID, trace.Reconnect, mobile.NoMSS, at, now)
 		},
 	}
-	net, err := mobile.New(e.sim, cfg.Mobile, hooks)
+	net, err := mobile.NewSched(e.sched, e.laneCount, cfg.Mobile, hooks)
 	if err != nil {
 		return nil, err
 	}
@@ -523,7 +744,13 @@ func newEngine(cfg Config) (*engine, error) {
 	e.traces = make([]*trace.Trace, len(cfg.Protocols))
 	e.mlogs = make([]*mlog.Log, len(cfg.Protocols))
 	e.counts = make([][]int, len(cfg.Protocols))
-	e.causes = make([]map[string]int64, len(cfg.Protocols))
+	e.causesLane = make([][]map[string]int64, e.laneCount)
+	for l := range e.causesLane {
+		e.causesLane[l] = make([]map[string]int64, len(cfg.Protocols))
+		for i := range e.causesLane[l] {
+			e.causesLane[l][i] = make(map[string]int64)
+		}
+	}
 	if e.reg != nil {
 		e.ckptByCause = make([]map[string]*obs.Counter, len(cfg.Protocols))
 		e.forcedHost = make([][]*obs.Counter, len(cfg.Protocols))
@@ -531,9 +758,20 @@ func newEngine(cfg Config) (*engine, error) {
 	for i, name := range cfg.Protocols {
 		e.stores[i] = storage.NewStore(cfg.Cost)
 		e.counts[i] = make([]int, n)
-		e.causes[i] = make(map[string]int64)
 		if e.reg != nil {
 			e.ckptByCause[i] = make(map[string]*obs.Counter)
+			if e.core != nil {
+				// Pre-create the counters lane handlers may hit, so the
+				// cache map is never written concurrently: mobility and
+				// delivery events run on lanes, everything else (markers,
+				// ticks, joins) runs world-stopped and may still create
+				// counters lazily.
+				for _, key := range []string{"initial", "forced", "basic-switch", "basic-disconnect"} {
+					e.ckptByCause[i][key] = e.reg.Counter("sim_checkpoints_total",
+						"proto", string(name), "cause", key)
+				}
+				e.forcedHost[i] = make([]*obs.Counter, n)
+			}
 		}
 		if cfg.RecordTrace {
 			e.traces[i] = trace.New(n)
@@ -603,7 +841,7 @@ func newEngine(cfg Config) (*engine, error) {
 			return d
 		}
 	}
-	driver, err := workload.NewDriver(e.sim, net, cfg.Workload, cfg.Seed, cb)
+	driver, err := workload.NewDriverSched(e.sched, e.laneCount, net, cfg.Workload, cfg.Seed, cb)
 	if err != nil {
 		return nil, err
 	}
@@ -660,11 +898,12 @@ func newEngine(cfg Config) (*engine, error) {
 func (e *engine) checkpointer(i int) protocol.Checkpointer {
 	name := string(e.cfg.Protocols[i])
 	return func(h mobile.HostID, index int, kind storage.Kind) *storage.Record {
-		rec := e.stores[i].Take(h, e.net.Host(h).LastMSS(), index, kind, e.sim.Now())
+		lane := e.laneOf(h)
+		rec := e.stores[i].Take(h, e.net.Host(h).LastMSS(), index, kind, e.now(h))
 		e.counts[i][h]++
 		e.pendingLatency[h] += e.cfg.CheckpointLatency
-		key := causeKey(kind, e.cause)
-		e.causes[i][key]++
+		key := causeKey(kind, e.causeLane[lane])
+		e.causesLane[lane][i][key]++
 		if e.reg != nil {
 			c := e.ckptByCause[i][key]
 			if c == nil {
@@ -697,12 +936,14 @@ func (e *engine) checkpointer(i int) protocol.Checkpointer {
 // send runs every protocol's OnSend, assembles the piggyback slots and
 // hands the message to the network.
 func (e *engine) send(from, to mobile.HostID) {
-	prev := e.setCause("send") // restored below; this is the hot path, no defer
+	prev := e.setCauseFor(from, "send") // restored below; this is the hot path, no defer
+	lane := e.laneOf(from)
 	var pl *payload
-	if k := len(e.plFree); k > 0 {
-		pl = e.plFree[k-1]
-		e.plFree[k-1] = nil
-		e.plFree = e.plFree[:k-1]
+	if free := e.plFree[lane]; len(free) > 0 {
+		k := len(free)
+		pl = free[k-1]
+		free[k-1] = nil
+		e.plFree[lane] = free[:k-1]
 	} else {
 		pl = &payload{piggyback: make([]any, len(e.protos))}
 	}
@@ -725,13 +966,13 @@ func (e *engine) send(from, to mobile.HostID) {
 			tr.RecordSend(m.ID, from, to, e.counts[i][from], e.sim.Now())
 		}
 	}
-	e.setCause(prev)
+	e.restoreCauseFor(from, prev)
 }
 
 // onDeliver dispatches a delivered message to every protocol and records
 // the receiver-side trace positions (after any forced checkpoint).
 func (e *engine) onDeliver(now des.Time, h *mobile.Host, m *mobile.Message) {
-	prev := e.setCause("deliver") // restored below; this is the hot path, no defer
+	prev := e.setCauseFor(h.ID, "deliver") // restored below; this is the hot path, no defer
 	pl := m.Payload.(*payload)
 	if e.tl != nil {
 		e.tl.Instant(float64(now), int(h.ID), "deliver",
@@ -762,9 +1003,10 @@ func (e *engine) onDeliver(now des.Time, h *mobile.Host, m *mobile.Message) {
 		pl.piggyback[i] = nil
 	}
 	m.Payload = nil
-	e.plFree = append(e.plFree, pl)
+	lane := e.laneOf(h.ID)
+	e.plFree[lane] = append(e.plFree[lane], pl)
 	e.net.Recycle(m)
-	e.setCause(prev)
+	e.restoreCauseFor(h.ID, prev)
 }
 
 // recordMobility mirrors one mobility event into every recorded trace
@@ -786,7 +1028,7 @@ func (e *engine) scheduleSnapshots(i int, init protocol.Initiator) {
 	period := e.cfg.SnapshotPeriod
 	markerLatency := e.cfg.Mobile.WiredLatency + e.cfg.Mobile.WirelessLatency
 	tick := func(sim *des.Simulator, now des.Time) {
-		defer e.setCause(e.setCause("marker"))
+		defer e.restoreCauseAll(e.setCauseAll("marker"))
 		for _, h := range init.BeginSnapshot() {
 			h := h
 			// One location query per marker: the paper's drawback (1).
@@ -796,7 +1038,7 @@ func (e *engine) scheduleSnapshots(i int, init protocol.Initiator) {
 			}
 			sim.ScheduleAfter(markerLatency, "marker", func(sim *des.Simulator, now des.Time) {
 				if e.net.Host(h).Connected() {
-					defer e.setCause(e.setCause("marker"))
+					defer e.restoreCauseAll(e.setCauseAll("marker"))
 					init.OnMarker(h)
 					if e.checks != nil {
 						e.checks[i].AfterMarker(h)
@@ -815,7 +1057,7 @@ func (e *engine) scheduleSnapshots(i int, init protocol.Initiator) {
 func (e *engine) scheduleTicks(i int, per protocol.Periodic) {
 	period := e.cfg.SnapshotPeriod
 	tick := func(sim *des.Simulator, now des.Time) {
-		defer e.setCause(e.setCause("tick"))
+		defer e.restoreCauseAll(e.setCauseAll("tick"))
 		for h := 0; h < e.cfg.Mobile.NumHosts; h++ {
 			if e.net.Host(mobile.HostID(h)).Connected() {
 				per.OnTick(mobile.HostID(h))
@@ -876,7 +1118,7 @@ func (e *engine) scheduleGC() {
 // Dynamic) and into the workload. Hosts joining mid-run immediately
 // communicate and roam like any other.
 func (e *engine) join() {
-	defer e.setCause(e.setCause("join"))
+	defer e.restoreCauseAll(e.setCauseAll("join"))
 	if e.joinRNG == nil {
 		// Stream ids: host i owns 2i/2i+1, the loss model owns 1<<32;
 		// (1<<33)+1 collides with none of them at any feasible n.
@@ -893,6 +1135,15 @@ func (e *engine) join() {
 			"at", strconv.Itoa(int(at)))
 	}
 	e.pendingLatency = append(e.pendingLatency, 0)
+	if e.reg != nil && e.core != nil {
+		// Joins run world-stopped: grow the per-host counter tables here so
+		// the lanes never reallocate them mid-run.
+		for i := range e.forcedHost {
+			for int(id) >= len(e.forcedHost[i]) {
+				e.forcedHost[i] = append(e.forcedHost[i], nil)
+			}
+		}
+	}
 	for i, p := range e.protos {
 		d, ok := p.(protocol.Dynamic)
 		if !ok {
@@ -918,7 +1169,7 @@ func (e *engine) run() *Result {
 		}
 	}
 	func() {
-		defer e.setCause(e.setCause("init"))
+		defer e.restoreCauseAll(e.setCauseAll("init"))
 		for i, p := range e.protos {
 			p.Init()
 			if e.checks != nil {
@@ -958,14 +1209,31 @@ func (e *engine) run() *Result {
 		}
 	}
 	e.driver.Start()
+	if e.core != nil {
+		// The lanes execute the world; the coordinator interleaves the
+		// global timeline (markers, ticks, GC, joins) world-stopped. The
+		// post-run drain fires the global tail — timer events past the last
+		// lane event but at or before the horizon.
+		e.inGlobalPhase = false
+		e.core.Run()
+		e.inGlobalPhase = true
+	}
 	e.sim.Run(e.cfg.Horizon)
 
+	fired := e.sim.Fired()
+	if e.core != nil {
+		fired += e.core.Fired()
+	}
 	res := &Result{
 		Config:      e.cfg,
 		Network:     e.net.Counters(),
 		Workload:    e.driver.Counters(),
 		FinalHosts:  e.net.NumHosts(),
-		EventsFired: e.sim.Fired(),
+		EventsFired: fired,
+	}
+	if e.core != nil {
+		snap := e.core.Stats().Snapshot()
+		res.PDES = &snap
 	}
 	model := energy.DefaultModel()
 	for i, p := range e.protos {
@@ -989,7 +1257,13 @@ func (e *engine) run() *Result {
 		if init, ok := p.(protocol.Initiator); ok {
 			pr.CtrlMessages = init.ControlMessages()
 		}
-		pr.Causes = e.causes[i]
+		causes := make(map[string]int64)
+		for l := range e.causesLane {
+			for k, v := range e.causesLane[l][i] {
+				causes[k] += v
+			}
+		}
+		pr.Causes = causes
 		pr.PeakLiveRecords = e.peakLive[i]
 		pr.GCReclaimedRecords = e.gcReclaimed[i]
 		pr.JoinCtrlMessages = e.joinCtrl[i]

@@ -137,18 +137,31 @@ type Callbacks struct {
 	ExtraDelay func(h mobile.HostID) des.Time
 }
 
-// Driver schedules the workload processes on a DES simulator.
+// laneCounters is one lane's private Counters shard, padded against
+// false sharing between adjacent lanes.
+type laneCounters struct {
+	Counters
+	_ [64]byte
+}
+
+// Driver schedules the workload processes on a scheduling surface: the
+// sequential simulator via des.Solo, or a parallel lane kernel. Every
+// workload event is a self-schedule on the acting host's own timeline;
+// the mobility events carry the labels ("handoff", "disconnect",
+// "reconnect") the parallel engine uses to recognize shared-state writes
+// that need a fence.
 type Driver struct {
-	sim *des.Simulator
-	net *mobile.Network
-	cfg Config
-	cb  Callbacks
+	sched des.Sched
+	lanes int
+	net   *mobile.Network
+	cfg   Config
+	cb    Callbacks
 
 	opRNG  []*rng.Source // per-host operation stream
 	mobRNG []*rng.Source // per-host mobility stream
 
-	paused   []bool // host's operation loop stopped due to disconnection
-	counters Counters
+	paused   []bool         // host's operation loop stopped due to disconnection
+	counters []laneCounters // sharded by executing lane, merged in Counters()
 
 	// Pooled-event trampolines: one long-lived handler per process kind
 	// instead of one closure per scheduled event. Operations dominate the
@@ -166,21 +179,33 @@ type Driver struct {
 // drivers with equal seeds and configs generate identical executions,
 // which is what makes single-trace protocol comparison exact.
 func NewDriver(sim *des.Simulator, net *mobile.Network, cfg Config, seed uint64, cb Callbacks) (*Driver, error) {
+	return NewDriverSched(des.Solo(sim), 1, net, cfg, seed, cb)
+}
+
+// NewDriverSched creates a driver bound to an arbitrary scheduling
+// surface, with its counters sharded across lanes executing goroutines
+// (hosts map to shards by id % lanes, matching the parallel kernel).
+func NewDriverSched(sched des.Sched, lanes int, net *mobile.Network, cfg Config, seed uint64, cb Callbacks) (*Driver, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if cb.Send == nil || cb.Receive == nil {
 		return nil, fmt.Errorf("workload: Send and Receive callbacks are required")
 	}
+	if lanes < 1 {
+		return nil, fmt.Errorf("workload: lanes = %d, need >= 1", lanes)
+	}
 	n := net.NumHosts()
 	d := &Driver{
-		sim:    sim,
-		net:    net,
-		cfg:    cfg,
-		cb:     cb,
-		opRNG:  make([]*rng.Source, n),
-		mobRNG: make([]*rng.Source, n),
-		paused: make([]bool, n),
+		sched:    sched,
+		lanes:    lanes,
+		net:      net,
+		cfg:      cfg,
+		cb:       cb,
+		opRNG:    make([]*rng.Source, n),
+		mobRNG:   make([]*rng.Source, n),
+		paused:   make([]bool, n),
+		counters: make([]laneCounters, lanes),
 	}
 	d.opFn = func(sim *des.Simulator, now des.Time, arg any) { d.operate(arg.(mobile.HostID)) }
 	d.handoffFn = func(sim *des.Simulator, now des.Time, arg any) { d.handoff(arg.(mobile.HostID)) }
@@ -195,8 +220,25 @@ func NewDriver(sim *des.Simulator, net *mobile.Network, cfg Config, seed uint64,
 	return d, nil
 }
 
-// Counters returns a snapshot of the operation counters.
-func (d *Driver) Counters() Counters { return d.counters }
+// lane maps a host to its counter shard.
+func (d *Driver) lane(h mobile.HostID) int { return int(h) % d.lanes }
+
+// Counters returns a snapshot of the operation counters, merged across
+// lane shards. Call it only while the lanes are quiescent.
+func (d *Driver) Counters() Counters {
+	c := d.counters[0].Counters
+	for i := 1; i < len(d.counters); i++ {
+		s := &d.counters[i].Counters
+		c.Sends += s.Sends
+		c.Receives += s.Receives
+		c.EmptyReceives += s.EmptyReceives
+		c.Internal += s.Internal
+		c.Handoffs += s.Handoffs
+		c.Disconnects += s.Disconnects
+		c.Reconnects += s.Reconnects
+	}
+	return c
+}
 
 // AddHost starts the operation and mobility processes of a host that
 // joined after Start (ids are dense, assigned by mobile.Network.AddHost).
@@ -230,7 +272,7 @@ func (d *Driver) scheduleOperation(h mobile.HostID) {
 	if d.cb.ExtraDelay != nil {
 		delay += d.cb.ExtraDelay(h)
 	}
-	d.sim.ScheduleArgAfter(delay, "op", d.opFn, d.hostArg[h])
+	d.sched.ScheduleArgAfter(int(h), delay, "op", d.opFn, d.hostArg[h])
 }
 
 // operate performs one application operation for host h.
@@ -241,18 +283,19 @@ func (d *Driver) operate(h mobile.HostID) {
 		d.paused[h] = true
 		return
 	}
+	c := &d.counters[d.lane(h)].Counters
 	switch {
 	case !d.opRNG[h].Bernoulli(d.cfg.PComm):
-		d.counters.Internal++
+		c.Internal++
 	case d.opRNG[h].Bernoulli(d.cfg.PSend) && d.net.NumHosts() > 1:
 		to := d.pickDestination(h)
 		d.cb.Send(h, to)
-		d.counters.Sends++
+		c.Sends++
 	default:
 		if d.cb.Receive(h) {
-			d.counters.Receives++
+			c.Receives++
 		} else {
-			d.counters.EmptyReceives++
+			c.EmptyReceives++
 		}
 	}
 	d.scheduleOperation(h)
@@ -274,10 +317,10 @@ func (d *Driver) enterCell(h mobile.HostID) {
 	mean := d.cfg.PermanenceMean(h, d.net.NumHosts())
 	if src.Bernoulli(d.cfg.PSwitch) {
 		stay := des.Time(src.Exp(mean))
-		d.sim.ScheduleArgAfter(stay, "handoff", d.handoffFn, d.hostArg[h])
+		d.sched.ScheduleArgAfter(int(h), stay, "handoff", d.handoffFn, d.hostArg[h])
 	} else {
 		stay := des.Time(src.Exp(mean / 3))
-		d.sim.ScheduleArgAfter(stay, "disconnect", d.disconnectFn, d.hostArg[h])
+		d.sched.ScheduleArgAfter(int(h), stay, "disconnect", d.disconnectFn, d.hostArg[h])
 	}
 }
 
@@ -297,7 +340,7 @@ func (d *Driver) handoff(h mobile.HostID) {
 	if err := d.net.SwitchCell(h, to); err != nil {
 		panic("workload: " + err.Error()) // invariant violation, not a runtime condition
 	}
-	d.counters.Handoffs++
+	d.counters[d.lane(h)].Handoffs++
 	d.enterCell(h)
 }
 
@@ -326,9 +369,9 @@ func (d *Driver) disconnect(h mobile.HostID) {
 	if err := d.net.Disconnect(h); err != nil {
 		panic("workload: " + err.Error())
 	}
-	d.counters.Disconnects++
+	d.counters[d.lane(h)].Disconnects++
 	gone := des.Time(d.mobRNG[h].Exp(d.cfg.DisconnectMean))
-	d.sim.ScheduleArgAfter(gone, "reconnect", d.reconnectFn, d.hostArg[h])
+	d.sched.ScheduleArgAfter(int(h), gone, "reconnect", d.reconnectFn, d.hostArg[h])
 }
 
 // reconnect reattaches h at a uniformly chosen station and resumes its
@@ -338,7 +381,7 @@ func (d *Driver) reconnect(h mobile.HostID) {
 	if err := d.net.Reconnect(h, at); err != nil {
 		panic("workload: " + err.Error())
 	}
-	d.counters.Reconnects++
+	d.counters[d.lane(h)].Reconnects++
 	if d.paused[h] {
 		d.paused[h] = false
 		d.scheduleOperation(h)
