@@ -300,9 +300,32 @@ func BenchmarkObsOverhead(b *testing.B) {
 		}
 		b.ReportMetric(float64(events), "timeline_events/run")
 	})
-	if plain != nil && observed != nil {
+	// The engine-internals probes alone (no metrics registry, no
+	// timeline): the single-flag instrumentation of queue, pools and
+	// lanes that -probes enables. Its budget is the same as disabled —
+	// the counters are plain single-writer increments behind nil checks.
+	var probed *sim.Result
+	b.Run("probes", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := cfg
+			c.Probes = true
+			res, err := sim.Run(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			probed = res
+		}
+		if probed.Probes != nil {
+			b.ReportMetric(float64(probed.Probes.GlobalQueue.Pushes), "queue_pushes/run")
+			b.ReportMetric(float64(probed.Probes.EventPool.Hits), "pool_hits/run")
+		}
+	})
+	for _, other := range []*sim.Result{observed, probed} {
+		if plain == nil || other == nil {
+			continue
+		}
 		for i := range plain.Protocols {
-			p, o := &plain.Protocols[i], &observed.Protocols[i]
+			p, o := &plain.Protocols[i], &other.Protocols[i]
 			if p.Ntot != o.Ntot || p.Forced != o.Forced {
 				b.Fatalf("%s: observation perturbed the run: Ntot %d vs %d, forced %d vs %d",
 					p.Name, p.Ntot, o.Ntot, p.Forced, o.Forced)

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// metricDirection classifies a metric name for the regression check.
+type metricDirection int
+
+const (
+	// neutral metrics are deterministic outputs (event counts, N_tot
+	// rates, piggyback bytes per message): movement is reported — it
+	// means the workload changed — but never fails a perf diff.
+	neutral metricDirection = iota
+	lowerBetter
+	higherBetter
+)
+
+var lowerBetterMarks = []string{
+	"ns_per_op", "wall_seconds", "_seconds", "seconds.",
+	"bytes_per_op", "allocs_per_op", "rss", "spin_yields",
+}
+
+var higherBetterMarks = []string{"per_sec", "per_second", "throughput", "efficiency"}
+
+func direction(key string) metricDirection {
+	k := strings.ToLower(key)
+	for _, m := range higherBetterMarks {
+		if strings.Contains(k, m) {
+			return higherBetter
+		}
+	}
+	for _, m := range lowerBetterMarks {
+		if strings.Contains(k, m) {
+			return lowerBetter
+		}
+	}
+	return neutral
+}
+
+// finding is one metric's movement between two trajectory points.
+type finding struct {
+	key      string
+	from, to float64
+	rel      float64 // signed relative change, (to-from)/|from|
+	dir      metricDirection
+	level    string // "fail", "warn", "note"
+}
+
+// diffPoints compares every metric the two points share and returns
+// the findings that cross the thresholds, worst first. regression
+// reports whether any perf metric crossed failRel in the bad
+// direction.
+func diffPoints(from, to *point, warnRel, failRel float64) (findings []finding, regression bool) {
+	keys := make([]string, 0, len(from.Metrics))
+	for k := range from.Metrics {
+		if _, ok := to.Metrics[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		a, b := from.Metrics[k], to.Metrics[k]
+		if a == b {
+			continue
+		}
+		var rel float64
+		if a == 0 {
+			rel = math.Inf(1)
+			if b < 0 {
+				rel = math.Inf(-1)
+			}
+		} else {
+			rel = (b - a) / math.Abs(a)
+		}
+		f := finding{key: k, from: a, to: b, rel: rel, dir: direction(k)}
+		bad := 0.0 // magnitude of the move in the bad direction
+		switch f.dir {
+		case lowerBetter:
+			bad = rel
+		case higherBetter:
+			bad = -rel
+		case neutral:
+			if math.Abs(rel) >= warnRel {
+				f.level = "note"
+				findings = append(findings, f)
+			}
+			continue
+		}
+		switch {
+		case bad >= failRel:
+			f.level = "fail"
+			regression = true
+		case bad >= warnRel:
+			f.level = "warn"
+		case -bad >= warnRel:
+			f.level = "gain"
+		default:
+			continue
+		}
+		findings = append(findings, f)
+	}
+	rank := map[string]int{"fail": 0, "warn": 1, "gain": 2, "note": 3}
+	sort.SliceStable(findings, func(i, j int) bool {
+		if rank[findings[i].level] != rank[findings[j].level] {
+			return rank[findings[i].level] < rank[findings[j].level]
+		}
+		return math.Abs(findings[i].rel) > math.Abs(findings[j].rel)
+	})
+	return findings, regression
+}
+
+// runDiff compares two trajectory points and exits non-zero (by
+// returning an error) when a perf metric regressed past -fail.
+func runDiff(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	file := fs.String("file", "results/TRAJECTORY.json", "trajectory file")
+	fromRef := fs.String("from", "-2", "baseline point: git SHA, label, or negative index (-2 = previous)")
+	toRef := fs.String("to", "-1", "candidate point: git SHA, label, or negative index (-1 = latest)")
+	warnRel := fs.Float64("warn", 0.10, "relative change that prints a warning")
+	failRel := fs.Float64("fail", 0.25, "relative regression that fails the diff")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, err := loadTrajectory(*file)
+	if err != nil {
+		return err
+	}
+	if len(tr.Points) < 2 {
+		fmt.Fprintf(out, "benchdiff: only %d trajectory point(s) in %s; nothing to diff\n",
+			len(tr.Points), *file)
+		return nil
+	}
+	from, err := tr.find(*fromRef)
+	if err != nil {
+		return err
+	}
+	to, err := tr.find(*toRef)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "benchdiff: %s (%s) -> %s (%s)\n",
+		pointName(from), from.Date, pointName(to), to.Date)
+	if from.CPU != to.CPU || from.NumCPU != to.NumCPU {
+		fmt.Fprintf(out, "benchdiff: MACHINE CHANGED (%q/%d cpus -> %q/%d cpus): wall-clock deltas below are not comparable\n",
+			from.CPU, from.NumCPU, to.CPU, to.NumCPU)
+	}
+
+	findings, regression := diffPoints(from, to, *warnRel, *failRel)
+	if len(findings) == 0 {
+		fmt.Fprintf(out, "benchdiff: pass — no metric moved more than %.0f%%\n", *warnRel*100)
+		return nil
+	}
+	for _, f := range findings {
+		fmt.Fprintf(out, "  %-4s %-60s %14.4g -> %-14.4g %+7.1f%%\n",
+			f.level, f.key, f.from, f.to, f.rel*100)
+	}
+	counts := map[string]int{}
+	for _, f := range findings {
+		counts[f.level]++
+	}
+	fmt.Fprintf(out, "benchdiff: %d fail, %d warn, %d gain, %d note (thresholds: warn %.0f%%, fail %.0f%%)\n",
+		counts["fail"], counts["warn"], counts["gain"], counts["note"], *warnRel*100, *failRel*100)
+	if regression {
+		return fmt.Errorf("diff: %d metric(s) regressed more than %.0f%%", counts["fail"], *failRel*100)
+	}
+	fmt.Fprintln(out, "benchdiff: pass")
+	return nil
+}
+
+func pointName(p *point) string {
+	if p.Label != "" {
+		return p.SHA + "/" + p.Label
+	}
+	return p.SHA
+}

@@ -1,0 +1,138 @@
+// Command benchdiff maintains the repository's bench trajectory: a
+// committed, append-only series of canonicalized benchmark snapshots
+// (results/TRAJECTORY.json) that makes performance drift visible in
+// review instead of being discovered months later.
+//
+// Two subcommands:
+//
+//	benchdiff record -dir results -out results/TRAJECTORY.json \
+//	    -sha $(git rev-parse --short HEAD) -date $(date -u +%Y-%m-%dT%H:%M:%SZ)
+//
+// flattens every results/BENCH_*.json artifact — whatever its shape —
+// into a flat metric map (numeric leaves only, dotted paths, array
+// rows keyed by their identifying fields) and appends one point to the
+// trajectory. Run metadata (git SHA, timestamp, CPU, GOMAXPROCS)
+// comes in through flags so the tool itself never reads a wall clock:
+// the Makefile's shell is the single place that observes the world.
+//
+//	benchdiff diff -file results/TRAJECTORY.json [-from sha] [-to sha] \
+//	    [-warn 0.10] [-fail 0.25]
+//
+// compares two trajectory points (by default the last two) and
+// classifies every shared metric by a direction heuristic: throughput
+// metrics (events_per_sec, *_per_sec) should not fall, cost metrics
+// (ns_per_op, wall_seconds, bytes, allocs, RSS) should not rise, and
+// everything else — deterministic outputs like event counts and N_tot
+// rates — is reported when it moves but never fails the diff, because
+// a changed deterministic number is a semantics change for the
+// equivalence suites, not a performance regression. A regression past
+// -fail exits non-zero; past -warn it prints a warning and exits zero.
+// Machine changes (different cpu/num_cpu between the two points) are
+// flagged, since cross-machine wall-clock comparisons are noise.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = runRecord(os.Args[2:], os.Stdout)
+	case "diff":
+		err = runDiff(os.Args[2:], os.Stdout)
+	case "-h", "-help", "--help", "help":
+		usage(os.Stdout)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "benchdiff: unknown subcommand %q\n", os.Args[1])
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage:
+  benchdiff record -dir <benchdir> -out <trajectory.json> -sha <gitsha> -date <iso8601> [flags]
+  benchdiff diff   -file <trajectory.json> [-from sha] [-to sha] [-warn 0.10] [-fail 0.25]
+`)
+}
+
+// trajectory is the committed results/TRAJECTORY.json document.
+type trajectory struct {
+	Schema int     `json:"schema"`
+	Points []point `json:"points"`
+}
+
+// point is one canonicalized snapshot of every BENCH_* artifact.
+type point struct {
+	SHA       string             `json:"git_sha"`
+	Date      string             `json:"date"`
+	Label     string             `json:"label,omitempty"`
+	GOOS      string             `json:"goos,omitempty"`
+	GOARCH    string             `json:"goarch,omitempty"`
+	CPU       string             `json:"cpu,omitempty"`
+	NumCPU    int                `json:"num_cpu,omitempty"`
+	GoMaxProc int                `json:"gomaxprocs,omitempty"`
+	Sources   []string           `json:"sources"`
+	Metrics   map[string]float64 `json:"metrics"`
+}
+
+func loadTrajectory(path string) (*trajectory, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &trajectory{Schema: 1}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var tr trajectory
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if tr.Schema != 1 {
+		return nil, fmt.Errorf("%s: unsupported schema %d", path, tr.Schema)
+	}
+	return &tr, nil
+}
+
+func (tr *trajectory) save(path string) error {
+	var buf strings.Builder
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(tr); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(buf.String()), 0o644)
+}
+
+// find resolves a point reference: a git SHA, a label, or a negative
+// index from the end ("-1" = last, "-2" = one before).
+func (tr *trajectory) find(ref string) (*point, error) {
+	if n := len(tr.Points); strings.HasPrefix(ref, "-") {
+		var i int
+		if _, err := fmt.Sscanf(ref, "%d", &i); err == nil && -i >= 1 && -i <= n {
+			return &tr.Points[n+i], nil
+		}
+	}
+	for i := len(tr.Points) - 1; i >= 0; i-- {
+		p := &tr.Points[i]
+		if p.SHA == ref || p.Label == ref {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("no trajectory point %q (have %d points)", ref, len(tr.Points))
+}

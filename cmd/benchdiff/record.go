@@ -1,0 +1,163 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// runRecord flattens every BENCH_*.json under -dir into one trajectory
+// point and appends it to -out. A point with the same git SHA and
+// label is replaced in place, so re-recording on a dirty tree does not
+// grow the file.
+func runRecord(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	dir := fs.String("dir", "results", "directory holding BENCH_*.json artifacts")
+	outPath := fs.String("out", "results/TRAJECTORY.json", "trajectory file to append to")
+	sha := fs.String("sha", "", "git SHA of the recorded tree (required)")
+	date := fs.String("date", "", "ISO-8601 timestamp of the run (required; pass from the shell)")
+	label := fs.String("label", "", "optional human label for this point")
+	goos := fs.String("goos", "", "GOOS of the bench machine")
+	goarch := fs.String("goarch", "", "GOARCH of the bench machine")
+	cpu := fs.String("cpu", "", "CPU model of the bench machine")
+	numCPU := fs.Int("numcpu", 0, "logical CPUs on the bench machine")
+	gomaxprocs := fs.Int("gomaxprocs", 0, "GOMAXPROCS the benches ran with")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sha == "" || *date == "" {
+		return fmt.Errorf("record: -sha and -date are required (benchdiff never reads git or the clock itself)")
+	}
+
+	files, err := filepath.Glob(filepath.Join(*dir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return fmt.Errorf("record: no BENCH_*.json under %s", *dir)
+	}
+
+	p := point{
+		SHA: *sha, Date: *date, Label: *label,
+		GOOS: *goos, GOARCH: *goarch, CPU: *cpu,
+		NumCPU: *numCPU, GoMaxProc: *gomaxprocs,
+		Metrics: map[string]float64{},
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		var doc any
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		base := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(f), "BENCH_"), ".json")
+		n := len(p.Metrics)
+		flatten(doc, base, p.Metrics)
+		p.Sources = append(p.Sources, filepath.Base(f))
+		fmt.Fprintf(out, "benchdiff: %s -> %d metrics\n", filepath.Base(f), len(p.Metrics)-n)
+	}
+
+	tr, err := loadTrajectory(*outPath)
+	if err != nil {
+		return err
+	}
+	replaced := false
+	for i := range tr.Points {
+		if tr.Points[i].SHA == p.SHA && tr.Points[i].Label == p.Label {
+			tr.Points[i] = p
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		tr.Points = append(tr.Points, p)
+	}
+	if err := tr.save(*outPath); err != nil {
+		return err
+	}
+	verb := "appended"
+	if replaced {
+		verb = "replaced"
+	}
+	fmt.Fprintf(out, "benchdiff: %s point %s (%d metrics, %d points total) in %s\n",
+		verb, p.SHA, len(p.Metrics), len(tr.Points), *outPath)
+	return nil
+}
+
+// idKeys are the fields used — in this order — to give array elements
+// a stable identity instead of a brittle positional index, so a row
+// added in the middle of a sweep does not shift every later metric.
+var idKeys = []string{"benchmark", "name", "protocol", "hosts", "engine", "lanes", "queue"}
+
+// flatten walks an unmarshalled JSON document and records every
+// numeric leaf under a dotted path. Strings, booleans and nulls are
+// metadata, not metrics, and are skipped.
+func flatten(v any, prefix string, out map[string]float64) {
+	switch x := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			flatten(x[k], prefix+"."+k, out)
+		}
+	case []any:
+		for i, el := range x {
+			seg := elementID(el)
+			if seg == "" {
+				seg = fmt.Sprintf("%d", i)
+			}
+			key := prefix + "." + seg
+			if _, dup := seen(out, key); dup {
+				key = fmt.Sprintf("%s#%d", key, i)
+			}
+			flatten(el, key, out)
+		}
+	case float64:
+		out[prefix] = x
+	}
+}
+
+// elementID builds an identity segment like "h10000/conservative/l1"
+// from whatever idKeys an object element carries.
+func elementID(el any) string {
+	obj, ok := el.(map[string]any)
+	if !ok {
+		return ""
+	}
+	var parts []string
+	for _, k := range idKeys {
+		v, ok := obj[k]
+		if !ok {
+			continue
+		}
+		switch t := v.(type) {
+		case string:
+			parts = append(parts, t)
+		case float64:
+			parts = append(parts, fmt.Sprintf("%s%v", string(k[0]), t))
+		}
+	}
+	return strings.Join(parts, "/")
+}
+
+// seen reports whether any recorded metric already lives under the
+// given array-element prefix (used to disambiguate duplicate IDs).
+func seen(out map[string]float64, prefix string) (string, bool) {
+	for k := range out {
+		if k == prefix || strings.HasPrefix(k, prefix+".") {
+			return k, true
+		}
+	}
+	return "", false
+}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"mobickpt/internal/des"
 	"mobickpt/internal/obs"
@@ -60,6 +61,7 @@ func main() {
 		plot        = flag.Bool("plot", false, "render figures as ASCII log-log charts instead of tables")
 		pcomm       = flag.Float64("pcomm", 0.05, "probability an operation is a communication (calibration knob)")
 		csv         = flag.Bool("csv", false, "print CSV instead of aligned tables")
+		checkPairs  = flag.Bool("checkpairs", false, "verify every committed .txt/.csv table pair under -out (default results/) agrees, then exit")
 		outDir      = flag.String("out", "", "directory to also write per-table .txt and .csv files")
 		workers     = flag.Int("workers", 0, "worker pool size for parallel sweeps; 0 = GOMAXPROCS")
 	)
@@ -78,6 +80,19 @@ func main() {
 		if err := runScale(*scaleMax, qk, *seed, *outDir); err != nil {
 			fatal(err)
 		}
+		return
+	}
+
+	if *checkPairs {
+		dir := *outDir
+		if dir == "" {
+			dir = "results"
+		}
+		n, err := checkAllPairs(dir)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("checkpairs: %d txt/csv pair(s) under %s agree\n", n, dir)
 		return
 	}
 
@@ -110,10 +125,16 @@ func main() {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
 				fatal(err)
 			}
-			if err := os.WriteFile(filepath.Join(*outDir, name+".txt"), []byte(tab.String()), 0o644); err != nil {
+			txt, csvText := tab.String(), tab.CSV()
+			// Fail loudly if the two renderings ever diverge — a stale
+			// or hand-edited artifact pair must never be committed.
+			if err := stats.CheckPair(txt, csvText); err != nil {
+				fatal(fmt.Errorf("%s: txt/csv pair diverges: %w", name, err))
+			}
+			if err := os.WriteFile(filepath.Join(*outDir, name+".txt"), []byte(txt), 0o644); err != nil {
 				fatal(err)
 			}
-			if err := os.WriteFile(filepath.Join(*outDir, name+".csv"), []byte(tab.CSV()), 0o644); err != nil {
+			if err := os.WriteFile(filepath.Join(*outDir, name+".csv"), []byte(csvText), 0o644); err != nil {
 				fatal(err)
 			}
 		}
@@ -186,6 +207,38 @@ func main() {
 			emit(fmt.Sprintf("figure%d", spec.ID), tabs[i], nil)
 		}
 	}
+}
+
+// checkAllPairs verifies every <name>.txt that has a <name>.csv
+// sibling in dir and returns how many pairs were checked.
+func checkAllPairs(dir string) (int, error) {
+	txts, err := filepath.Glob(filepath.Join(dir, "*.txt"))
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, txtPath := range txts {
+		csvPath := strings.TrimSuffix(txtPath, ".txt") + ".csv"
+		csvData, err := os.ReadFile(csvPath)
+		if os.IsNotExist(err) {
+			continue // txt-only artifact (e.g. bench baselines)
+		}
+		if err != nil {
+			return n, err
+		}
+		txtData, err := os.ReadFile(txtPath)
+		if err != nil {
+			return n, err
+		}
+		if err := stats.CheckPair(string(txtData), string(csvData)); err != nil {
+			return n, fmt.Errorf("%s vs %s: %w", txtPath, csvPath, err)
+		}
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("checkpairs: no txt/csv pairs under %s", dir)
+	}
+	return n, nil
 }
 
 func fatal(err error) {

@@ -47,6 +47,8 @@ func main() {
 		logBatch   = flag.Int("logbatch", 0, "optimistic flush batch (0 = mlog default)")
 		metrics    = flag.Bool("metrics", false, "print the run's metrics as Prometheus text after the results (single-run mode)")
 		timeline   = flag.String("timeline", "", "write a per-host Chrome trace-event timeline (Perfetto-loadable) to this file (single-run mode)")
+		laneTl     = flag.String("lanetimeline", "", "write the engine's lane-execution timeline (window spans; parallel engines only, engine-dependent) to this file (single-run mode)")
+		probes     = flag.Bool("probes", false, "enable engine-internals probes (queue/pool/lane counters); adds a probes block to -json output (single-run mode)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -109,8 +111,8 @@ func main() {
 				float64(now), float64(cfg.Horizon), 100*float64(now)/float64(cfg.Horizon), fired)
 		}
 	}
-	if (*metrics || *timeline != "") && (*seeds > 1 || *audit) {
-		fmt.Fprintln(os.Stderr, "mhsim: -metrics and -timeline need single-run mode (-seeds 1, no -audit)")
+	if (*metrics || *timeline != "" || *laneTl != "" || *probes) && (*seeds > 1 || *audit) {
+		fmt.Fprintln(os.Stderr, "mhsim: -metrics, -timeline, -lanetimeline and -probes need single-run mode (-seeds 1, no -audit)")
 		os.Exit(2)
 	}
 
@@ -137,6 +139,10 @@ func main() {
 		if *timeline != "" {
 			cfg.Timeline = obs.NewTimeline()
 		}
+		if *laneTl != "" {
+			cfg.LaneTimeline = obs.NewTimeline()
+		}
+		cfg.Probes = *probes
 		res, err := sim.Run(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mhsim:", err)
@@ -148,6 +154,13 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Fprintf(os.Stderr, "mhsim: wrote timeline %s (%d events)\n", *timeline, cfg.Timeline.Len())
+		}
+		if *laneTl != "" {
+			if err := writeTimeline(*laneTl, cfg.LaneTimeline); err != nil {
+				fmt.Fprintln(os.Stderr, "mhsim:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "mhsim: wrote lane timeline %s (%d events)\n", *laneTl, cfg.LaneTimeline.Len())
 		}
 		if *jsonOut {
 			if err := res.ExportJSON(os.Stdout); err != nil {
@@ -227,6 +240,19 @@ func printRun(res *sim.Result, verbose bool) {
 			fmt.Printf("%s energy: %s  storage: %+v\n", pr.Name, pr.Energy, pr.Storage)
 		}
 		fmt.Printf("DES events fired: %d\n", res.EventsFired)
+		if p := res.Probes; p != nil {
+			fmt.Printf("probes: queue[%s] pushes=%d pops=%d maxlen=%d chain=%d sweep=%d resizes=%d\n",
+				p.GlobalQueue.Kind, p.GlobalQueue.Pushes, p.GlobalQueue.Pops, p.GlobalQueue.MaxLen,
+				p.GlobalQueue.ChainSteps, p.GlobalQueue.SweepSteps, p.GlobalQueue.Resizes)
+			fmt.Printf("probes: event pool hit=%d miss=%d recycled=%d; message pool hit=%d miss=%d recycled=%d\n",
+				p.EventPool.Hits, p.EventPool.Misses, p.EventPool.Recycled,
+				p.MessagePool.Hits, p.MessagePool.Misses, p.MessagePool.Recycled)
+			for i, lp := range p.LaneProbes {
+				fmt.Printf("probes: lane %d events=%d windows=%d mailbox=%d (peak %d) spinyields=%d queue{push=%d pop=%d maxlen=%d}\n",
+					i, lp.Events, lp.Windows, lp.MailboxMsgs, lp.MailboxPeak, lp.SpinYields,
+					p.LaneQueues[i].Pushes, p.LaneQueues[i].Pops, p.LaneQueues[i].MaxLen)
+			}
+		}
 		if st := res.PDES; st != nil {
 			fmt.Printf("pdes: mode=%s lanes=%d processed=%d windows=%d serial=%d fences=%d global=%d efficiency=%.3f\n",
 				st.Mode, st.Lanes, st.Processed, st.Windows, st.SerialSteps, st.WriteFences, st.GlobalEvents, st.Efficiency)

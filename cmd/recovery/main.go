@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"mobickpt/internal/des"
 	"mobickpt/internal/mlog"
@@ -40,6 +41,7 @@ func main() {
 		failed     = flag.Int("failed", 0, "host that crashes at the horizon")
 		logMode    = flag.String("log", "off", "MSS message logging: off, pessimistic or optimistic")
 		metrics    = flag.Bool("metrics", false, "print rollback metrics (Prometheus text, incl. the recovery_rollback_depth histogram) to stderr")
+		outDir     = flag.String("out", "", "directory to also write recovery.txt and recovery.csv (the pair is divergence-checked before writing)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -150,6 +152,25 @@ func main() {
 		tab.AddRow(row...)
 	}
 	fmt.Print(tab)
+	if *outDir != "" {
+		txt, csvText := tab.String(), tab.CSV()
+		if err := stats.CheckPair(txt, csvText); err != nil {
+			fmt.Fprintln(os.Stderr, "recovery: txt/csv pair diverges:", err)
+			os.Exit(1)
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "recovery:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(filepath.Join(*outDir, "recovery.txt"), []byte(txt), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "recovery:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(filepath.Join(*outDir, "recovery.csv"), []byte(csvText), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "recovery:", err)
+			os.Exit(1)
+		}
+	}
 	if reg != nil {
 		if err := reg.Snapshot().WritePrometheus(os.Stderr); err != nil {
 			fmt.Fprintln(os.Stderr, "recovery:", err)

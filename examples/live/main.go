@@ -5,16 +5,21 @@
 //
 //	go run ./examples/live
 //	go run ./examples/live -debug :6060   # keep a pprof+metrics endpoint up
+//	go run ./examples/live -timeline live.trace.json
 //
 // With -debug the process serves the standard /debug/pprof/ handlers and
 // a Prometheus /metrics endpoint (channel depths, goroutine count,
-// transport and checkpoint counters) while the cluster runs.
+// transport and checkpoint counters) while the cluster runs. With
+// -timeline it writes the cluster's protocol events — including the
+// send->deliver->forced-checkpoint flow chains and the recovery's
+// rollback flow — as Chrome trace JSON for Perfetto/chrome://tracing.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"mobickpt/internal/live"
 	"mobickpt/internal/mobile"
@@ -26,6 +31,7 @@ import (
 
 func main() {
 	debug := flag.String("debug", "", "serve /debug/pprof/ and /metrics on this address while running (e.g. :6060)")
+	timeline := flag.String("timeline", "", "write the protocol-event timeline (with causal flows) as Chrome trace JSON to this file")
 	flag.Parse()
 
 	cfg := live.DefaultConfig()
@@ -34,6 +40,9 @@ func main() {
 	cfg.OpsPerHost = 2000
 	cfg.DupProbability = 0.2 // a quite lossy-looking transport
 	cfg.Metrics = obs.NewRegistry()
+	if *timeline != "" {
+		cfg.Timeline = obs.NewTimeline()
+	}
 
 	cluster, err := live.NewCluster(cfg, func(n int, ck protocol.Checkpointer, store *storage.Store) protocol.Protocol {
 		return protocol.NewQBC(n, ck, store)
@@ -90,4 +99,18 @@ func main() {
 	replayed, _ := snap.Get("live_replayed_messages_total")
 	fmt.Printf("\nmetrics: %d frame bytes on the wire, %d checkpoints, %d messages replayed\n",
 		frames, ckpts, replayed)
+
+	if *timeline != "" {
+		f, err := os.Create(*timeline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cfg.Timeline.Export(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("timeline: %d events -> %s\n", cfg.Timeline.Len(), *timeline)
+	}
 }

@@ -36,6 +36,7 @@ import (
 
 	"mobickpt/internal/des/equeue"
 	"mobickpt/internal/obs"
+	"mobickpt/internal/obs/probe"
 )
 
 // Time is virtual simulation time, in the paper's abstract "time units".
@@ -129,6 +130,9 @@ type Simulator struct {
 	// only when metrics are enabled.
 	reg         *obs.Registry
 	labelCounts map[string]*obs.Counter
+
+	// probe counts event-pool traffic (nil unless EnableProbe was called).
+	probe *probe.PoolProbe
 }
 
 // New returns a simulator with the clock at 0, an empty queue, and the
@@ -163,8 +167,23 @@ func (s *Simulator) Instrument(reg *obs.Registry) {
 	}
 	s.reg = reg
 	s.labelCounts = make(map[string]*obs.Counter)
+	reg.Help("des_events_fired_total", "Events the discrete-event engine has executed.")
+	reg.Help("des_queue_depth", "Events currently pending in the event queue.")
+	reg.Help("des_events_by_label_total", "Events executed, by event label.")
 	reg.CounterFunc("des_events_fired_total", func() int64 { return int64(s.fired) })
 	reg.GaugeFunc("des_queue_depth", func() int64 { return int64(s.queue.Len()) })
+}
+
+// EnableProbe attaches engine-internals probes: pool counts event-pool
+// traffic (free-list hits, fresh allocations, recycles) and queue, when
+// non-nil, is handed to the pending-event set for its structural
+// counters. Probes follow the engine's single-threaded discipline; read
+// them only once Run has returned. Passing nil pointers detaches.
+func (s *Simulator) EnableProbe(pool *probe.PoolProbe, queue *probe.QueueProbe) {
+	s.probe = pool
+	if pq, ok := s.queue.(equeue.Probed); ok {
+		pq.SetProbe(queue)
+	}
 }
 
 // countLabel tallies one fired event by label (metrics enabled only).
@@ -201,9 +220,15 @@ func (s *Simulator) acquire(at Time, label string, pooled bool) *Event {
 		e = s.free
 		s.free = e.free
 		e.free = nil
+		if s.probe != nil {
+			s.probe.Hits++
+		}
 	} else {
 		e = &Event{}
 		e.ent.E = e
+		if s.probe != nil && pooled {
+			s.probe.Misses++
+		}
 	}
 	e.ent.At = float64(at)
 	e.ent.Seq = s.seq
@@ -223,6 +248,9 @@ func (s *Simulator) recycle(e *Event) {
 	e.label = ""
 	e.free = s.free
 	s.free = e
+	if s.probe != nil {
+		s.probe.Recycled++
+	}
 }
 
 // At schedules handler to run at absolute time at. Scheduling in the past

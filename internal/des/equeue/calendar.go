@@ -1,6 +1,10 @@
 package equeue
 
-import "sort"
+import (
+	"sort"
+
+	"mobickpt/internal/obs/probe"
+)
 
 // Calendar is Brown's calendar queue (R. Brown, "Calendar Queues: A
 // Fast O(1) Priority Queue Implementation for the Simulation Event Set
@@ -24,6 +28,21 @@ type Calendar struct {
 	n       int
 	width   float64
 	cur     int64 // absolute slot (not masked) where the sweep stands
+
+	probe *probe.QueueProbe // nil unless the observatory is attached
+}
+
+// SetProbe attaches (or, with nil, detaches) an internals probe. The
+// probe shares the queue's single-writer discipline: only the owning
+// goroutine may operate the queue, and readers must wait for the run to
+// quiesce.
+func (c *Calendar) SetProbe(p *probe.QueueProbe) {
+	c.probe = p
+	if p != nil {
+		p.Kind = "calendar"
+		p.Buckets = len(c.buckets)
+		p.Width = c.width
+	}
 }
 
 // calBucket is one day's entries, chained through Entry.next in
@@ -86,6 +105,12 @@ func (c *Calendar) Push(e *Entry) {
 		c.cur = slot
 	}
 	c.n++
+	if p := c.probe; p != nil {
+		p.Pushes++
+		if c.n > p.MaxLen {
+			p.MaxLen = c.n
+		}
+	}
 	if c.n > 2*len(c.buckets) {
 		c.resize(2 * len(c.buckets))
 	}
@@ -111,11 +136,19 @@ func (c *Calendar) insert(e *Entry, slot int64) {
 		b.head = e
 	default:
 		p := b.head
+		steps := 1
 		for p.next != nil && !e.before(p.next) {
 			p = p.next
+			steps++
 		}
 		e.next = p.next
 		p.next = e
+		if pr := c.probe; pr != nil {
+			pr.ChainSteps += uint64(steps)
+			if steps > pr.MaxChain {
+				pr.MaxChain = steps
+			}
+		}
 	}
 }
 
@@ -133,6 +166,10 @@ func (c *Calendar) Pop() *Entry {
 		b := &c.buckets[cur&c.mask]
 		if h := b.head; h != nil && c.slotOf(h.At) <= cur {
 			c.cur = cur
+			if p := c.probe; p != nil {
+				p.Pops++
+				p.SweepSteps += uint64(k + 1)
+			}
 			return c.take(b, h)
 		}
 		cur++
@@ -148,6 +185,11 @@ func (c *Calendar) Pop() *Entry {
 		}
 	}
 	c.cur = c.slotOf(best.At)
+	if p := c.probe; p != nil {
+		p.Pops++
+		p.SweepSteps += uint64(len(c.buckets))
+		p.DirectScans++
+	}
 	return c.take(bestB, best)
 }
 
@@ -165,6 +207,9 @@ func (c *Calendar) Peek() *Entry {
 		b := &c.buckets[cur&c.mask]
 		if h := b.head; h != nil && c.slotOf(h.At) <= cur {
 			c.cur = cur
+			if p := c.probe; p != nil {
+				p.SweepSteps += uint64(k + 1)
+			}
 			return h
 		}
 		cur++
@@ -177,6 +222,10 @@ func (c *Calendar) Peek() *Entry {
 		}
 	}
 	c.cur = c.slotOf(best.At)
+	if p := c.probe; p != nil {
+		p.SweepSteps += uint64(len(c.buckets))
+		p.DirectScans++
+	}
 	return best
 }
 
@@ -239,6 +288,14 @@ func (c *Calendar) Fix(e *Entry) {
 // the live population: roughly three events per occupied day (Brown's
 // rule of thumb), so sweeps touch O(1) entries per pop.
 func (c *Calendar) resize(size int) {
+	if p := c.probe; p != nil {
+		p.Resizes++
+		if size > len(c.buckets) {
+			p.Grows++
+		} else {
+			p.Shrinks++
+		}
+	}
 	all := make([]*Entry, 0, c.n)
 	for i := range c.buckets {
 		for p := c.buckets[i].head; p != nil; p = p.next {
@@ -278,6 +335,10 @@ func (c *Calendar) resize(size int) {
 		c.cur = c.slotOf(all[0].At)
 	} else {
 		c.cur = 0
+	}
+	if p := c.probe; p != nil {
+		p.Buckets = len(c.buckets)
+		p.Width = c.width
 	}
 }
 

@@ -24,6 +24,8 @@
 // implementation selected.
 package equeue
 
+import "mobickpt/internal/obs/probe"
+
 // Entry is one queued occurrence. The owner (des) sets At and Seq
 // before pushing and must not mutate them while the entry is queued
 // except through Queue.Fix. E points back at the owner's event record;
@@ -77,4 +79,11 @@ type Queue interface {
 	// it on an unqueued entry is undefined; des only calls it on
 	// entries it just verified are queued.
 	Fix(e *Entry)
+}
+
+// Probed is implemented by queues that can expose an internals probe
+// (both in-tree queues do). Owners attach probes by type-asserting so
+// the Queue contract itself stays free of observability concerns.
+type Probed interface {
+	SetProbe(*probe.QueueProbe)
 }

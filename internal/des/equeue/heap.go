@@ -1,5 +1,7 @@
 package equeue
 
+import "mobickpt/internal/obs/probe"
+
 // Heap is the reference pending-event set: a hand-written binary
 // min-heap ordered by (At, Seq). It is the default implementation and
 // the one the paper-figure gate runs against; the calendar queue must
@@ -8,11 +10,22 @@ package equeue
 // Hand-written rather than container/heap so the comparisons inline and
 // no interface dispatch sits on the hot path.
 type Heap struct {
-	s []*Entry
+	s     []*Entry
+	probe *probe.QueueProbe
 }
 
 // NewHeap returns an empty heap.
 func NewHeap() *Heap { return &Heap{} }
+
+// SetProbe attaches (or, with nil, detaches) an internals probe. The
+// heap has no structural counters beyond push/pop volume and peak
+// occupancy; the interesting internals live on the calendar queue.
+func (h *Heap) SetProbe(p *probe.QueueProbe) {
+	h.probe = p
+	if p != nil {
+		p.Kind = "heap"
+	}
+}
 
 // Len returns the number of queued entries.
 func (h *Heap) Len() int { return len(h.s) }
@@ -22,12 +35,21 @@ func (h *Heap) Push(e *Entry) {
 	e.pos = int32(len(h.s))
 	h.s = append(h.s, e)
 	h.up(len(h.s) - 1)
+	if p := h.probe; p != nil {
+		p.Pushes++
+		if len(h.s) > p.MaxLen {
+			p.MaxLen = len(h.s)
+		}
+	}
 }
 
 // Pop removes and returns the minimum entry, or nil when empty.
 func (h *Heap) Pop() *Entry {
 	if len(h.s) == 0 {
 		return nil
+	}
+	if p := h.probe; p != nil {
+		p.Pops++
 	}
 	e := h.s[0]
 	last := len(h.s) - 1

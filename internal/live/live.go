@@ -26,6 +26,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"mobickpt/internal/mlog"
 	"mobickpt/internal/mobile"
@@ -77,6 +78,17 @@ type Config struct {
 	// /metrics endpoint) while the cluster runs — the sampled readers
 	// take the cluster's locks.
 	Metrics *obs.Registry
+
+	// Timeline, when non-nil, records the cluster's protocol events —
+	// sends, deliveries, checkpoints, cell switches, disconnections,
+	// joins and recoveries — with the same causal flow chains the sim
+	// engine emits: each packet's flow links its send to its delivery and
+	// to the forced checkpoints that delivery induces, and each Recover
+	// links the failure to every host it rolls back. Timestamps are a
+	// logical tick (the cluster has no virtual clock), so the trace shows
+	// ordering and causality, not durations; unlike the sim's timeline it
+	// is scheduler-dependent — a record of this run, not of "the" run.
+	Timeline *obs.Timeline
 }
 
 // DefaultConfig returns a small cluster that exercises every mechanism.
@@ -206,8 +218,22 @@ type Cluster struct {
 	ckpts   *obs.Counter
 	replays *obs.Counter
 
+	// tl is the protocol-event timeline (nil unless Config.Timeline); a
+	// nil *obs.Timeline discards records, so emission sites are
+	// unconditional. ltick is the logical clock stamped on its events.
+	// deliveringHost/deliveringFlow stash, under mu, the packet currently
+	// being delivered so the checkpointer can chain forced checkpoints
+	// into its flow (mirroring the sim engine's per-lane stash).
+	tl             *obs.Timeline
+	ltick          atomic.Uint64
+	deliveringHost mobile.HostID
+	deliveringFlow uint64
+
 	nextID uint64
 }
+
+// tick returns the next logical timestamp for the timeline.
+func (c *Cluster) tick() float64 { return float64(c.ltick.Add(1)) }
 
 // NewCluster wires a cluster; Run starts it.
 func NewCluster(cfg Config, mk NewProtocol) (*Cluster, error) {
@@ -253,6 +279,13 @@ func NewCluster(cfg Config, mk NewProtocol) (*Cluster, error) {
 		}
 		c.mlog = lg
 	}
+	c.deliveringHost = -1
+	c.tl = cfg.Timeline
+	if c.tl != nil {
+		for h := 0; h < cfg.Hosts; h++ {
+			c.tl.SetTrack(h, fmt.Sprintf("MH %d", h))
+		}
+	}
 	c.proto = mk(cfg.Hosts, c.checkpointer(), c.store)
 	c.instrument(cfg.Metrics)
 	return c, nil
@@ -267,6 +300,23 @@ func (c *Cluster) instrument(reg *obs.Registry) {
 		return
 	}
 	c.reg = reg
+	for _, h := range [][2]string{
+		{"live_checkpoints_total", "Checkpoints taken by the live cluster's hosts."},
+		{"live_replayed_messages_total", "Logged messages re-delivered during recovery."},
+		{"live_sent_total", "Packets handed to the transport."},
+		{"live_delivered_total", "Packets delivered to their destination host."},
+		{"live_duplicates_suppressed_total", "Duplicate deliveries dropped by the at-least-once filter."},
+		{"live_switches_total", "Host migrations between station cells."},
+		{"live_disconnects_total", "Host disconnections from the network."},
+		{"live_joined_total", "Hosts that joined the cluster after start."},
+		{"live_frame_bytes_total", "Encoded frame bytes put on the wire."},
+		{"live_state_bytes_total", "Checkpoint state bytes shipped to stations."},
+		{"live_decode_errors_total", "Frames that failed wire decoding."},
+		{"live_uplink_depth", "Frames queued in a station's wired inbox."},
+		{"live_downlink_depth_total", "Frames queued across all host downlinks."},
+	} {
+		reg.Help(h[0], h[1])
+	}
 	c.ckpts = reg.Counter("live_checkpoints_total")
 	c.replays = reg.Counter("live_replayed_messages_total")
 
@@ -334,6 +384,16 @@ func (c *Cluster) checkpointer() protocol.Checkpointer {
 		c.ckpts.Inc()
 		seq := c.counts[h]
 		c.counts[h]++
+		if c.tl != nil {
+			now := c.tick()
+			c.tl.Instant(now, int(h), "checkpoint",
+				"kind", kind.String(), "index", strconv.Itoa(index))
+			if kind == storage.Forced && c.deliveringHost == h {
+				// Induced by the packet this delivery is processing (the
+				// caller holds mu): chain it into that packet's flow.
+				c.tl.FlowStep(now, int(h), "msg-flow", c.deliveringFlow)
+			}
+		}
 
 		st := c.group.Station(c.station[h])
 		before := st.WiredBytes()
@@ -460,6 +520,11 @@ func (c *Cluster) addHost() (mobile.HostID, chan packet) {
 		c.mu.Unlock()
 		panic("live: protocol does not support dynamic joins")
 	}
+	if c.tl != nil {
+		c.tl.SetTrack(int(h), fmt.Sprintf("MH %d (joined)", h))
+		c.tl.Instant(c.tick(), int(h), "join",
+			"at", strconv.Itoa(int(h)%c.cfg.Stations))
+	}
 	d.OnJoin(h)
 	c.mu.Unlock()
 
@@ -556,6 +621,12 @@ func (c *Cluster) send(from, to mobile.HostID, src *rng.Source) {
 	id := c.nextID
 	c.nextID++
 	c.tr.RecordSend(id, from, to, c.counts[from], 0)
+	if c.tl != nil {
+		now := c.tick()
+		c.tl.Instant(now, int(from), "send",
+			"to", strconv.Itoa(int(to)), "msg", strconv.FormatUint(id, 10))
+		c.tl.FlowBegin(now, int(from), "msg-flow", id, "to", strconv.Itoa(int(to)))
+	}
 	// The send is an event of the application: it dirties some state.
 	var scratch [16]byte
 	for i := range scratch {
@@ -610,7 +681,18 @@ func (c *Cluster) deliver(h mobile.HostID, pkt packet, seen map[uint64]bool) {
 	}
 	seen[p.ID] = true
 	c.mu.Lock()
+	if c.tl != nil {
+		now := c.tick()
+		c.tl.Instant(now, int(h), "deliver",
+			"from", strconv.Itoa(int(p.From)), "msg", strconv.FormatUint(p.ID, 10))
+		c.tl.FlowStep(now, int(h), "msg-flow", p.ID)
+		c.deliveringHost, c.deliveringFlow = h, p.ID
+	}
 	c.proto.OnDeliver(h, p.From, p.Piggyback)
+	if c.tl != nil {
+		c.deliveringHost = -1
+		c.tl.FlowEnd(c.tick(), int(h), "msg-flow", p.ID)
+	}
 	c.tr.RecordDeliver(p.ID, c.counts[h], 0)
 	if c.mlog != nil {
 		c.dirMu.Lock()
@@ -637,6 +719,10 @@ func (c *Cluster) switchCell(h mobile.HostID, src *rng.Source) {
 	c.dirMu.Unlock()
 
 	c.mu.Lock()
+	if c.tl != nil {
+		c.tl.Instant(c.tick(), int(h), "handoff",
+			"from", strconv.Itoa(cur), "to", strconv.Itoa(next))
+	}
 	c.proto.OnCellSwitch(h, mobile.MSSID(next))
 	var entries []*mlog.Entry
 	if c.mlog != nil {
@@ -694,6 +780,9 @@ func (c *Cluster) transferLog(h mobile.HostID, from, to mobile.MSSID, entries []
 // buffering, which is the MSS parking messages).
 func (c *Cluster) disconnect(h mobile.HostID) {
 	c.mu.Lock()
+	if c.tl != nil {
+		c.tl.Instant(c.tick(), int(h), "disconnect")
+	}
 	c.proto.OnDisconnect(h)
 	if c.mlog != nil {
 		// The delivery stream pauses: make the logged prefix durable.
@@ -711,6 +800,9 @@ func (c *Cluster) reconnect(h mobile.HostID) {
 	at := c.station[h]
 	c.dirMu.Unlock()
 	c.mu.Lock()
+	if c.tl != nil {
+		c.tl.Instant(c.tick(), int(h), "reconnect", "at", strconv.Itoa(at))
+	}
 	c.proto.OnReconnect(h, mobile.MSSID(at))
 	c.mu.Unlock()
 }

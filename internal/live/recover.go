@@ -2,6 +2,7 @@ package live
 
 import (
 	"fmt"
+	"strconv"
 
 	"mobickpt/internal/check"
 	"mobickpt/internal/mlog"
@@ -74,6 +75,16 @@ func (c *Cluster) Recover(failed mobile.HostID) (*RecoveryReport, error) {
 		return nil, fmt.Errorf("live: recovery cut still has %d orphans", o)
 	}
 
+	// The rollback flow links the failure to every host the cut rolls
+	// back. The id space (bit 63 set, then a per-recovery ordinal) is
+	// disjoint from the packet-id message flows.
+	rollFlow := uint64(1)<<63 | c.nextID
+	c.nextID++
+	if c.tl != nil {
+		c.tl.FlowBegin(c.tick(), int(failed), "rollback-flow", rollFlow,
+			"failed", strconv.Itoa(int(failed)))
+	}
+
 	rep := &RecoveryReport{
 		Failed:      failed,
 		Cut:         cut,
@@ -100,6 +111,11 @@ func (c *Cluster) Recover(failed mobile.HostID) (*RecoveryReport, error) {
 		}
 		rep.BytesRestored += int64(len(im.Data))
 		rep.Restored[mobile.HostID(h)] = ord
+		if c.tl != nil {
+			now := c.tick()
+			c.tl.Instant(now, h, "rollback", "to", strconv.Itoa(ord))
+			c.tl.FlowStep(now, h, "rollback-flow", rollFlow)
+		}
 
 		if c.mlog != nil {
 			entries := c.mlog.ReplayFrom(mobile.HostID(h), ord)
@@ -123,6 +139,11 @@ func (c *Cluster) Recover(failed mobile.HostID) (*RecoveryReport, error) {
 		}
 	}
 	c.replays.Add(int64(rep.ReplayedMessages))
+	if c.tl != nil {
+		c.tl.FlowEnd(c.tick(), int(failed), "rollback-flow", rollFlow,
+			"restored", strconv.Itoa(len(rep.Restored)),
+			"replayed", strconv.Itoa(rep.ReplayedMessages))
+	}
 	recovery.ObserveRollback(c.reg, "live", cut, c.counts)
 	return rep, nil
 }

@@ -214,6 +214,18 @@ func (l *Log) Instrument(reg *obs.Registry, kv ...string) {
 	if reg == nil {
 		return
 	}
+	for _, h := range [][2]string{
+		{"mlog_appended_total", "Message deliveries appended to the MSS log."},
+		{"mlog_flushes_total", "Log flushes to stable storage."},
+		{"mlog_flushed_entries_total", "Entries made stable by flushes."},
+		{"mlog_stable_bytes_total", "Bytes written to stable log storage."},
+		{"mlog_handoffs_total", "Log segments handed off between stations on cell switch."},
+		{"mlog_transfer_bytes_total", "Bytes shipped between stations by log handoffs."},
+		{"mlog_pruned_total", "Log entries pruned after checkpoint garbage collection."},
+		{"mlog_retained_entries", "Log entries currently retained across all hosts."},
+	} {
+		reg.Help(h[0], h[1])
+	}
 	reg.CounterFunc("mlog_appended_total", func() int64 { return l.counters.Appended }, kv...)
 	reg.CounterFunc("mlog_flushes_total", func() int64 { return l.counters.Flushes }, kv...)
 	reg.CounterFunc("mlog_flushed_entries_total", func() int64 { return l.counters.FlushedEntries }, kv...)

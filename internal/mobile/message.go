@@ -18,6 +18,13 @@ type Message struct {
 	Payload   any
 	Hops      int // total hops traversed (wireless + wired), for cost models
 
+	// Flow is an engine-assigned causal-flow id carried from send to
+	// delivery for the timeline's flow events. Unlike ID (an atomic
+	// allocation counter whose order depends on lane scheduling), Flow is
+	// derived from deterministic per-sender ordinals, so traces stay
+	// byte-identical across engines. The network never reads it.
+	Flow uint64
+
 	// route is the station the in-flight message is headed to (the
 	// argument of its pending arrive/downlink event), so one long-lived
 	// handler serves every hop without per-hop closures.
@@ -94,8 +101,14 @@ func (n *Network) Send(from, to HostID, payload any) (*Message, error) {
 		free[k-1] = nil
 		n.msgFree[lane] = free[:k-1]
 		*m = Message{}
+		if n.poolProbe != nil {
+			n.poolProbe[lane].Hits++
+		}
 	} else {
 		m = &Message{}
+		if n.poolProbe != nil {
+			n.poolProbe[lane].Misses++
+		}
 	}
 	now := n.sched.Now(int(from))
 	m.ID = n.nextMsg.Add(1) - 1
@@ -219,4 +232,7 @@ func (n *Network) Recycle(m *Message) {
 	m.Payload = nil
 	lane := n.lane(m.To)
 	n.msgFree[lane] = append(n.msgFree[lane], m)
+	if n.poolProbe != nil {
+		n.poolProbe[lane].Recycled++
+	}
 }

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"mobickpt/internal/des"
+	"mobickpt/internal/obs/probe"
 )
 
 // HostID identifies a mobile host, 0-based.
@@ -236,6 +237,22 @@ type Network struct {
 	// per lane: Send pops on the sender's lane, Recycle pushes on the
 	// receiver's — each list is only ever touched by its lane's goroutine.
 	msgFree [][]*Message
+
+	// poolProbe, when attached, counts message-pool traffic per lane. Each
+	// shard follows the same single-writer discipline as msgFree: Send
+	// writes the sender's shard, Recycle the receiver's.
+	poolProbe []probe.PoolProbe
+}
+
+// SetPoolProbe attaches per-lane message-pool probes (index = executing
+// lane; len must be the network's lane count) or detaches them with nil.
+// Probes live outside Counters so the merged counter struct — which tests
+// compare wholesale — is unchanged whether or not the observatory is on.
+func (n *Network) SetPoolProbe(p []probe.PoolProbe) {
+	if p != nil && len(p) != n.lanes {
+		panic(fmt.Sprintf("mobile: pool probe shards = %d, lanes = %d", len(p), n.lanes))
+	}
+	n.poolProbe = p
 }
 
 // New creates a network in which host i starts connected to station

@@ -54,17 +54,39 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// escapeHelp applies the Prometheus text-format escaping rules for
+// # HELP text: backslash and newline (quotes stay literal).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// helpFor returns the HELP text for a metric name: the registered text
+// when present, otherwise a readable fallback derived from the name,
+// so that every exposed metric family carries a # HELP line.
+func (s Snapshot) helpFor(name string) string {
+	if t, ok := s.Help[name]; ok {
+		return t
+	}
+	return strings.ReplaceAll(name, "_", " ") + "."
+}
+
 // WritePrometheus renders the snapshot in the Prometheus text exposition
-// format (version 0.0.4): one # TYPE header per metric name, counters
-// and gauges as plain samples, histograms as cumulative _bucket series
+// format (version 0.0.4): one # HELP and # TYPE header per metric name
+// (registered help text, or a name-derived fallback), counters and
+// gauges as plain samples, histograms as cumulative _bucket series
 // plus _sum and _count.
 func (s Snapshot) WritePrometheus(w io.Writer) error {
 	var b strings.Builder
+	header := func(name, typ string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n", name, escapeHelp(s.helpFor(name)))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, typ)
+	}
 	writeScalars := func(samples []Sample, typ string) {
 		lastName := ""
 		for _, sm := range samples {
 			if sm.Name != lastName {
-				fmt.Fprintf(&b, "# TYPE %s %s\n", sm.Name, typ)
+				header(sm.Name, typ)
 				lastName = sm.Name
 			}
 			fmt.Fprintf(&b, "%s%s %d\n", sm.Name, renderLabels(sm.Labels), sm.Value)
@@ -75,7 +97,7 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	lastName := ""
 	for _, h := range s.Histograms {
 		if h.Name != lastName {
-			fmt.Fprintf(&b, "# TYPE %s histogram\n", h.Name)
+			header(h.Name, "histogram")
 			lastName = h.Name
 		}
 		for i, bound := range h.Bounds {

@@ -221,6 +221,7 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	funcs    map[string]*sampled
+	help     map[string]string // metric name -> # HELP text
 }
 
 // NewRegistry returns an empty registry.
@@ -230,7 +231,21 @@ func NewRegistry() *Registry {
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 		funcs:    make(map[string]*sampled),
+		help:     make(map[string]string),
 	}
+}
+
+// Help registers the # HELP text for a metric name (all label
+// combinations of the name share it, as Prometheus requires). Metrics
+// without registered help get a text derived from the name, so every
+// exposed family carries a HELP line. No-op on a nil registry.
+func (r *Registry) Help(name, text string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[name] = text
 }
 
 // Counter returns (registering on first use) the counter with the given
@@ -354,6 +369,9 @@ type Snapshot struct {
 	Counters   []Sample          `json:"counters,omitempty"`
 	Gauges     []Sample          `json:"gauges,omitempty"`
 	Histograms []HistogramSample `json:"histograms,omitempty"`
+	// Help maps metric names to their registered # HELP text. Names
+	// without an entry get a derived text at exposition time.
+	Help map[string]string `json:"help,omitempty"`
 }
 
 // Snapshot captures every instrument. Callback instruments are sampled
@@ -384,6 +402,12 @@ func (r *Registry) Snapshot() Snapshot {
 	funcs := make([]*sampled, 0, len(r.funcs))
 	for _, f := range r.funcs {
 		funcs = append(funcs, f) //lint:allow simlint/maporder staging only; sortSamples orders the derived snapshot
+	}
+	if len(r.help) > 0 {
+		s.Help = make(map[string]string, len(r.help))
+		for k, v := range r.help {
+			s.Help[k] = v //lint:allow simlint/maporder map-to-map copy; exposition renders per sorted sample name
+		}
 	}
 	r.mu.Unlock()
 

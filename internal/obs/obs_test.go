@@ -36,6 +36,9 @@ func TestNilSafety(t *testing.T) {
 	var tl *Timeline
 	tl.Instant(1, 0, "e")
 	tl.Span(1, 2, 0, "s")
+	tl.FlowBegin(1, 0, "flow", 7)
+	tl.FlowStep(2, 1, "flow", 7)
+	tl.FlowEnd(2, 1, "flow", 7)
 	tl.SetTrack(0, "x")
 	if tl.Len() != 0 {
 		t.Fatal("nil timeline recorded events")
@@ -200,17 +203,29 @@ func TestSampledFuncs(t *testing.T) {
 
 // parsePrometheus is a minimal validator of the text exposition format:
 // every non-comment line must be `name{labels} value` or `name value`,
-// label values must be correctly quoted, and # TYPE lines must precede
-// their samples.
+// label values must be correctly quoted, and every metric family must
+// carry a # HELP line followed by its # TYPE line before any sample.
 func parsePrometheus(t *testing.T, text string) map[string]float64 {
 	t.Helper()
 	samples := make(map[string]float64)
 	typed := make(map[string]string)
+	helped := make(map[string]string)
 	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || help == "" {
+				t.Fatalf("bad HELP line %q", line)
+			}
+			helped[name] = help
+			continue
+		}
 		if strings.HasPrefix(line, "# TYPE ") {
 			parts := strings.Fields(line)
 			if len(parts) != 4 {
 				t.Fatalf("bad TYPE line %q", line)
+			}
+			if _, ok := helped[parts[2]]; !ok {
+				t.Fatalf("TYPE line %q has no preceding HELP line", line)
 			}
 			typed[parts[2]] = parts[3]
 			continue
@@ -319,6 +334,50 @@ func TestPrometheusExport(t *testing.T) {
 	}
 }
 
+// Every instrument family — counters, gauges, histograms, and the
+// sampled CounterFunc/GaugeFunc instruments — must expose a # HELP
+// line: the registered text when Help was called, a name-derived
+// fallback otherwise, with backslashes and newlines escaped.
+func TestPrometheusHelp(t *testing.T) {
+	r := NewRegistry()
+	r.Help("a_total", "Things counted.")
+	r.Counter("a_total", "proto", "QBC").Inc()
+	r.Counter("unhelped_total").Inc() // no Help registered: fallback
+	r.Help("depth_now", `escape \ and
+newline`)
+	r.Gauge("depth_now").Set(3)
+	r.Help("lat", "Latency ladder.")
+	r.Histogram("lat", []float64{1, 2}).Observe(1)
+	r.Help("cf_total", "Sampled counter.")
+	r.CounterFunc("cf_total", func() int64 { return 1 })
+	r.Help("gf_now", "Sampled gauge.")
+	r.GaugeFunc("gf_now", func() int64 { return 2 })
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	parsePrometheus(t, text) // enforces HELP-before-TYPE-before-samples
+
+	for _, want := range []string{
+		"# HELP a_total Things counted.\n",
+		"# HELP unhelped_total unhelped total.\n",
+		`# HELP depth_now escape \\ and\nnewline` + "\n",
+		"# HELP lat Latency ladder.\n",
+		"# HELP cf_total Sampled counter.\n",
+		"# HELP gf_now Sampled gauge.\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// One HELP line per family, not per labeled sample.
+	if n := strings.Count(text, "# HELP a_total"); n != 1 {
+		t.Errorf("a_total has %d HELP lines, want 1", n)
+	}
+}
+
 func TestSnapshotJSONRoundTrip(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("a_total", "k", "v").Add(4)
@@ -416,6 +475,90 @@ func TestTimelineRoundTrip(t *testing.T) {
 	}
 }
 
+// Flow events round-trip through export/import byte-identically and
+// carry their binding id in the Chrome legacy flow encoding.
+func TestTimelineFlowRoundTrip(t *testing.T) {
+	tl := NewTimeline()
+	tl.SetTrack(0, "MH 0")
+	tl.SetTrack(1, "MH 1")
+	tl.Instant(1, 0, "send", "to", "1")
+	tl.FlowBegin(1, 0, "msg-flow", 42, "to", "1")
+	tl.FlowStep(3, 1, "msg-flow", 42)
+	tl.FlowEnd(3.5, 1, "msg-flow", 42)
+
+	var a bytes.Buffer
+	if err := tl.Export(&a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ImportTimeline(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := got.Export(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("flow round trip not byte-identical:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	evs := got.Events()
+	if len(evs) != 4 {
+		t.Fatalf("imported %d events, want 4", len(evs))
+	}
+	phases := []string{"i", "s", "t", "f"}
+	for i, want := range phases {
+		if evs[i].Phase != want {
+			t.Fatalf("event %d phase = %q, want %q (%+v)", i, evs[i].Phase, want, evs[i])
+		}
+	}
+	for _, ev := range evs[1:] {
+		if ev.ID != "42" {
+			t.Fatalf("flow event id = %q, want 42 (%+v)", ev.ID, ev)
+		}
+	}
+	if evs[3].Bind != "e" {
+		t.Fatalf("flow end bind = %q, want e", evs[3].Bind)
+	}
+}
+
+// Export order is canonical (track, per-track sequence): recording the
+// same per-track streams under a different cross-track interleaving
+// exports byte-identically — the property the parallel engines lean on.
+func TestTimelineCanonicalOrder(t *testing.T) {
+	a, b := NewTimeline(), NewTimeline()
+	for _, tl := range []*Timeline{a, b} {
+		tl.SetTrack(0, "MH 0")
+		tl.SetTrack(1, "MH 1")
+	}
+	// Interleaving 1: track 0 first, then track 1.
+	a.Instant(1, 0, "send", "to", "1")
+	a.Instant(5, 0, "checkpoint")
+	a.Instant(3, 1, "deliver", "from", "0")
+	a.Instant(4, 1, "checkpoint")
+	// Interleaving 2: alternating, as two lanes would emit.
+	b.Instant(3, 1, "deliver", "from", "0")
+	b.Instant(1, 0, "send", "to", "1")
+	b.Instant(4, 1, "checkpoint")
+	b.Instant(5, 0, "checkpoint")
+
+	var ea, eb bytes.Buffer
+	if err := a.Export(&ea); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Export(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ea.Bytes(), eb.Bytes()) {
+		t.Fatalf("interleaving leaked into export:\n%s\nvs\n%s", ea.String(), eb.String())
+	}
+	evs := a.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Tid < evs[i-1].Tid {
+			t.Fatalf("events not track-ordered: %+v before %+v", evs[i-1], evs[i])
+		}
+	}
+}
+
 func TestServeDebug(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("served_total").Add(9)
@@ -448,6 +591,18 @@ func TestServeDebug(t *testing.T) {
 	resp2.Body.Close()
 	if resp2.StatusCode != http.StatusOK {
 		t.Fatalf("pprof endpoint status %d", resp2.StatusCode)
+	}
+	resp3, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health, err := io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp3.StatusCode != http.StatusOK || strings.TrimSpace(string(health)) != "ok" {
+		t.Fatalf("/healthz = %d %q, want 200 ok", resp3.StatusCode, health)
 	}
 }
 

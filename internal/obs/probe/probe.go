@@ -1,0 +1,82 @@
+// Package probe holds the engine-internals counters behind the
+// observatory: pending-event-set shape (calendar bucket occupancy,
+// chain scans, resizes), object-pool traffic (hit/miss/recycle), and
+// per-lane PDES behaviour (window occupancy, mailbox depth, frontier
+// spin-yields). The structs are plain data on purpose:
+//
+//   - Writers are single-threaded by construction. Each probe instance
+//     is owned by exactly one goroutine at a time — a lane, the
+//     sequential engine, or the world-stopped coordinator — so the hot
+//     path pays one nil check and an integer increment, no atomics, no
+//     allocation.
+//   - Readers wait for quiescence. Reports are assembled after Run has
+//     returned (goroutine join gives the happens-before edge); metrics
+//     funcs registered over probe fields are sampled at Snapshot time,
+//     which the engines only reach once the run is done.
+//
+// A nil probe pointer disables the instrumentation entirely; every
+// hook site guards with a nil check so the probe-off path stays within
+// the observability overhead budget (BenchmarkObsOverhead).
+package probe
+
+// QueueProbe counts the internals of one pending-event set. The heap
+// fills only the generic fields; the calendar queue additionally
+// exposes the structural counters behind its large-n behaviour (the
+// data explaining the calendar-vs-heap gap measured in E21/E22).
+type QueueProbe struct {
+	Kind   string `json:"kind"`
+	Pushes uint64 `json:"pushes"`
+	Pops   uint64 `json:"pops"`
+	MaxLen int    `json:"max_len"`
+
+	// Calendar internals. ChainSteps counts entries walked to find the
+	// insert position inside a bucket chain; SweepSteps counts buckets
+	// probed by the day-sweep in Pop/Peek; DirectScans counts the
+	// far-future fallbacks that scan every bucket for the global
+	// minimum. Resizes/Grows/Shrinks count re-bucketings, and
+	// Buckets/Width record the final geometry.
+	ChainSteps  uint64  `json:"chain_steps,omitempty"`
+	MaxChain    int     `json:"max_chain,omitempty"`
+	SweepSteps  uint64  `json:"sweep_steps,omitempty"`
+	DirectScans uint64  `json:"direct_scans,omitempty"`
+	Resizes     uint64  `json:"resizes,omitempty"`
+	Grows       uint64  `json:"grows,omitempty"`
+	Shrinks     uint64  `json:"shrinks,omitempty"`
+	Buckets     int     `json:"buckets,omitempty"`
+	Width       float64 `json:"width,omitempty"`
+}
+
+// PoolProbe counts one object pool's traffic: Hits are acquisitions
+// served from the free list, Misses fresh allocations, Recycled
+// returns to the free list.
+type PoolProbe struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Recycled uint64 `json:"recycled"`
+}
+
+// Live returns the objects currently outstanding (allocated but not
+// recycled); after a drained run it is the permanently retained count.
+func (p *PoolProbe) Live() int64 {
+	return int64(p.Hits+p.Misses) - int64(p.Recycled)
+}
+
+// Merge folds o into p (summing lane shards of one logical pool).
+func (p *PoolProbe) Merge(o PoolProbe) {
+	p.Hits += o.Hits
+	p.Misses += o.Misses
+	p.Recycled += o.Recycled
+}
+
+// LaneProbe counts one PDES lane's behaviour. SpinYields is the
+// wall-clock-free proxy for barrier/frontier wait: the number of
+// scheduler yields the lane burned while blocked on the bounded-lag
+// frontier (detlint forbids real clocks in the engines, and a yield
+// count is deterministic enough to compare run-to-run on one box).
+type LaneProbe struct {
+	Events      uint64 `json:"events"`
+	Windows     uint64 `json:"windows"`
+	MailboxPeak int    `json:"mailbox_peak"`
+	MailboxMsgs uint64 `json:"mailbox_msgs"`
+	SpinYields  uint64 `json:"spin_yields"`
+}

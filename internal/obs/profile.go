@@ -55,7 +55,9 @@ func RegisterRuntimeGauges(reg *Registry) {
 	if reg == nil {
 		return
 	}
+	reg.Help("go_goroutines", "Goroutines currently live in the process.")
 	reg.GaugeFunc("go_goroutines", func() int64 { return int64(runtime.NumGoroutine()) })
+	reg.Help("go_heap_alloc_bytes", "Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).")
 	reg.GaugeFunc("go_heap_alloc_bytes", func() int64 {
 		var m runtime.MemStats
 		runtime.ReadMemStats(&m)
@@ -64,9 +66,10 @@ func RegisterRuntimeGauges(reg *Registry) {
 }
 
 // ServeDebug starts an HTTP server on addr exposing the standard pprof
-// endpoints under /debug/pprof/ and, when reg is non-nil, a Prometheus
-// text endpoint at /metrics. It returns the server (Close to stop) and
-// the bound address (addr may use port 0). The caller owns the server.
+// endpoints under /debug/pprof/, a liveness probe at /healthz, and,
+// when reg is non-nil, a Prometheus text endpoint at /metrics. It
+// returns the server (Close to stop) and the bound address (addr may
+// use port 0). The caller owns the server.
 func ServeDebug(addr string, reg *Registry) (*http.Server, string, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -74,6 +77,10 @@ func ServeDebug(addr string, reg *Registry) (*http.Server, string, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
 	if reg != nil {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -10,6 +10,7 @@ import (
 	"mobickpt/internal/des"
 	"mobickpt/internal/des/equeue"
 	"mobickpt/internal/obs"
+	"mobickpt/internal/obs/probe"
 )
 
 func toBits(f float64) uint64   { return math.Float64bits(f) }
@@ -92,8 +93,24 @@ type CoreConfig struct {
 	GlobalStep func()
 	// Timeline, when non-nil, receives lane-level spans (windows,
 	// serialized write steps, global events) emitted by the coordinator.
-	// All content is virtual-time stamped and deterministic.
+	// All content is virtual-time stamped, but which spans exist depends
+	// on the mode and lane count — this is an engine-internals surface,
+	// distinct from the engine-independent per-host timeline the world
+	// model keeps.
 	Timeline *obs.Timeline
+	// Probe, when non-nil, receives per-lane internals counters; NewCore
+	// sizes its slices to Lanes and attaches the queue probes. Read it
+	// only after Run has returned.
+	Probe *CoreProbe
+}
+
+// CoreProbe is the lane-indexed internals instrumentation of one core
+// run: per-lane execution shape and per-lane pending-event-set
+// structure. Each slice element is written only by its lane's goroutine
+// (or the world-stopped coordinator); readers wait for Run to return.
+type CoreProbe struct {
+	Lanes  []probe.LaneProbe  `json:"lanes"`
+	Queues []probe.QueueProbe `json:"queues"`
 }
 
 // laneEvent is one lane-queued occurrence. The equeue entry's Seq field
@@ -129,6 +146,8 @@ type lane struct {
 	cmd  chan float64 // conservative mode: window bound broadcasts
 
 	fired uint64 // events executed on this lane (flushed to Stats at stop)
+
+	probe *probe.LaneProbe // nil unless CoreConfig.Probe was set
 
 	mu  sync.Mutex
 	box []*laneEvent
@@ -190,6 +209,12 @@ func (l *lane) drain() {
 	if len(l.box) == 0 {
 		l.mu.Unlock()
 		return
+	}
+	if p := l.probe; p != nil {
+		p.MailboxMsgs += uint64(len(l.box))
+		if len(l.box) > p.MailboxPeak {
+			p.MailboxPeak = len(l.box)
+		}
 	}
 	for _, ev := range l.box {
 		l.q.Push(&ev.ent)
@@ -270,6 +295,9 @@ func (l *lane) exec(ev *laneEvent) {
 	l.lvt = t
 	ev.fn(nil, t, ev.arg)
 	l.fired++
+	if l.probe != nil {
+		l.probe.Events++
+	}
 	if ev.write {
 		l.whPop()
 	}
@@ -324,6 +352,10 @@ func NewCore(cfg CoreConfig) (*Core, error) {
 	c.stats.Lanes = cfg.Lanes
 	c.stats.Mode = cfg.Mode
 	c.globalAt.Store(toBits(math.Inf(1)))
+	if cfg.Probe != nil {
+		cfg.Probe.Lanes = make([]probe.LaneProbe, cfg.Lanes)
+		cfg.Probe.Queues = make([]probe.QueueProbe, cfg.Lanes)
+	}
 	for i := 0; i < cfg.Lanes; i++ {
 		l := &lane{id: i, cmd: make(chan float64)}
 		switch cfg.Queue {
@@ -331,6 +363,12 @@ func NewCore(cfg CoreConfig) (*Core, error) {
 			l.q = equeue.NewCalendar()
 		default:
 			l.q = equeue.NewHeap()
+		}
+		if cfg.Probe != nil {
+			l.probe = &cfg.Probe.Lanes[i]
+			if pq, ok := l.q.(equeue.Probed); ok {
+				pq.SetProbe(&cfg.Probe.Queues[i])
+			}
 		}
 		l.mailMin.store(math.Inf(1), 0)
 		l.writeHz.store(math.Inf(1), 0)
@@ -531,6 +569,7 @@ func (c *Core) runConservative() {
 func (c *Core) laneWindows(l *lane) {
 	defer c.wg.Done()
 	for w := range l.cmd {
+		ran := false
 		for {
 			e := l.q.Peek()
 			if e == nil || e.At >= w {
@@ -538,6 +577,11 @@ func (c *Core) laneWindows(l *lane) {
 			}
 			l.q.Pop()
 			l.exec(e.E.(*laneEvent))
+			ran = true
+		}
+		if ran && l.probe != nil {
+			// Window occupancy: windows in which this lane had any work.
+			l.probe.Windows++
 		}
 		c.done <- l.id
 	}
@@ -632,13 +676,13 @@ func (c *Core) laneFree(l *lane) {
 		e := l.q.Peek()
 		if e == nil {
 			l.nextPub.store(inf, 0)
-			spinWait(&spins)
+			l.spinYield(&spins)
 			continue
 		}
 		t, key := e.At, e.Seq
 		l.nextPub.store(t, key)
 		if t >= c.hb {
-			spinWait(&spins)
+			l.spinYield(&spins)
 			continue
 		}
 		// The global clock and the arrival bound are key-0 points (global
@@ -666,7 +710,7 @@ func (c *Core) laneFree(l *lane) {
 			}
 		}
 		if !ok {
-			spinWait(&spins)
+			l.spinYield(&spins)
 			continue
 		}
 		if mt, mk := l.mailMin.load(); !pointLess(t, key, mt, mk) {
@@ -681,7 +725,7 @@ func (c *Core) laneFree(l *lane) {
 			// be publishing that event's point), and cannot start one past
 			// it while our writeHz pins its bound.
 			if !c.fenceReady(l, t, key) {
-				spinWait(&spins)
+				l.spinYield(&spins)
 				continue
 			}
 			c.stats.WriteFences.Add(1)
@@ -720,12 +764,45 @@ func spinWait(n *int) {
 	}
 }
 
+// spinYield is spinWait for a lane's own wait loop: it additionally
+// counts the yields as the lane's frontier/barrier-wait proxy (the
+// engines may not read wall clocks, so burned yields stand in for
+// blocked time).
+func (l *lane) spinYield(n *int) {
+	*n++
+	if *n > 64 {
+		runtime.Gosched()
+		if l.probe != nil {
+			l.probe.SpinYields++
+		}
+	}
+}
+
 // Instrument registers the pdes instruments on reg: processed/committed
 // event totals, rollback and anti-message counters, GVT activity, and
 // the conservative-driver shape. Gauges sample the live atomics.
 func (s *Stats) Instrument(reg *obs.Registry) {
 	if reg == nil {
 		return
+	}
+	for _, h := range [][2]string{
+		{"pdes_lanes", "Logical processes (lanes) the parallel engine runs."},
+		{"pdes_events_processed_total", "Events executed, including any later rolled back."},
+		{"pdes_events_committed_total", "Events committed past GVT (never undone)."},
+		{"pdes_rollbacks_total", "Time Warp rollbacks triggered by straggler messages."},
+		{"pdes_events_rolled_back_total", "Events undone by rollbacks."},
+		{"pdes_anti_messages_sent_total", "Anti-messages sent to cancel optimistic sends."},
+		{"pdes_anti_messages_annihilated_total", "Anti-messages that met and cancelled their positive message."},
+		{"pdes_gvt_rounds_total", "Global-virtual-time computation rounds."},
+		{"pdes_gvt_lag_max_millitu", "Largest observed lag behind GVT, in milli-time-units."},
+		{"pdes_windows_total", "Synchronization windows executed by the bounded-lag drivers."},
+		{"pdes_serial_steps_total", "World-stopped serial steps (joins, global events)."},
+		{"pdes_write_fences_total", "Cross-lane write fences taken by the conservative driver."},
+		{"pdes_global_events_total", "Events executed in the world-stopped global phase."},
+		{"pdes_fossils_total", "State records reclaimed by fossil collection."},
+		{"pdes_efficiency_ppm", "Committed/processed event ratio, in parts per million."},
+	} {
+		reg.Help(h[0], h[1])
 	}
 	reg.GaugeFunc("pdes_lanes", func() int64 { return int64(s.Lanes) })
 	reg.CounterFunc("pdes_events_processed_total", func() int64 { return int64(s.Processed.Load()) })

@@ -14,6 +14,8 @@ func ObserveRollback(reg *obs.Registry, label string, cut Cut, counts []int) {
 	if reg == nil {
 		return
 	}
+	reg.Help("recovery_rollback_depth", "Checkpoints discarded per rolled-back host (the paper's undone-computation cost).")
+	reg.Help("recovery_rollbacks_total", "Executed crash recoveries.")
 	hist := reg.Histogram("recovery_rollback_depth", obs.LinearBuckets(1, 1, 16), "run", label)
 	reg.Counter("recovery_rollbacks_total", "run", label).Inc()
 	for h, ord := range cut {

@@ -26,6 +26,10 @@ type exportedResult struct {
 	Workload       exportedWorkload   `json:"workload"`
 	Network        exportedNetwork    `json:"network"`
 	Protocols      []exportedProtocol `json:"protocols"`
+	// Probes is engine-dependent (lane shapes, pool traffic); it is only
+	// present when the run enabled Config.Probes, so probe-free exports
+	// stay byte-identical across engines.
+	Probes *ProbeReport `json:"probes,omitempty"`
 }
 
 type exportedWorkload struct {
@@ -97,6 +101,7 @@ func (r *Result) ExportJSON(w io.Writer) error {
 	for _, at := range r.Config.JoinTimes {
 		out.JoinTimes = append(out.JoinTimes, float64(at))
 	}
+	out.Probes = r.Probes
 	for _, pr := range r.Protocols {
 		out.Protocols = append(out.Protocols, exportedProtocol{
 			Name:            string(pr.Name),

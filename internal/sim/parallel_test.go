@@ -163,3 +163,39 @@ func TestEngineAllocsPerEvent(t *testing.T) {
 		t.Fatalf("engine allocates %.4f per event (limit 0.5): pooling regressed", perEvent)
 	}
 }
+
+// TestProbeAllocOverhead guards the engine-internals probes' allocation
+// contract: the probe-off hot path is nil checks only (no allocation
+// beyond the baseline engine), and probes-on adds just the O(1) probe
+// structures at startup — an allocating increment on the per-event path
+// would show up as a per-event delta here.
+func TestProbeAllocOverhead(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc bounds only hold without -race")
+	}
+	cfg := sweepConfig()
+	var events uint64
+	measure := func(probes bool) float64 {
+		c := cfg
+		c.Probes = probes
+		return testing.AllocsPerRun(3, func() {
+			res, err := Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			events = res.EventsFired
+		})
+	}
+	off := measure(false)
+	on := measure(true)
+	if events == 0 {
+		t.Fatal("run fired no events")
+	}
+	delta := on - off
+	t.Logf("allocs/run: probes off %.0f, on %.0f (delta %.0f over %d events)", off, on, delta, events)
+	// The probed run allocates its report and O(1) probe cells; anything
+	// scaling with the event count means a hot-path increment allocates.
+	if delta > 200 {
+		t.Fatalf("probes add %.0f allocs/run (limit 200): a probe hook allocates on the hot path", delta)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"mobickpt/internal/mlog"
 	"mobickpt/internal/mobile"
 	"mobickpt/internal/obs"
+	"mobickpt/internal/obs/probe"
 	"mobickpt/internal/pdes"
 	"mobickpt/internal/protocol"
 	"mobickpt/internal/recovery"
@@ -126,11 +127,34 @@ type Config struct {
 
 	// Timeline, when non-nil, records per-host instants and spans —
 	// checkpoints (with kind and cause), hand-offs, disconnection
-	// periods, message sends/deliveries and log flushes — exportable as
-	// Chrome trace-event JSON (obs.Timeline.Export). The recording is
-	// deterministic given the seed: two same-seed runs export
-	// byte-identical timelines.
+	// periods, message sends/deliveries and log flushes — plus causal
+	// flow events chaining each send to its delivery and the forced
+	// checkpoints that delivery induces, exportable as Chrome trace-event
+	// JSON (obs.Timeline.Export). The recording is deterministic given
+	// the seed *and engine-independent*: two same-seed runs export
+	// byte-identical timelines on any Engine at any lane count
+	// (TestTimelineEngineEquivalence). Every track-h event is emitted on
+	// h's own timeline — by h's lane or the world-stopped coordinator —
+	// so per-track order is a pure function of the trace.
 	Timeline *obs.Timeline
+
+	// LaneTimeline, when non-nil, additionally records the parallel
+	// engine's execution shape — per-lane windows, write fences and
+	// world-stopped global events — on lane-indexed tracks. Unlike
+	// Timeline this view is engine-*dependent* by nature (a different
+	// lane count is a different execution), so it exports separately.
+	// Requires a parallel Engine.
+	LaneTimeline *obs.Timeline
+
+	// Probes, when true, attaches the engine-internals probes: event/
+	// message pool hit rates, pending-event-set structure (calendar
+	// bucket occupancy, chain-scan lengths, resizes), and — on parallel
+	// engines — per-lane window/mailbox/spin counters. The counters are
+	// plain single-writer cells read after the run: Result.Probes carries
+	// the report, and with Metrics set they also surface as sim_probe_*
+	// instruments (scrape only at quiescence). Probes never perturb the
+	// trace: figures are bit-identical with probes on and off.
+	Probes bool
 
 	// Progress, when non-nil, is invoked every ProgressEvery simulated
 	// time units with the current virtual time and the events fired so
@@ -244,6 +268,9 @@ func (c Config) Validate() error {
 	}
 	if c.ProgressEvery < 0 {
 		return fmt.Errorf("sim: negative ProgressEvery")
+	}
+	if c.LaneTimeline != nil && c.Engine == pdes.ModeSequential {
+		return fmt.Errorf("sim: LaneTimeline requires a parallel Engine (there are no lanes to record)")
 	}
 	switch c.Engine {
 	case pdes.ModeSequential:
@@ -371,6 +398,25 @@ type Result struct {
 	// deliberately excluded from ExportJSON so exports stay byte-identical
 	// across engines.
 	PDES *pdes.StatsSnapshot
+	// Probes is the engine-internals report (nil unless Config.Probes).
+	// ExportJSON includes it under "probes" when present; like PDES it is
+	// engine-dependent, so cross-engine export comparisons either run
+	// probe-free or strip the field.
+	Probes *ProbeReport
+}
+
+// ProbeReport aggregates the run's engine-internals probes (see
+// internal/obs/probe): the global simulator's pending-event-set and event
+// pool, the message pool merged across lanes, and — for parallel engines
+// — the per-lane execution and queue internals.
+type ProbeReport struct {
+	Engine      string             `json:"engine"`
+	Lanes       int                `json:"lanes"`
+	GlobalQueue probe.QueueProbe   `json:"global_queue"`
+	EventPool   probe.PoolProbe    `json:"event_pool"`
+	MessagePool probe.PoolProbe    `json:"message_pool"`
+	LaneProbes  []probe.LaneProbe  `json:"lane_probes,omitempty"`
+	LaneQueues  []probe.QueueProbe `json:"lane_queues,omitempty"`
 }
 
 // Protocol returns the result for the named protocol, or nil.
@@ -471,6 +517,27 @@ type engine struct {
 	ckptByCause []map[string]*obs.Counter // cached sim_checkpoints_total counters
 	forcedHost  [][]*obs.Counter          // cached per-host forced-checkpoint counters
 	discAt      []des.Time                // timeline only: disconnect start per host, -1 when connected
+
+	// Flow-id machinery (timeline only). sendOrd[h] counts host h's sends;
+	// the flow id uint64(h)<<32|ordinal is a pure function of the trace —
+	// unlike mobile.Message.ID, whose atomic allocation order depends on
+	// lane scheduling — so flow chains are byte-identical across engines.
+	// flowLane/flowHostLane stash the message currently being delivered on
+	// each lane so the checkpointer can link the forced checkpoints that
+	// delivery induces into the same flow. Each slot is touched only by
+	// its lane's goroutine (or the world-stopped coordinator); slices grow
+	// only world-stopped (joins).
+	sendOrd      []uint64
+	flowLane     []uint64
+	flowHostLane []mobile.HostID
+
+	// Engine-internals probes (zero/nil unless Config.Probes). All are
+	// single-writer cells read after the run (DESIGN.md: probes and
+	// overhead).
+	coreProbe *pdes.CoreProbe
+	msgProbe  []probe.PoolProbe // per-lane message pool shards (mobile)
+	simPool   probe.PoolProbe   // global simulator's event pool
+	simQueue  probe.QueueProbe  // global simulator's pending-event set
 }
 
 // markDisconnected records the start of host h's disconnection span for
@@ -617,6 +684,9 @@ func (s *coreSched) Route(from, owner int, at des.Time, label string, fn des.Arg
 func newEngine(cfg Config) (*engine, error) {
 	e := &engine{cfg: cfg, sim: des.NewWith(cfg.Queue), reg: cfg.Metrics, tl: cfg.Timeline}
 	e.sim.Instrument(cfg.Metrics)
+	if cfg.Probes {
+		e.sim.EnableProbe(&e.simPool, &e.simQueue)
+	}
 	e.laneCount = 1
 	e.inGlobalPhase = true // single-threaded until the lanes start
 	if cfg.Engine != pdes.ModeSequential {
@@ -624,10 +694,9 @@ func newEngine(cfg Config) (*engine, error) {
 		if e.laneCount <= 0 {
 			e.laneCount = runtime.GOMAXPROCS(0)
 		}
-		// The engine-side per-host timeline records through single-threaded
-		// paths; parallel runs hand Config.Timeline to the core instead,
-		// which emits lane-level windows, fences and global events.
-		e.tl = nil
+		if cfg.Probes {
+			e.coreProbe = &pdes.CoreProbe{}
+		}
 		core, err := pdes.NewCore(pdes.CoreConfig{
 			Mode:    cfg.Engine,
 			Lanes:   e.laneCount,
@@ -644,7 +713,10 @@ func newEngine(cfg Config) (*engine, error) {
 				e.sim.Step()
 				e.inGlobalPhase = false
 			},
-			Timeline: cfg.Timeline,
+			// The per-host Config.Timeline stays on the engine (its events
+			// are engine-independent); the core gets the lane-level view.
+			Timeline: cfg.LaneTimeline,
+			Probe:    e.coreProbe,
 		})
 		if err != nil {
 			return nil, err
@@ -663,6 +735,12 @@ func newEngine(cfg Config) (*engine, error) {
 		e.discAt = make([]des.Time, cfg.Mobile.NumHosts)
 		for i := range e.discAt {
 			e.discAt[i] = -1
+		}
+		e.sendOrd = make([]uint64, cfg.Mobile.NumHosts)
+		e.flowLane = make([]uint64, e.laneCount)
+		e.flowHostLane = make([]mobile.HostID, e.laneCount)
+		for i := range e.flowHostLane {
+			e.flowHostLane[i] = -1
 		}
 	}
 
@@ -734,6 +812,10 @@ func newEngine(cfg Config) (*engine, error) {
 		// A dedicated stream: losses must not perturb the workload's
 		// randomness, or traces would stop being loss-model-independent.
 		net.SetLossSource(rng.NewStream(cfg.Seed, 1<<32))
+	}
+	if cfg.Probes {
+		e.msgProbe = make([]probe.PoolProbe, e.laneCount)
+		net.SetPoolProbe(e.msgProbe)
 	}
 	e.net = net
 
@@ -848,6 +930,25 @@ func newEngine(cfg Config) (*engine, error) {
 	e.driver = driver
 
 	if e.reg != nil {
+		for _, h := range [][2]string{
+			{"sim_checkpoints_total", "Checkpoints taken, by protocol and causal event (the paper's N_tot split)."},
+			{"sim_forced_checkpoints_total", "Forced checkpoints, by protocol and host."},
+			{"sim_piggyback_bytes_total", "Protocol control bytes piggybacked on application messages."},
+			{"sim_gc_reclaimed_total", "Checkpoint records reclaimed by garbage collection."},
+			{"sim_gc_peak_live_records", "Peak simultaneously-live checkpoint records."},
+			{"sim_join_ctrl_messages_total", "Control messages spent integrating joining hosts."},
+			{"sim_ctrl_messages_total", "Protocol control messages (initiator-based protocols)."},
+			{"sim_tp_vector_copies_total", "O(n) dependency-vector materializations in TP."},
+			{"sim_tp_snapshot_reuses_total", "TP sends that shared a live copy-on-write snapshot."},
+			{"sim_app_messages_total", "Application messages sent through the network."},
+			{"sim_net_ctrl_messages_total", "Network-level control messages (location queries/updates)."},
+			{"sim_wireless_hops_total", "Message hops over the wireless medium."},
+			{"sim_wired_hops_total", "Message hops over the wired backbone."},
+			{"sim_workload_sends_total", "Send operations issued by the workload."},
+			{"sim_workload_receives_total", "Receive operations completed by the workload."},
+		} {
+			e.reg.Help(h[0], h[1])
+		}
 		// Sampled instruments: the existing tallies are read only at
 		// snapshot time, so none of these touch the hot path.
 		for i := range cfg.Protocols {
@@ -890,8 +991,83 @@ func newEngine(cfg Config) (*engine, error) {
 			func() int64 { return e.driver.Counters().Sends })
 		e.reg.CounterFunc("sim_workload_receives_total",
 			func() int64 { return e.driver.Counters().Receives })
+		if cfg.Probes {
+			e.instrumentProbes()
+		}
 	}
 	return e, nil
+}
+
+// instrumentProbes registers the sim_probe_* instruments over the
+// engine-internals probes. The probes are plain single-writer cells, so
+// these funcs are only safe to sample at quiescence (after Run returns,
+// which is when the engine's own snapshot paths read them); a live scrape
+// mid-run would race with the lanes.
+func (e *engine) instrumentProbes() {
+	for _, h := range [][2]string{
+		{"sim_probe_pool_hits_total", "Pool acquisitions served from the free list."},
+		{"sim_probe_pool_misses_total", "Pool acquisitions that allocated fresh objects."},
+		{"sim_probe_pool_recycled_total", "Objects returned to the pool free list."},
+		{"sim_probe_queue_pushes_total", "Events pushed into the pending-event set."},
+		{"sim_probe_queue_pops_total", "Events popped from the pending-event set."},
+		{"sim_probe_queue_peak_len", "Peak pending-event-set length."},
+		{"sim_probe_queue_chain_steps_total", "Calendar bucket-chain entries walked on insert."},
+		{"sim_probe_queue_sweep_steps_total", "Calendar buckets probed by the day-sweep on pop."},
+		{"sim_probe_queue_resizes_total", "Calendar re-bucketing operations."},
+		{"sim_probe_lane_events_total", "Events executed across PDES lanes."},
+		{"sim_probe_lane_windows_total", "Synchronization windows executed across lanes."},
+		{"sim_probe_lane_mailbox_msgs_total", "Cross-lane mailbox messages received."},
+		{"sim_probe_lane_spin_yields_total", "Scheduler yields burned waiting on the lag frontier."},
+	} {
+		e.reg.Help(h[0], h[1])
+	}
+	pool := func(name string, read func() probe.PoolProbe) {
+		e.reg.CounterFunc("sim_probe_pool_hits_total",
+			func() int64 { return int64(read().Hits) }, "pool", name)
+		e.reg.CounterFunc("sim_probe_pool_misses_total",
+			func() int64 { return int64(read().Misses) }, "pool", name)
+		e.reg.CounterFunc("sim_probe_pool_recycled_total",
+			func() int64 { return int64(read().Recycled) }, "pool", name)
+	}
+	pool("event", func() probe.PoolProbe { return e.simPool })
+	pool("message", func() probe.PoolProbe {
+		var m probe.PoolProbe
+		for i := range e.msgProbe {
+			m.Merge(e.msgProbe[i])
+		}
+		return m
+	})
+	e.reg.CounterFunc("sim_probe_queue_pushes_total",
+		func() int64 { return int64(e.simQueue.Pushes) }, "queue", "global")
+	e.reg.CounterFunc("sim_probe_queue_pops_total",
+		func() int64 { return int64(e.simQueue.Pops) }, "queue", "global")
+	e.reg.GaugeFunc("sim_probe_queue_peak_len",
+		func() int64 { return int64(e.simQueue.MaxLen) }, "queue", "global")
+	e.reg.CounterFunc("sim_probe_queue_chain_steps_total",
+		func() int64 { return int64(e.simQueue.ChainSteps) }, "queue", "global")
+	e.reg.CounterFunc("sim_probe_queue_sweep_steps_total",
+		func() int64 { return int64(e.simQueue.SweepSteps) }, "queue", "global")
+	e.reg.CounterFunc("sim_probe_queue_resizes_total",
+		func() int64 { return int64(e.simQueue.Resizes) }, "queue", "global")
+	if e.coreProbe != nil {
+		lanes := func(pick func(*probe.LaneProbe) uint64) func() int64 {
+			return func() int64 {
+				var s uint64
+				for i := range e.coreProbe.Lanes {
+					s += pick(&e.coreProbe.Lanes[i])
+				}
+				return int64(s)
+			}
+		}
+		e.reg.CounterFunc("sim_probe_lane_events_total",
+			lanes(func(l *probe.LaneProbe) uint64 { return l.Events }))
+		e.reg.CounterFunc("sim_probe_lane_windows_total",
+			lanes(func(l *probe.LaneProbe) uint64 { return l.Windows }))
+		e.reg.CounterFunc("sim_probe_lane_mailbox_msgs_total",
+			lanes(func(l *probe.LaneProbe) uint64 { return l.MailboxMsgs }))
+		e.reg.CounterFunc("sim_probe_lane_spin_yields_total",
+			lanes(func(l *probe.LaneProbe) uint64 { return l.SpinYields }))
+	}
 }
 
 // checkpointer builds the Checkpointer for protocol slot i.
@@ -899,7 +1075,8 @@ func (e *engine) checkpointer(i int) protocol.Checkpointer {
 	name := string(e.cfg.Protocols[i])
 	return func(h mobile.HostID, index int, kind storage.Kind) *storage.Record {
 		lane := e.laneOf(h)
-		rec := e.stores[i].Take(h, e.net.Host(h).LastMSS(), index, kind, e.now(h))
+		now := e.now(h)
+		rec := e.stores[i].Take(h, e.net.Host(h).LastMSS(), index, kind, now)
 		e.counts[i][h]++
 		e.pendingLatency[h] += e.cfg.CheckpointLatency
 		key := causeKey(kind, e.causeLane[lane])
@@ -925,9 +1102,14 @@ func (e *engine) checkpointer(i int) protocol.Checkpointer {
 			}
 		}
 		if e.tl != nil {
-			e.tl.Instant(float64(e.sim.Now()), int(h), "checkpoint",
+			e.tl.Instant(float64(now), int(h), "checkpoint",
 				"proto", name, "kind", kind.String(), "cause", key,
 				"index", strconv.Itoa(index))
+			if kind == storage.Forced && e.flowHostLane[lane] == h {
+				// This forced checkpoint was induced by the message this
+				// lane is currently delivering: chain it into that flow.
+				e.tl.FlowStep(float64(now), int(h), "msg-flow", e.flowLane[lane])
+			}
 		}
 		return rec
 	}
@@ -958,8 +1140,17 @@ func (e *engine) send(from, to mobile.HostID) {
 		panic("sim: " + err.Error()) // the driver only sends from connected hosts
 	}
 	if e.tl != nil {
-		e.tl.Instant(float64(e.sim.Now()), int(from), "send",
-			"to", strconv.Itoa(int(to)), "msg", strconv.FormatUint(m.ID, 10))
+		// The flow id is (sender, per-sender ordinal) — deterministic under
+		// any engine, unlike m.ID's allocation order — and rides the
+		// message to link send -> deliver -> forced checkpoints.
+		now := float64(e.now(from))
+		flow := uint64(from)<<32 | e.sendOrd[from]
+		e.sendOrd[from]++
+		m.Flow = flow
+		e.tl.Instant(now, int(from), "send",
+			"to", strconv.Itoa(int(to)), "msg", strconv.FormatUint(flow, 10))
+		e.tl.FlowBegin(now, int(from), "msg-flow", flow,
+			"to", strconv.Itoa(int(to)))
 	}
 	for i, tr := range e.traces {
 		if tr != nil {
@@ -974,9 +1165,16 @@ func (e *engine) send(from, to mobile.HostID) {
 func (e *engine) onDeliver(now des.Time, h *mobile.Host, m *mobile.Message) {
 	prev := e.setCauseFor(h.ID, "deliver") // restored below; this is the hot path, no defer
 	pl := m.Payload.(*payload)
+	flow := m.Flow
 	if e.tl != nil {
 		e.tl.Instant(float64(now), int(h.ID), "deliver",
-			"from", strconv.Itoa(int(m.From)), "msg", strconv.FormatUint(m.ID, 10))
+			"from", strconv.Itoa(int(m.From)), "msg", strconv.FormatUint(flow, 10))
+		e.tl.FlowStep(float64(now), int(h.ID), "msg-flow", flow)
+		// Stash the in-delivery flow so the checkpointer can chain the
+		// forced checkpoints this delivery induces.
+		lane := e.laneOf(h.ID)
+		e.flowLane[lane] = flow
+		e.flowHostLane[lane] = h.ID
 	}
 	for i, p := range e.protos {
 		p.OnDeliver(h.ID, m.From, pl.piggyback[i])
@@ -1006,6 +1204,10 @@ func (e *engine) onDeliver(now des.Time, h *mobile.Host, m *mobile.Message) {
 	lane := e.laneOf(h.ID)
 	e.plFree[lane] = append(e.plFree[lane], pl)
 	e.net.Recycle(m)
+	if e.tl != nil {
+		e.flowHostLane[lane] = -1
+		e.tl.FlowEnd(float64(now), int(h.ID), "msg-flow", flow)
+	}
 	e.restoreCauseFor(h.ID, prev)
 }
 
@@ -1133,6 +1335,14 @@ func (e *engine) join() {
 		e.tl.SetTrack(int(id), fmt.Sprintf("MH %d (joined)", id))
 		e.tl.Instant(float64(e.sim.Now()), int(id), "join",
 			"at", strconv.Itoa(int(at)))
+		// Joins run world-stopped: grow the per-host timeline tables here
+		// so lane handlers never reallocate them mid-run.
+		for int(id) >= len(e.sendOrd) {
+			e.sendOrd = append(e.sendOrd, 0)
+		}
+		for int(id) >= len(e.discAt) {
+			e.discAt = append(e.discAt, -1)
+		}
 	}
 	e.pendingLatency = append(e.pendingLatency, 0)
 	if e.reg != nil && e.core != nil {
@@ -1235,6 +1445,9 @@ func (e *engine) run() *Result {
 		snap := e.core.Stats().Snapshot()
 		res.PDES = &snap
 	}
+	if e.cfg.Probes {
+		res.Probes = e.probeReport()
+	}
 	model := energy.DefaultModel()
 	for i, p := range e.protos {
 		initial, basic, forced := e.stores[i].CountByKind(-1)
@@ -1271,6 +1484,26 @@ func (e *engine) run() *Result {
 		res.Protocols = append(res.Protocols, pr)
 	}
 	return res
+}
+
+// probeReport assembles Result.Probes from the quiesced probe cells.
+// Only called after the lanes have joined (run's tail), so the plain
+// reads are ordered by the goroutine join.
+func (e *engine) probeReport() *ProbeReport {
+	r := &ProbeReport{
+		Engine:      e.cfg.Engine.String(),
+		Lanes:       e.laneCount,
+		GlobalQueue: e.simQueue,
+		EventPool:   e.simPool,
+	}
+	for i := range e.msgProbe {
+		r.MessagePool.Merge(e.msgProbe[i])
+	}
+	if e.coreProbe != nil {
+		r.LaneProbes = e.coreProbe.Lanes
+		r.LaneQueues = e.coreProbe.Queues
+	}
+	return r
 }
 
 // finishChecks runs the end-of-run reconciliation of the invariant

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func pairTable() *Table {
+	t := NewTable("Recovery after failure of host 0 (E8; 3 seeds)",
+		"protocol", "hosts rolled back", "undone time", "excess vs optimal")
+	t.AddRow("TP", "1.0", "37", "0")
+	t.AddRow("QBC", "2.3", "141", "12")
+	t.AddRow("UNC", "9.7", "18234", "17890")
+	return t
+}
+
+func TestCheckPairAccepts(t *testing.T) {
+	tab := pairTable()
+	if err := CheckPair(tab.String(), tab.CSV()); err != nil {
+		t.Fatalf("canonical pair rejected: %v", err)
+	}
+}
+
+// The divergence cases the check exists for: a stale file regenerated
+// from different data, a hand-edited cell, a dropped row, renamed
+// headers, and a non-canonical (but same-data) re-formatting.
+func TestCheckPairRejects(t *testing.T) {
+	tab := pairTable()
+	txt, csvText := tab.String(), tab.CSV()
+
+	cases := []struct {
+		name     string
+		txt, csv string
+		wantSub  string
+	}{
+		{"edited csv cell", txt, strings.Replace(csvText, "141", "999", 1), "diverges"},
+		{"edited txt cell", strings.Replace(txt, "18234", "18235", 1), csvText, "diverges"},
+		{"dropped csv row", txt, strings.Replace(csvText, "UNC,9.7,18234,17890\n", "", 1), "row count"},
+		{"renamed header", txt, strings.Replace(csvText, "undone time", "undone", 1), "header"},
+		{"extra column", txt, strings.ReplaceAll(strings.TrimRight(csvText, "\n"), "\n", ",x\n") + ",x\n", "column count"},
+		{"ragged csv", txt, strings.Replace(csvText, "protocol,", "protocol,seed,", 1), "wrong number of fields"},
+		{"non-canonical csv spacing", txt, strings.Replace(csvText, "TP,1.0", "TP, 1.0", 1), "diverges"},
+		{"truncated txt", strings.Join(strings.Split(txt, "\n")[:2], "\n"), csvText, "separator"},
+	}
+	for _, c := range cases {
+		err := CheckPair(c.txt, c.csv)
+		if err == nil {
+			t.Errorf("%s: divergence not detected", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+// Cells with single internal spaces must survive the aligned-text
+// round trip (the separator line carries the column geometry).
+func TestParseTXTSpacedCells(t *testing.T) {
+	tab := NewTable("t", "a b", "c")
+	tab.AddRow("x y z", "1")
+	got, err := ParseTXT(tab.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cell(0, 0) != "x y z" || got.Columns[0] != "a b" {
+		t.Fatalf("spaced cells mangled: %q %q", got.Cell(0, 0), got.Columns[0])
+	}
+	if got.String() != tab.String() {
+		t.Fatalf("round trip diverged:\n%s\nvs\n%s", got.String(), tab.String())
+	}
+}
+
+// Quoted CSV cells (commas, quotes) must round-trip through ParseCSV.
+func TestParseCSVQuoting(t *testing.T) {
+	tab := NewTable("t", "name", "note")
+	tab.AddRow(`a,b`, `say "hi"`)
+	got, err := ParseCSV(tab.CSV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cell(0, 0) != `a,b` || got.Cell(0, 1) != `say "hi"` {
+		t.Fatalf("quoted cells mangled: %q %q", got.Cell(0, 0), got.Cell(0, 1))
+	}
+	if err := CheckPair(tab.String(), tab.CSV()); err != nil {
+		t.Fatalf("quoted pair rejected: %v", err)
+	}
+}
