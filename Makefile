@@ -10,7 +10,7 @@ GOVULNCHECK_VERSION ?= v1.1.4
 
 SIMLINT_BIN = bin/simlint
 
-.PHONY: all build test test-short race bench bench-smoke bench-scale bench-pdes bench-compare bench-all trajectory-diff check fmt lint simlint staticcheck-install govulncheck-install fuzz figures results clean FORCE
+.PHONY: all build test test-short race bench bench-smoke bench-scale bench-pdes bench-compare bench-all trajectory-diff check diffreplay fmt lint simlint staticcheck-install govulncheck-install fuzz figures results clean FORCE
 
 all: build test
 
@@ -35,7 +35,26 @@ check: fmt lint
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) test -fuzz=FuzzFrameRoundTrip -fuzztime=10s ./internal/wire
+	$(MAKE) diffreplay
 	$(MAKE) bench-smoke
+
+# E24, the sim<->live differential-replay gate: the randomized matrix
+# (TP/BCS/QBC x seeds x mobility rates, live recording replayed through
+# the deterministic engine, decision logs held byte-identical) runs
+# under the race detector, then the CLI round-trip is smoked — a live
+# run recorded by examples/live must replay clean through mhsim, and a
+# perturbed replay must make the differ exit non-zero (the gate has to
+# be able to fail to prove it gates anything).
+diffreplay:
+	$(GO) test -race -run 'TestDifferentialReplay' ./internal/replaycmp/
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./examples/live -record "$$tmp/run.bundle.json" -protocol TP -seed 3 > /dev/null; \
+	$(GO) run ./cmd/mhsim -replay-schedule "$$tmp/run.bundle.json" -checks; \
+	if $(GO) run ./cmd/mhsim -replay-schedule "$$tmp/run.bundle.json" -replay-perturb 0 > /dev/null 2>&1; then \
+		echo "diffreplay: perturbed replay did not fail — the gate is broken"; exit 1; \
+	else \
+		echo "diffreplay: perturbed replay correctly rejected"; fi
 
 # Fail if any file is not gofmt-clean.
 fmt:

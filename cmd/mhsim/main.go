@@ -51,6 +51,8 @@ func main() {
 		probes     = flag.Bool("probes", false, "enable engine-internals probes (queue/pool/lane counters); adds a probes block to -json output (single-run mode)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		replayFile = flag.String("replay-schedule", "", "differential replay (E24): re-execute a recorded live bundle (examples/live -record) through the deterministic engine and diff the decision logs; exits 1 on any divergence")
+		perturb    = flag.Int("replay-perturb", -1, "with -replay-schedule: flip the n-th replayed checkpoint decision before diffing (proves the gate can fail)")
 	)
 	flag.Parse()
 
@@ -84,6 +86,10 @@ func main() {
 	}
 	cfg.MessageLog = mode
 	cfg.LogFlushBatch = *logBatch
+	if *replayFile != "" {
+		runReplay(*replayFile, *perturb, *checks, mode, *logBatch)
+		return
+	}
 	cfg.Queue, err = des.ParseQueueKind(*queue)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mhsim:", err)

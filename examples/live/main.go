@@ -1,11 +1,13 @@
-// Live cluster: run the QBC protocol in the goroutine/channel runtime —
-// real concurrency, an at-least-once transport that duplicates packets,
-// hosts migrating between station goroutines — then build a recovery
-// line from the live trace and verify it is consistent.
+// Live cluster: run a checkpointing protocol in the goroutine/channel
+// runtime — real concurrency, an at-least-once transport that duplicates
+// packets, hosts migrating between station goroutines — then build a
+// recovery line from the live trace and verify it is consistent.
 //
 //	go run ./examples/live
+//	go run ./examples/live -protocol TP -seed 7
 //	go run ./examples/live -debug :6060   # keep a pprof+metrics endpoint up
 //	go run ./examples/live -timeline live.trace.json
+//	go run ./examples/live -record run.bundle.json
 //
 // With -debug the process serves the standard /debug/pprof/ handlers and
 // a Prometheus /metrics endpoint (channel depths, goroutine count,
@@ -13,6 +15,10 @@
 // -timeline it writes the cluster's protocol events — including the
 // send->deliver->forced-checkpoint flow chains and the recovery's
 // rollback flow — as Chrome trace JSON for Perfetto/chrome://tracing.
+// With -record it captures the run's nondeterminism schedule and
+// protocol decisions as a replaycmp bundle for differential replay:
+//
+//	go run ./cmd/mhsim -replay-schedule run.bundle.json
 package main
 
 import (
@@ -24,14 +30,16 @@ import (
 	"mobickpt/internal/live"
 	"mobickpt/internal/mobile"
 	"mobickpt/internal/obs"
-	"mobickpt/internal/protocol"
 	"mobickpt/internal/recovery"
-	"mobickpt/internal/storage"
+	"mobickpt/internal/replaycmp"
 )
 
 func main() {
 	debug := flag.String("debug", "", "serve /debug/pprof/ and /metrics on this address while running (e.g. :6060)")
 	timeline := flag.String("timeline", "", "write the protocol-event timeline (with causal flows) as Chrome trace JSON to this file")
+	record := flag.String("record", "", "write the run's schedule + decision log as a replaycmp bundle to this file (for mhsim -replay-schedule)")
+	proto := flag.String("protocol", "QBC", "protocol to run: TP, BCS, QBC or UNC")
+	seed := flag.Uint64("seed", 1, "cluster seed")
 	flag.Parse()
 
 	cfg := live.DefaultConfig()
@@ -39,14 +47,20 @@ func main() {
 	cfg.Stations = 5
 	cfg.OpsPerHost = 2000
 	cfg.DupProbability = 0.2 // a quite lossy-looking transport
+	cfg.Seed = *seed
 	cfg.Metrics = obs.NewRegistry()
 	if *timeline != "" {
 		cfg.Timeline = obs.NewTimeline()
 	}
+	if *record != "" {
+		cfg.Record = true
+	}
 
-	cluster, err := live.NewCluster(cfg, func(n int, ck protocol.Checkpointer, store *storage.Store) protocol.Protocol {
-		return protocol.NewQBC(n, ck, store)
-	})
+	mk, err := live.Factory(*proto)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster, err := live.NewCluster(cfg, mk)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,7 +82,25 @@ func main() {
 	fmt.Printf("mobility:  %d cell switches, %d disconnections\n\n", c.Switches, c.Disconnect)
 
 	initial, basic, forced := cluster.Store().CountByKind(-1)
-	fmt.Printf("QBC checkpoints: %d initial, %d basic, %d forced\n", initial, basic, forced)
+	fmt.Printf("%s checkpoints: %d initial, %d basic, %d forced\n", *proto, initial, basic, forced)
+
+	if *record != "" {
+		// Export before Recover: the bundle captures the recorded run, not
+		// the post-hoc rollback (which re-baselines the store).
+		b := &replaycmp.Bundle{Schedule: cluster.Schedule(), Live: cluster.Decisions()}
+		f, err := os.Create(*record)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := b.Export(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recorded: %d schedule events, %d in flight -> %s\n",
+			len(cluster.Schedule().Events), len(cluster.Schedule().InFlight), *record)
+	}
 
 	// Crash host 0 and *execute* the recovery: the cut is built from the
 	// index line on stable storage, each rolled-back host's memory image

@@ -49,7 +49,7 @@ func DefaultConfig() Config {
 			"internal/recovery", "internal/check", "internal/trace",
 			"internal/stats", "internal/vclock", "internal/statestore",
 			"internal/storage", "internal/energy", "internal/wire",
-			"internal/obs/...", "internal/live",
+			"internal/obs/...", "internal/live", "internal/replaycmp",
 		}},
 		"maporder": {include: []string{"*"}, exclude: []string{"examples/..."}},
 		"poollint": {include: []string{

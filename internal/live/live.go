@@ -28,10 +28,12 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mobickpt/internal/des"
 	"mobickpt/internal/mlog"
 	"mobickpt/internal/mobile"
 	"mobickpt/internal/obs"
 	"mobickpt/internal/protocol"
+	"mobickpt/internal/replaycmp"
 	"mobickpt/internal/rng"
 	"mobickpt/internal/statestore"
 	"mobickpt/internal/storage"
@@ -89,6 +91,20 @@ type Config struct {
 	// ordering and causality, not durations; unlike the sim's timeline it
 	// is scheduler-dependent — a record of this run, not of "the" run.
 	Timeline *obs.Timeline
+
+	// Record captures the run for differential replay: the cluster
+	// serializes its nondeterminism (send choices, delivery order,
+	// mobility decisions, joins) into a trace.Schedule and its protocol
+	// decisions into a replaycmp.Log, both stamped with the logical
+	// tick. Feed the schedule to sim.Config.Schedule to re-execute the
+	// exact history deterministically and replaycmp.Compare the two
+	// decision logs (experiment E24).
+	Record bool
+
+	// DupWindow overrides the per-host duplicate-suppression window
+	// (ids remembered per host); 0 selects DefaultDupWindow. Tests use
+	// tiny windows to exercise eviction.
+	DupWindow int
 }
 
 // DefaultConfig returns a small cluster that exercises every mechanism.
@@ -125,13 +141,42 @@ func (c Config) Validate() error {
 		return fmt.Errorf("live: LogMode %v unknown", c.LogMode)
 	case c.LogFlushBatch < 0:
 		return fmt.Errorf("live: LogFlushBatch = %d, need >= 0", c.LogFlushBatch)
+	case c.DupWindow < 0:
+		return fmt.Errorf("live: DupWindow = %d, need >= 0", c.DupWindow)
 	}
 	return nil
 }
 
 // NewProtocol constructs the protocol under test for n hosts; implement
-// it with the constructors of internal/protocol.
-type NewProtocol func(n int, ck protocol.Checkpointer, store *storage.Store) protocol.Protocol
+// it with the constructors of internal/protocol. mssOf reports a host's
+// current (or, while disconnected, last) station — protocols that track
+// checkpoint locations (TP) need the real one, not a static guess, or
+// their piggybacked location vectors go stale after the first hand-off.
+type NewProtocol func(n int, ck protocol.Checkpointer, store *storage.Store, mssOf func(mobile.HostID) mobile.MSSID) protocol.Protocol
+
+// Factory returns the constructor for one of the live-supported
+// protocols: TP, BCS, QBC or UNC.
+func Factory(name string) (NewProtocol, error) {
+	switch name {
+	case "TP":
+		return func(n int, ck protocol.Checkpointer, _ *storage.Store, mssOf func(mobile.HostID) mobile.MSSID) protocol.Protocol {
+			return protocol.NewTP(n, ck, mssOf)
+		}, nil
+	case "BCS":
+		return func(n int, ck protocol.Checkpointer, _ *storage.Store, _ func(mobile.HostID) mobile.MSSID) protocol.Protocol {
+			return protocol.NewBCS(n, ck)
+		}, nil
+	case "QBC":
+		return func(n int, ck protocol.Checkpointer, store *storage.Store, _ func(mobile.HostID) mobile.MSSID) protocol.Protocol {
+			return protocol.NewQBC(n, ck, store)
+		}, nil
+	case "UNC":
+		return func(n int, ck protocol.Checkpointer, _ *storage.Store, _ func(mobile.HostID) mobile.MSSID) protocol.Protocol {
+			return protocol.NewUncoordinated(n, ck)
+		}, nil
+	}
+	return nil, fmt.Errorf("live: no protocol %q (want TP, BCS, QBC or UNC)", name)
+}
 
 // packet is what travels on the channels: a routing header the stations
 // read, plus the marshaled frame (internal/wire) the receiving host
@@ -193,11 +238,11 @@ type Cluster struct {
 	states []*statestore.HostState
 	group  *statestore.Group
 
-	// seen holds each host's duplicate-suppression set. Each map is
+	// seen holds each host's bounded duplicate-suppression filter,
 	// touched only by its owner's goroutine while the run is live, and by
 	// the final drain after every host has retired (ordered by the
 	// WaitGroup, so there is no race).
-	seen []map[uint64]bool
+	seen []*dupFilter
 
 	// directory maps each host to its current station's wired inbox; nil
 	// while disconnected (packets then go to the host's last station,
@@ -230,10 +275,37 @@ type Cluster struct {
 	deliveringFlow uint64
 
 	nextID uint64
+
+	// Recording state (nil sched/dec unless Config.Record). sched and
+	// dec mutate under mu; cause names the activity driving the protocol
+	// callbacks currently running ("send", "deliver", "switch", ... —
+	// the sim engine's causeLane equivalent), and curSeq/curTick are the
+	// schedule position and tick of the current protocol event — the
+	// checkpointer reads all three to stamp each decision.
+	sched   *trace.Schedule
+	dec     *replaycmp.Log
+	cause   string
+	curSeq  uint64
+	curTick uint64
 }
 
 // tick returns the next logical timestamp for the timeline.
 func (c *Cluster) tick() float64 { return float64(c.ltick.Add(1)) }
+
+// beginEvent opens one protocol event under mu: it advances the logical
+// clock, stamps the current cause/tick for the checkpointer, and — when
+// recording — appends the event to the schedule. It returns the event's
+// tick, which the caller uses for trace timestamps and timeline emission
+// so every artifact of one event shares one instant.
+func (c *Cluster) beginEvent(kind, cause string, host, peer int, msg uint64, from, to int) uint64 {
+	now := c.ltick.Add(1)
+	c.cause = cause
+	c.curTick = now
+	if c.sched != nil {
+		c.curSeq = c.sched.Record(kind, now, host, peer, msg, from, to)
+	}
+	return now
+}
 
 // NewCluster wires a cluster; Run starts it.
 func NewCluster(cfg Config, mk NewProtocol) (*Cluster, error) {
@@ -245,7 +317,7 @@ func NewCluster(cfg Config, mk NewProtocol) (*Cluster, error) {
 		store:    storage.NewStore(storage.DefaultCostModel()),
 		tr:       trace.New(cfg.Hosts),
 		counts:   make([]int, cfg.Hosts),
-		seen:     make([]map[uint64]bool, cfg.Hosts),
+		seen:     make([]*dupFilter, cfg.Hosts),
 		states:   make([]*statestore.HostState, cfg.Hosts),
 		group:    statestore.NewGroup(cfg.Stations),
 		station:  make([]int, cfg.Hosts),
@@ -263,7 +335,7 @@ func NewCluster(cfg Config, mk NewProtocol) (*Cluster, error) {
 	for i := range c.downlink {
 		c.downlink[i] = make(chan packet, capacity)
 		c.station[i] = i % cfg.Stations
-		c.seen[i] = make(map[uint64]bool)
+		c.seen[i] = newDupFilter(cfg.DupWindow)
 	}
 	for s := range c.wired {
 		c.wired[s] = make(chan packet, capacity)
@@ -286,9 +358,23 @@ func NewCluster(cfg Config, mk NewProtocol) (*Cluster, error) {
 			c.tl.SetTrack(h, fmt.Sprintf("MH %d", h))
 		}
 	}
-	c.proto = mk(cfg.Hosts, c.checkpointer(), c.store)
+	c.proto = mk(cfg.Hosts, c.checkpointer(), c.store, c.StationOf)
+	if cfg.Record {
+		c.sched = trace.NewSchedule(cfg.Hosts, cfg.Stations, c.proto.Name(), cfg.Seed)
+		c.dec = replaycmp.NewLog(c.proto.Name(), cfg.Hosts)
+	}
 	c.instrument(cfg.Metrics)
 	return c, nil
+}
+
+// StationOf returns host h's current station — or, while h is
+// disconnected, the last one, which is the station holding its
+// checkpoints and parked messages. Safe to call concurrently (protocol
+// hooks run under mu; mu -> dirMu is the cluster's lock order).
+func (c *Cluster) StationOf(h mobile.HostID) mobile.MSSID {
+	c.dirMu.Lock()
+	defer c.dirMu.Unlock()
+	return mobile.MSSID(c.station[h])
 }
 
 // instrument registers the cluster's observability instruments. Every
@@ -380,10 +466,16 @@ func (c *Cluster) instrument(reg *obs.Registry) {
 // host's current station, verifying the result byte for byte.
 func (c *Cluster) checkpointer() protocol.Checkpointer {
 	return func(h mobile.HostID, index int, kind storage.Kind) *storage.Record {
-		rec := c.store.Take(h, mobile.MSSID(c.station[h]), index, kind, 0)
+		rec := c.store.Take(h, mobile.MSSID(c.station[h]), index, kind, des.Time(c.curTick))
 		c.ckpts.Inc()
 		seq := c.counts[h]
 		c.counts[h]++
+		if c.dec != nil {
+			c.dec.RecordCheckpoint(int(h), replaycmp.Checkpoint{
+				Seq: c.curSeq, Ordinal: seq, Index: index,
+				Kind: kind.String(), Cause: replaycmp.CauseKey(kind, c.cause),
+			})
+		}
 		if c.tl != nil {
 			now := c.tick()
 			c.tl.Instant(now, int(h), "checkpoint",
@@ -428,11 +520,22 @@ func (c *Cluster) Counters() Counters { return c.counters }
 // read after Run returns).
 func (c *Cluster) MLog() *mlog.Log { return c.mlog }
 
+// Schedule returns the recorded nondeterminism schedule, sealed with
+// its in-flight section, or nil when Config.Record was off (read after
+// Run returns).
+func (c *Cluster) Schedule() *trace.Schedule { return c.sched }
+
+// Decisions returns the recorded protocol-decision log, including the
+// post-hoc recovery-line matrix, or nil when Config.Record was off
+// (read after Run returns).
+func (c *Cluster) Decisions() *replaycmp.Log { return c.dec }
+
 // Run executes the whole cluster to completion: it starts one goroutine
 // per station and per host, waits for every host to retire, and then
 // drains the network so the counters and trace are final.
 func (c *Cluster) Run() {
 	c.mu.Lock()
+	c.cause = "init"
 	c.proto.Init()
 	c.mu.Unlock()
 
@@ -498,6 +601,15 @@ func (c *Cluster) Run() {
 		undrained += int64(len(d))
 	}
 	c.counters.Undrained = undrained
+
+	if c.sched != nil {
+		// Seal the recording: name the sends that never delivered (so a
+		// replay knows they are supposed to dangle) and derive the
+		// decision log's recovery-line matrix from the finished store
+		// and trace.
+		c.sched.SealInFlight()
+		c.dec.FinishRecoveryLines(c.store, c.tr)
+	}
 }
 
 // addHost grows the cluster by one host and admits it to the protocol.
@@ -508,10 +620,11 @@ func (c *Cluster) addHost() (mobile.HostID, chan packet) {
 	c.mu.Lock()
 	c.dirMu.Lock()
 	h := mobile.HostID(len(c.downlink))
+	at := int(h) % c.cfg.Stations
 	c.downlink = append(c.downlink, dl)
-	c.station = append(c.station, int(h)%c.cfg.Stations)
+	c.station = append(c.station, at)
 	c.dirMu.Unlock()
-	c.seen = append(c.seen, make(map[uint64]bool))
+	c.seen = append(c.seen, newDupFilter(c.cfg.DupWindow))
 	c.states = append(c.states, statestore.NewHostState(8))
 	c.counts = append(c.counts, 0)
 	c.tr.AddHost()
@@ -520,10 +633,13 @@ func (c *Cluster) addHost() (mobile.HostID, chan packet) {
 		c.mu.Unlock()
 		panic("live: protocol does not support dynamic joins")
 	}
+	if c.dec != nil {
+		c.dec.AddHost()
+	}
+	now := c.beginEvent(trace.SchedJoin, "join", int(h), -1, 0, -1, at)
 	if c.tl != nil {
 		c.tl.SetTrack(int(h), fmt.Sprintf("MH %d (joined)", h))
-		c.tl.Instant(c.tick(), int(h), "join",
-			"at", strconv.Itoa(int(h)%c.cfg.Stations))
+		c.tl.Instant(float64(now), int(h), "join", "at", strconv.Itoa(at))
 	}
 	d.OnJoin(h)
 	c.mu.Unlock()
@@ -617,15 +733,15 @@ func (c *Cluster) pickPeer(src *rng.Source, h mobile.HostID) mobile.HostID {
 // injects it at the host's current station.
 func (c *Cluster) send(from, to mobile.HostID, src *rng.Source) {
 	c.mu.Lock()
-	pb := c.proto.OnSend(from, to)
 	id := c.nextID
 	c.nextID++
-	c.tr.RecordSend(id, from, to, c.counts[from], 0)
+	now := c.beginEvent(trace.SchedSend, "send", int(from), int(to), id, -1, -1)
+	pb := c.proto.OnSend(from, to)
+	c.tr.RecordSend(id, from, to, c.counts[from], des.Time(now))
 	if c.tl != nil {
-		now := c.tick()
-		c.tl.Instant(now, int(from), "send",
+		c.tl.Instant(float64(now), int(from), "send",
 			"to", strconv.Itoa(int(to)), "msg", strconv.FormatUint(id, 10))
-		c.tl.FlowBegin(now, int(from), "msg-flow", id, "to", strconv.Itoa(int(to)))
+		c.tl.FlowBegin(float64(now), int(from), "msg-flow", id, "to", strconv.Itoa(int(to)))
 	}
 	// The send is an event of the application: it dirties some state.
 	var scratch [16]byte
@@ -655,7 +771,7 @@ func (c *Cluster) send(from, to mobile.HostID, src *rng.Source) {
 }
 
 // receive attempts one non-blocking receive.
-func (c *Cluster) receive(dl chan packet, h mobile.HostID, seen map[uint64]bool) {
+func (c *Cluster) receive(dl chan packet, h mobile.HostID, seen *dupFilter) {
 	select {
 	case pkt := <-dl:
 		c.deliver(h, pkt, seen)
@@ -665,7 +781,7 @@ func (c *Cluster) receive(dl chan packet, h mobile.HostID, seen map[uint64]bool)
 
 // deliver decodes the frame, suppresses duplicates and runs the
 // protocol's OnDeliver.
-func (c *Cluster) deliver(h mobile.HostID, pkt packet, seen map[uint64]bool) {
+func (c *Cluster) deliver(h mobile.HostID, pkt packet, seen *dupFilter) {
 	p, err := wire.Unmarshal(pkt.frame)
 	if err != nil {
 		c.countersMu.Lock()
@@ -673,19 +789,18 @@ func (c *Cluster) deliver(h mobile.HostID, pkt packet, seen map[uint64]bool) {
 		c.countersMu.Unlock()
 		return
 	}
-	if seen[p.ID] {
+	if seen.Suppress(p.ID) {
 		c.countersMu.Lock()
 		c.counters.Duplicates++
 		c.countersMu.Unlock()
 		return
 	}
-	seen[p.ID] = true
 	c.mu.Lock()
+	now := c.beginEvent(trace.SchedDeliver, "deliver", int(h), int(p.From), p.ID, -1, -1)
 	if c.tl != nil {
-		now := c.tick()
-		c.tl.Instant(now, int(h), "deliver",
+		c.tl.Instant(float64(now), int(h), "deliver",
 			"from", strconv.Itoa(int(p.From)), "msg", strconv.FormatUint(p.ID, 10))
-		c.tl.FlowStep(now, int(h), "msg-flow", p.ID)
+		c.tl.FlowStep(float64(now), int(h), "msg-flow", p.ID)
 		c.deliveringHost, c.deliveringFlow = h, p.ID
 	}
 	c.proto.OnDeliver(h, p.From, p.Piggyback)
@@ -693,12 +808,18 @@ func (c *Cluster) deliver(h mobile.HostID, pkt packet, seen map[uint64]bool) {
 		c.deliveringHost = -1
 		c.tl.FlowEnd(c.tick(), int(h), "msg-flow", p.ID)
 	}
-	c.tr.RecordDeliver(p.ID, c.counts[h], 0)
+	c.tr.RecordDeliver(p.ID, c.counts[h], des.Time(now))
+	if c.dec != nil {
+		c.dec.RecordDelivery(int(h), replaycmp.Delivery{
+			Seq: c.curSeq, Msg: p.ID, From: int(p.From),
+			Piggyback: replaycmp.Fingerprint(p.Piggyback), RecvCount: c.counts[h],
+		})
+	}
 	if c.mlog != nil {
 		c.dirMu.Lock()
 		at := c.station[h]
 		c.dirMu.Unlock()
-		c.mlog.Append(h, p.From, p.ID, c.counts[h], 0, mobile.MSSID(at))
+		c.mlog.Append(h, p.From, p.ID, c.counts[h], des.Time(now), mobile.MSSID(at))
 	}
 	c.mu.Unlock()
 	c.countersMu.Lock()
@@ -711,19 +832,28 @@ func (c *Cluster) deliver(h mobile.HostID, pkt packet, seen map[uint64]bool) {
 func (c *Cluster) switchCell(h mobile.HostID, src *rng.Source) {
 	c.dirMu.Lock()
 	cur := c.station[h]
+	c.dirMu.Unlock()
 	next := src.Intn(c.cfg.Stations - 1)
 	if next >= cur {
 		next++
 	}
-	c.station[h] = next
-	c.dirMu.Unlock()
 
 	c.mu.Lock()
+	now := c.beginEvent(trace.SchedHandoff, "switch", int(h), -1, 0, cur, next)
+	// Commit the move while holding mu so the station change is ordered
+	// against the protocol events around it — a recorded schedule must
+	// see sends/deliveries and hand-offs in their real total order.
+	// (station[h] is only ever written by h's own goroutine; dirMu covers
+	// concurrent readers.)
+	c.dirMu.Lock()
+	c.station[h] = next
+	c.dirMu.Unlock()
 	if c.tl != nil {
-		c.tl.Instant(c.tick(), int(h), "handoff",
+		c.tl.Instant(float64(now), int(h), "handoff",
 			"from", strconv.Itoa(cur), "to", strconv.Itoa(next))
 	}
 	c.proto.OnCellSwitch(h, mobile.MSSID(next))
+	c.tr.RecordMobility(h, trace.Handoff, mobile.MSSID(cur), mobile.MSSID(next), des.Time(now))
 	var entries []*mlog.Entry
 	if c.mlog != nil {
 		entries = c.mlog.Handoff(h, mobile.MSSID(next))
@@ -780,10 +910,15 @@ func (c *Cluster) transferLog(h mobile.HostID, from, to mobile.MSSID, entries []
 // buffering, which is the MSS parking messages).
 func (c *Cluster) disconnect(h mobile.HostID) {
 	c.mu.Lock()
+	c.dirMu.Lock()
+	at := c.station[h]
+	c.dirMu.Unlock()
+	now := c.beginEvent(trace.SchedDisconnect, "disconnect", int(h), -1, 0, at, -1)
 	if c.tl != nil {
-		c.tl.Instant(c.tick(), int(h), "disconnect")
+		c.tl.Instant(float64(now), int(h), "disconnect")
 	}
 	c.proto.OnDisconnect(h)
+	c.tr.RecordMobility(h, trace.Disconnect, mobile.MSSID(at), mobile.NoMSS, des.Time(now))
 	if c.mlog != nil {
 		// The delivery stream pauses: make the logged prefix durable.
 		c.mlog.Flush(h)
@@ -796,13 +931,15 @@ func (c *Cluster) disconnect(h mobile.HostID) {
 
 // reconnect reattaches the host at its last station.
 func (c *Cluster) reconnect(h mobile.HostID) {
+	c.mu.Lock()
 	c.dirMu.Lock()
 	at := c.station[h]
 	c.dirMu.Unlock()
-	c.mu.Lock()
+	now := c.beginEvent(trace.SchedReconnect, "reconnect", int(h), -1, 0, -1, at)
 	if c.tl != nil {
-		c.tl.Instant(c.tick(), int(h), "reconnect", "at", strconv.Itoa(at))
+		c.tl.Instant(float64(now), int(h), "reconnect", "at", strconv.Itoa(at))
 	}
 	c.proto.OnReconnect(h, mobile.MSSID(at))
+	c.tr.RecordMobility(h, trace.Reconnect, mobile.NoMSS, mobile.MSSID(at), des.Time(now))
 	c.mu.Unlock()
 }

@@ -9,20 +9,19 @@ import (
 	"mobickpt/internal/storage"
 )
 
-func bcsFactory(n int, ck protocol.Checkpointer, store *storage.Store) protocol.Protocol {
+func bcsFactory(n int, ck protocol.Checkpointer, store *storage.Store, _ func(mobile.HostID) mobile.MSSID) protocol.Protocol {
 	return protocol.NewBCS(n, ck)
 }
 
-func qbcFactory(n int, ck protocol.Checkpointer, store *storage.Store) protocol.Protocol {
+func qbcFactory(n int, ck protocol.Checkpointer, store *storage.Store, _ func(mobile.HostID) mobile.MSSID) protocol.Protocol {
 	return protocol.NewQBC(n, ck, store)
 }
 
-func tpFactory(stations int) NewProtocol {
-	return func(n int, ck protocol.Checkpointer, store *storage.Store) protocol.Protocol {
-		return protocol.NewTP(n, ck, func(h mobile.HostID) mobile.MSSID {
-			return mobile.MSSID(int(h) % stations)
-		})
-	}
+// tpFactory wires TP to the cluster's live location directory: the
+// protocol's piggybacked location vectors track hand-offs instead of
+// guessing a static placement (which went stale after the first move).
+func tpFactory(n int, ck protocol.Checkpointer, store *storage.Store, mssOf func(mobile.HostID) mobile.MSSID) protocol.Protocol {
+	return protocol.NewTP(n, ck, mssOf)
 }
 
 func runCluster(t *testing.T, cfg Config, mk NewProtocol) *Cluster {
@@ -146,7 +145,7 @@ func TestLiveIndexLinesConsistent(t *testing.T) {
 // TP's recovery must converge with bounded propagation on live traces.
 func TestLiveTPRecoveryConverges(t *testing.T) {
 	cfg := DefaultConfig()
-	c := runCluster(t, cfg, tpFactory(cfg.Stations))
+	c := runCluster(t, cfg, tpFactory)
 	seed := recovery.FailureCut(c.Store(), cfg.Hosts, 0)
 	cut, _ := recovery.Propagate(c.Trace(), seed)
 	if recovery.Orphans(c.Trace(), cut) != 0 {
@@ -222,7 +221,7 @@ func TestLiveDataPlane(t *testing.T) {
 // TP's O(n) vectors must also survive the wire.
 func TestLiveTPFramesDecode(t *testing.T) {
 	cfg := DefaultConfig()
-	c := runCluster(t, cfg, tpFactory(cfg.Stations))
+	c := runCluster(t, cfg, tpFactory)
 	got := c.Counters()
 	if got.DecodeErrors != 0 || got.StateErrors != 0 {
 		t.Fatalf("errors: %+v", got)

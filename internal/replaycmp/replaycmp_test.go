@@ -1,0 +1,174 @@
+package replaycmp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mobickpt/internal/protocol"
+	"mobickpt/internal/storage"
+	"mobickpt/internal/trace"
+	"mobickpt/internal/vclock"
+)
+
+func TestCauseKey(t *testing.T) {
+	cases := []struct {
+		kind  storage.Kind
+		cause string
+		want  string
+	}{
+		{storage.Initial, "anything", "initial"},
+		{storage.Forced, "deliver", "forced"},
+		{storage.Basic, "switch", "basic-switch"},
+		{storage.Basic, "disconnect", "basic-disconnect"},
+		{storage.Basic, "", "basic-other"},
+		{storage.Basic, "marker", "basic-marker"},
+	}
+	for _, tc := range cases {
+		if got := CauseKey(tc.kind, tc.cause); got != tc.want {
+			t.Errorf("CauseKey(%v, %q) = %q, want %q", tc.kind, tc.cause, got, tc.want)
+		}
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	tp := protocol.TPPiggyback{Ckpt: vclock.New(2, 0), Loc: vclock.New(2, 0)}
+	tp.Ckpt[1] = 3
+	tp.Loc[0] = 1
+	cases := []struct {
+		pb   any
+		want string
+	}{
+		{nil, "none"},
+		{(*protocol.TPPiggyback)(nil), "none"},
+		{protocol.IndexPiggyback(7), "idx:7"},
+		{tp, "tp:ckpt[0 3],loc[1 0]"},
+		{&tp, "tp:ckpt[0 3],loc[1 0]"},
+		{"weird", "opaque:string"},
+	}
+	for _, tc := range cases {
+		if got := Fingerprint(tc.pb); got != tc.want {
+			t.Errorf("Fingerprint(%#v) = %q, want %q", tc.pb, got, tc.want)
+		}
+	}
+	// Value and pointer forms of the same vector data must agree — the
+	// live side fingerprints wire-decoded values, the replay side the
+	// protocol's pooled pointers.
+	if Fingerprint(tp) != Fingerprint(&tp) {
+		t.Fatal("value/pointer TP fingerprints differ")
+	}
+}
+
+func twin() (*Log, *Log) {
+	mk := func() *Log {
+		l := NewLog("QBC", 2)
+		l.RecordCheckpoint(0, Checkpoint{Seq: 0, Ordinal: 0, Index: 0, Kind: "initial", Cause: "initial"})
+		l.RecordCheckpoint(1, Checkpoint{Seq: 0, Ordinal: 0, Index: 0, Kind: "initial", Cause: "initial"})
+		l.RecordCheckpoint(1, Checkpoint{Seq: 2, Ordinal: 1, Index: 1, Kind: "forced", Cause: "forced"})
+		l.RecordDelivery(1, Delivery{Seq: 2, Msg: 1, From: 0, Piggyback: "idx:1", RecvCount: 2})
+		l.RecoveryLines = [][]int{{0, -1}, {-1, 0}}
+		return l
+	}
+	return mk(), mk()
+}
+
+func TestCompareIdentical(t *testing.T) {
+	a, b := twin()
+	if d := Compare(a, b, nil); d != nil {
+		t.Fatalf("identical logs diverge: %v", d)
+	}
+}
+
+func TestCompareFindsFirstDivergence(t *testing.T) {
+	a, b := twin()
+	// Two injected diffs; the one at the smaller schedule seq must win.
+	b.Checkpoints[1][1].Kind = "basic"
+	b.Deliveries[1][0].RecvCount = 1
+	b.RecoveryLines[0][1] = 0
+	d := Compare(a, b, nil)
+	if d == nil {
+		t.Fatal("no divergence found")
+	}
+	if d.Seq != 2 || d.Host != 1 {
+		t.Fatalf("wrong divergence: %+v", d)
+	}
+	if !strings.Contains(d.String(), "first divergence") {
+		t.Fatalf("report %q lacks the divergence framing", d.String())
+	}
+}
+
+func TestCompareMissingTail(t *testing.T) {
+	a, b := twin()
+	b.Deliveries[1] = b.Deliveries[1][:0]
+	d := Compare(a, b, nil)
+	if d == nil || d.Field != "delivery" || d.Replay != "(missing)" {
+		t.Fatalf("missing tail not reported: %+v", d)
+	}
+}
+
+func TestCompareRecoveryLines(t *testing.T) {
+	a, b := twin()
+	b.RecoveryLines[1][0] = 0
+	d := Compare(a, b, nil)
+	if d == nil || d.Field != "recovery-line" || d.Host != 1 {
+		t.Fatalf("recovery-line divergence not reported: %+v", d)
+	}
+}
+
+func TestCompareHostCount(t *testing.T) {
+	a, b := twin()
+	b.AddHost()
+	if d := Compare(a, b, nil); d == nil || d.Field != "hosts" {
+		t.Fatalf("host-count divergence not reported: %+v", d)
+	}
+}
+
+func TestPerturbFlips(t *testing.T) {
+	a, b := twin()
+	if !Perturb(b, 2) {
+		t.Fatal("Perturb refused a valid ordinal")
+	}
+	if Compare(a, b, nil) == nil {
+		t.Fatal("perturbed log still compares equal")
+	}
+	if Perturb(b, 99) {
+		t.Fatal("Perturb accepted an out-of-range ordinal")
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	s := trace.NewSchedule(2, 2, "QBC", 1)
+	s.Record(trace.SchedSend, 1, 0, 1, 1, -1, -1)
+	s.Record(trace.SchedDeliver, 2, 1, 0, 1, -1, -1)
+	s.SealInFlight()
+	l, _ := twin()
+	b := &Bundle{Schedule: s, Live: l}
+	var buf bytes.Buffer
+	if err := b.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+	got, err := ImportBundle(strings.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Compare(b.Live, got.Live, got.Schedule); d != nil {
+		t.Fatalf("round trip changed the live log: %v", d)
+	}
+	var again bytes.Buffer
+	if err := got.Export(&again); err != nil {
+		t.Fatal(err)
+	}
+	if first != again.String() {
+		t.Fatal("bundle export is not byte-identical after a round trip")
+	}
+	// Host-count mismatch between the sections must be rejected.
+	bad := &Bundle{Schedule: s, Live: NewLog("QBC", 5)}
+	buf.Reset()
+	if err := bad.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ImportBundle(&buf); err == nil {
+		t.Fatal("bundle with mismatched host counts accepted")
+	}
+}

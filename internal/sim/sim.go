@@ -29,6 +29,7 @@ import (
 	"mobickpt/internal/pdes"
 	"mobickpt/internal/protocol"
 	"mobickpt/internal/recovery"
+	"mobickpt/internal/replaycmp"
 	"mobickpt/internal/rng"
 	"mobickpt/internal/storage"
 	"mobickpt/internal/trace"
@@ -199,6 +200,19 @@ type Config struct {
 	// Lanes is the logical-process count for parallel engines; 0 selects
 	// GOMAXPROCS. Ignored when Engine is sequential.
 	Lanes int
+
+	// Schedule, when non-nil, switches Run into differential-replay mode
+	// (E24): instead of generating a synthetic workload, the engine
+	// re-executes the exact event history a live cluster recorded
+	// (live.Config.Record) — every send, delivery, hand-off,
+	// disconnection, reconnection and join, in the recorded total order at
+	// the recorded logical ticks — and lets the protocol re-derive its
+	// decisions. The Result carries a replaycmp.Log to hold against the
+	// live one. Replay mode uses the schedule's own topology and protocol;
+	// Protocols must be empty or name exactly that protocol, and the
+	// workload/mobility/engine knobs of the generative mode are rejected
+	// (there is nothing for them to drive). Checks and MessageLog compose.
+	Schedule *trace.Schedule
 }
 
 // DefaultConfig returns the paper's §5.1 environment at T_switch = 1000,
@@ -217,6 +231,9 @@ func DefaultConfig() Config {
 
 // Validate reports a descriptive error for bad configurations.
 func (c Config) Validate() error {
+	if c.Schedule != nil {
+		return c.validateReplay()
+	}
 	if err := c.Mobile.Validate(); err != nil {
 		return err
 	}
@@ -323,6 +340,50 @@ func (c Config) validateParallel() error {
 	return nil
 }
 
+// validateReplay rejects configurations replay mode cannot honor: the
+// schedule dictates the topology, the event order and the virtual
+// clock, so every generative knob is meaningless and likely a mistake.
+func (c Config) validateReplay() error {
+	if err := c.Schedule.Validate(); err != nil {
+		return err
+	}
+	switch len(c.Protocols) {
+	case 0:
+	case 1:
+		if string(c.Protocols[0]) != c.Schedule.Protocol {
+			return fmt.Errorf("sim: replay schedule records protocol %s, Config selects %s",
+				c.Schedule.Protocol, c.Protocols[0])
+		}
+	default:
+		return fmt.Errorf("sim: replay runs exactly the schedule's protocol (%s); leave Protocols empty", c.Schedule.Protocol)
+	}
+	switch {
+	case c.Engine != pdes.ModeSequential:
+		return fmt.Errorf("sim: replay requires the sequential engine (the schedule is a total order)")
+	case c.CheckpointLatency != 0:
+		return fmt.Errorf("sim: replay is incompatible with CheckpointLatency (ticks are dictated by the schedule)")
+	case c.SnapshotPeriod != 0:
+		return fmt.Errorf("sim: replay is incompatible with SnapshotPeriod (no coordinated protocols are replayable)")
+	case c.GCInterval != 0:
+		return fmt.Errorf("sim: replay is incompatible with GCInterval (the recording ran without GC)")
+	case len(c.JoinTimes) != 0:
+		return fmt.Errorf("sim: replay takes joins from the schedule, not JoinTimes")
+	case c.Probes || c.LaneTimeline != nil || c.Timeline != nil || c.Metrics != nil:
+		return fmt.Errorf("sim: replay supports none of Probes/Timeline/LaneTimeline/Metrics")
+	case c.Progress != nil:
+		return fmt.Errorf("sim: replay is incompatible with Progress")
+	}
+	switch c.MessageLog {
+	case mlog.Off, mlog.Pessimistic, mlog.Optimistic:
+	default:
+		return fmt.Errorf("sim: unknown MessageLog mode %v", c.MessageLog)
+	}
+	if c.LogFlushBatch < 0 {
+		return fmt.Errorf("sim: negative LogFlushBatch")
+	}
+	return nil
+}
+
 // ProtocolResult holds one protocol's outcome over the run.
 type ProtocolResult struct {
 	Name ProtocolName
@@ -403,6 +464,11 @@ type Result struct {
 	// engine-dependent, so cross-engine export comparisons either run
 	// probe-free or strip the field.
 	Probes *ProbeReport
+	// Decisions is the replayed protocol-decision log (nil unless
+	// Config.Schedule put the run in replay mode). Hold it against the
+	// recording side with replaycmp.Compare. Excluded from ExportJSON —
+	// the bundle format (replaycmp.Bundle) is the interchange surface.
+	Decisions *replaycmp.Log
 }
 
 // ProbeReport aggregates the run's engine-internals probes (see
@@ -435,6 +501,9 @@ func (r *Result) Protocol(name ProtocolName) *ProtocolResult {
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Schedule != nil {
+		return runSchedule(cfg)
 	}
 	e, err := newEngine(cfg)
 	if err != nil {
@@ -609,22 +678,10 @@ func (e *engine) restoreCauseAll(prev string) {
 // kind plus — for basic checkpoints — the engine activity that forced it
 // (the paper's two mobility triggers, cell switch and disconnection, or
 // the coordinated baselines' markers).
+// The classification is shared with the live cluster and the replay
+// comparator — one definition, so the three recorders cannot drift.
 func causeKey(kind storage.Kind, cause string) string {
-	switch kind {
-	case storage.Initial:
-		return "initial"
-	case storage.Forced:
-		return "forced"
-	}
-	switch cause {
-	case "switch":
-		return "basic-switch"
-	case "disconnect":
-		return "basic-disconnect"
-	case "":
-		return "basic-other"
-	}
-	return "basic-" + cause
+	return replaycmp.CauseKey(kind, cause)
 }
 
 // payload is what one application message carries: the per-protocol

@@ -14,6 +14,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 
 	"mobickpt/internal/des"
 	"mobickpt/internal/mobile"
@@ -151,6 +152,20 @@ func (t *Trace) MobilityCounts() (handoffs, disconnects, reconnects int) {
 // the run). In-flight messages can never be orphans — their receive
 // does not exist — so they are excluded from the event log.
 func (t *Trace) InFlight() int { return len(t.open) }
+
+// Open returns the in-flight messages (sent, never delivered — e.g.
+// parked at an MSS for a host that disconnected and never reconnected),
+// sorted by id. RecvCount and DeliveredAt are zero: the delivery never
+// happened. Events() silently excludes these; callers accounting for
+// every send (schedule export, replay desync checks) read them here.
+func (t *Trace) Open() []MessageEvent {
+	evs := make([]MessageEvent, 0, len(t.open))
+	for _, ev := range t.open {
+		evs = append(evs, ev)
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].ID < evs[j].ID })
+	return evs
+}
 
 // Len returns the number of delivered messages.
 func (t *Trace) Len() int { return len(t.events) }
