@@ -10,7 +10,7 @@ GOVULNCHECK_VERSION ?= v1.1.4
 
 SIMLINT_BIN = bin/simlint
 
-.PHONY: all build test test-short race bench bench-smoke bench-scale bench-pdes bench-compare bench-all trajectory-diff check diffreplay fmt lint simlint staticcheck-install govulncheck-install fuzz figures results clean FORCE
+.PHONY: all build test test-short race bench bench-smoke bench-scale bench-pdes bench-compare bench-all trajectory-diff check diffreplay fmt lint simlint simlint-sarif bench-simlint staticcheck-install govulncheck-install fuzz figures results clean FORCE
 
 all: build test
 
@@ -62,16 +62,42 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # simlint is the in-tree analysis suite (internal/analysis): detlint,
-# maporder, poollint, schedlint. It is built from the tree, so it is a
-# hard gate everywhere — offline and in CI — and needs no installation.
-# Driving it through `go vet -vettool` (rather than standalone mode)
-# analyzes test files too and caches per-package results.
+# maporder, poollint, schedlint, plus the concurrency-contract
+# analyzers guardlint, lanelint and problint. It is built from the
+# tree, so it is a hard gate everywhere — offline and in CI — and
+# needs no installation. Driving it through `go vet -vettool` (rather
+# than standalone mode) analyzes test files too and caches per-package
+# results. SIMLINT_BASELINE absorbs the findings recorded in
+# simlint.baseline (fingerprinted by analyzer/package/message, so
+# refactors don't churn it); the file is empty today — keep it so.
 $(SIMLINT_BIN): FORCE
 	@mkdir -p $(dir $(SIMLINT_BIN))
 	$(GO) build -o $(SIMLINT_BIN) ./cmd/simlint
 
 simlint: $(SIMLINT_BIN)
-	$(GO) vet -vettool=$(CURDIR)/$(SIMLINT_BIN) ./...
+	SIMLINT_BASELINE=$(CURDIR)/simlint.baseline \
+		$(GO) vet -vettool=$(CURDIR)/$(SIMLINT_BIN) ./...
+
+# One standalone whole-repo pass that also writes the surviving
+# findings as a SARIF 2.1.0 log, for CI code-scanning upload.
+simlint-sarif: $(SIMLINT_BIN)
+	@mkdir -p results
+	$(CURDIR)/$(SIMLINT_BIN) -C $(CURDIR) -baseline simlint.baseline \
+		-sarif results/simlint.sarif ./...
+
+# Time one standalone whole-repo simlint pass (all seven analyzers,
+# baseline applied) and record it as a bench artifact, so the analysis
+# gate's wall time rides results/TRAJECTORY.json like any other perf
+# metric and a pathological slowdown shows up in trajectory-diff.
+bench-simlint: $(SIMLINT_BIN)
+	@set -e; \
+	start=$$(date +%s.%N); \
+	$(CURDIR)/$(SIMLINT_BIN) -C $(CURDIR) -baseline simlint.baseline ./... ; \
+	end=$$(date +%s.%N); \
+	secs=$$(awk "BEGIN{printf \"%.3f\", $$end - $$start}"); \
+	printf '{\n  "benchmark": "simlint",\n  "analyzers": 7,\n  "wall_seconds": %s\n}\n' "$$secs" \
+		> results/BENCH_simlint.json; \
+	echo "simlint whole-repo pass: $$secs s -> results/BENCH_simlint.json"
 
 # lint = simlint (hard gate) + staticcheck when present. staticcheck is
 # a third-party module the offline build cannot fetch, so locally a

@@ -1,18 +1,25 @@
 // Command simlint is the multichecker for the repository's static
-// analysis suite (internal/analysis): detlint, maporder, poollint and
-// schedlint.
+// analysis suite (internal/analysis): detlint, maporder, poollint,
+// schedlint, guardlint, lanelint and problint.
 //
 // It runs in two modes.
 //
 // Standalone, from anywhere in the module:
 //
-//	simlint [-C dir] [-config file] [-analyzers detlint,maporder] [packages]
+//	simlint [-C dir] [-config file] [-analyzers detlint,maporder]
+//	        [-baseline file [-update-baseline]] [-sarif file] [packages]
 //
 // loads the named packages (default ./...) with the go/importer-based
 // loader, runs every in-scope analyzer and prints surviving findings as
 // file:line:col: simlint/<analyzer>: message, exiting 1 if any survive.
 // The scope defaults to analysis.DefaultConfig (the repository gate) and
-// can be replaced with -config.
+// can be replaced with -config. With -baseline, findings matched by the
+// named baseline file (fingerprinted by analyzer/package/message, never
+// line numbers) are absorbed and only fresh findings gate; entries that
+// matched nothing are reported as stale. -update-baseline rewrites the
+// baseline from the current findings instead of gating on them. -sarif
+// writes the gating findings as a SARIF 2.1.0 log ("-" for stdout) for
+// CI annotation upload.
 //
 // As a vet tool:
 //
@@ -24,7 +31,10 @@
 // then invoked once per package with a vet.cfg JSON file naming the
 // sources and the export data of every dependency. Because go vet passes
 // no custom flags through, the vettool scope can be overridden with the
-// SIMLINT_CONFIG environment variable naming a -config style file.
+// SIMLINT_CONFIG environment variable naming a -config style file, and
+// the baseline with SIMLINT_BASELINE naming a baseline file (stale
+// entries are not reported in this mode: each vet invocation sees one
+// package, so a global staleness judgment is impossible).
 package main
 
 import (
@@ -83,6 +93,7 @@ func printVersion() {
 // open), or the repository default.
 func scopeConfig(path string) (analysis.Config, error) {
 	if path == "" {
+		//lint:allow simlint/detlint go vet passes no flags through; the environment is the only configuration channel
 		path = os.Getenv("SIMLINT_CONFIG")
 	}
 	if path == "" {
@@ -106,8 +117,11 @@ func runStandalone(args []string) int {
 	dir := fs.String("C", ".", "change to `dir` before loading packages")
 	configPath := fs.String("config", "", "analyzer scope `file` (default: the built-in repository scope)")
 	names := fs.String("analyzers", "", "comma-separated `subset` of analyzers to run (default: all)")
+	baselinePath := fs.String("baseline", "", "absorb findings matched by this baseline `file`; only fresh findings gate")
+	updateBaseline := fs.Bool("update-baseline", false, "rewrite the -baseline file from the current findings instead of gating")
+	sarifPath := fs.String("sarif", "", "write gating findings as SARIF 2.1.0 to `file` (\"-\" for stdout)")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: simlint [-C dir] [-config file] [-analyzers list] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(fs.Output(), "usage: simlint [-C dir] [-config file] [-analyzers list] [-baseline file [-update-baseline]] [-sarif file] [packages]\n\nAnalyzers:\n")
 		for _, a := range analysis.All() {
 			doc, _, _ := strings.Cut(a.Doc, "\n")
 			fmt.Fprintf(fs.Output(), "  %-10s %s\n", a.Name, doc)
@@ -135,6 +149,37 @@ func runStandalone(args []string) int {
 		fmt.Fprintln(os.Stderr, "simlint:", err)
 		return 1
 	}
+
+	if *updateBaseline {
+		if *baselinePath == "" {
+			fmt.Fprintln(os.Stderr, "simlint: -update-baseline needs -baseline <file>")
+			return 1
+		}
+		if err := os.WriteFile(*baselinePath, []byte(analysis.FormatBaseline(findings)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "simlint: wrote %s (%d finding(s) baselined)\n", *baselinePath, len(findings))
+		return 0
+	}
+	if *baselinePath != "" {
+		b, err := loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 1
+		}
+		var stale []analysis.BaselineEntry
+		findings, stale = b.Filter(findings)
+		for _, e := range stale {
+			fmt.Fprintf(os.Stderr, "simlint: stale baseline entry (matched nothing — delete it): %s\t%s\t%d\t%s\n", e.Analyzer, e.Package, e.Count, e.Message)
+		}
+	}
+	if *sarifPath != "" {
+		if err := writeSARIF(*sarifPath, analyzers, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 1
+		}
+	}
 	for _, f := range findings {
 		fmt.Printf("%s: simlint/%s: %s\n", f.Position, f.Analyzer, f.Message)
 	}
@@ -143,6 +188,30 @@ func runStandalone(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+func loadBaseline(path string) (*analysis.Baseline, error) {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	b, err := analysis.ParseBaseline(string(text))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return b, nil
+}
+
+func writeSARIF(path string, analyzers []*analysis.Analyzer, findings []analysis.Finding) error {
+	out, err := analysis.SARIF(analyzers, findings)
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
 }
 
 // ---- go vet unit-checker mode ----
@@ -237,6 +306,17 @@ func runVetCfg(path string) int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simlint: %s: %v\n", cfg.ImportPath, err)
 		return 1
+	}
+	// The baseline channel for vet mode. Staleness is not judged here:
+	// this invocation sees one package of the build, so an unmatched
+	// entry may simply belong to a package vet has not handed us.
+	if path := os.Getenv("SIMLINT_BASELINE"); path != "" { //lint:allow simlint/detlint go vet passes no flags through; the environment is the only configuration channel
+		b, err := loadBaseline(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 1
+		}
+		findings, _ = b.Filter(findings)
 	}
 	for _, f := range findings {
 		fmt.Fprintf(os.Stderr, "%s: simlint/%s: %s\n", f.Position, f.Analyzer, f.Message)

@@ -100,6 +100,7 @@ func TestVettoolSeededModuleFails(t *testing.T) {
 	}
 	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
 	cmd.Dir = seededModule
+	//lint:allow simlint/detlint the child go vet inherits the parent environment (GOCACHE, PATH) plus the scope override
 	cmd.Env = append(os.Environ(), "SIMLINT_CONFIG="+conf)
 	out, err := cmd.CombinedOutput()
 	if err == nil {

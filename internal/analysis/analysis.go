@@ -71,9 +71,12 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // Finding is a resolved diagnostic: a Diagnostic plus its printable
-// position, as produced by RunAnalyzers after suppression filtering.
+// position and owning package, as produced by RunAnalyzers after
+// suppression filtering. Package participates in the baseline
+// fingerprint (see baseline.go), Position deliberately does not.
 type Finding struct {
 	Position token.Position
+	Package  string
 	Analyzer string
 	Message  string
 }
@@ -82,9 +85,21 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s: %s", f.Position, f.Analyzer, f.Message)
 }
 
-// All returns the full simlint suite in stable order.
+// All returns the full simlint suite in stable order: the four
+// syntactic contract checkers from PR 5 plus the three annotation-driven
+// concurrency-contract analyzers (guardlint, lanelint, problint).
 func All() []*Analyzer {
-	return []*Analyzer{Detlint, Maporder, Poollint, Schedlint}
+	return []*Analyzer{Detlint, Maporder, Poollint, Schedlint, Guardlint, Lanelint, Problint}
+}
+
+// Names returns the analyzer names of All(), comma-joined, for error
+// messages and usage text.
+func Names() string {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ", ")
 }
 
 // ByName resolves a comma-separated analyzer list ("detlint,maporder").
@@ -102,7 +117,7 @@ func ByName(names string) ([]*Analyzer, error) {
 		n = strings.TrimSpace(n)
 		a, ok := byName[n]
 		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q (have detlint, maporder, poollint, schedlint)", n)
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", n, Names())
 		}
 		out = append(out, a)
 	}
@@ -116,18 +131,23 @@ func ByName(names string) ([]*Analyzer, error) {
 // as findings of the pseudo-analyzer "allow-directive".
 func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Finding, error) {
 	sup, bad := suppressionIndex(fset, files)
+	pkgPath := ""
+	if pkg != nil {
+		pkgPath = pkg.Path()
+	}
 
 	var findings []Finding
 	for _, d := range bad {
 		findings = append(findings, Finding{
 			Position: fset.Position(d.Pos),
+			Package:  pkgPath,
 			Analyzer: d.Analyzer,
 			Message:  d.Message,
 		})
 	}
 	for _, a := range analyzers {
 		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
-		if err := a.Run(pass); err != nil {
+		if err := runProtected(a, pass); err != nil {
 			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 		for _, d := range pass.diagnostics {
@@ -135,7 +155,7 @@ func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
 			if sup.suppressed(a.Name, pos) {
 				continue
 			}
-			findings = append(findings, Finding{Position: pos, Analyzer: d.Analyzer, Message: d.Message})
+			findings = append(findings, Finding{Position: pos, Package: pkgPath, Analyzer: d.Analyzer, Message: d.Message})
 		}
 	}
 	sort.Slice(findings, func(i, j int) bool {
@@ -149,6 +169,18 @@ func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
 		return a.Column < b.Column
 	})
 	return findings, nil
+}
+
+// runProtected runs one analyzer, converting a panic into an error that
+// names the analyzer instead of killing the whole gate: one broken
+// check must not take down the six others mid-refactor.
+func runProtected(a *Analyzer, pass *Pass) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("internal error (panic): %v", r)
+		}
+	}()
+	return a.Run(pass)
 }
 
 // ---- shared type-resolution helpers used by the analyzers ----

@@ -1,0 +1,187 @@
+package analysis_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"mobickpt/internal/analysis"
+)
+
+func TestParseAnnot(t *testing.T) {
+	tests := []struct {
+		name    string
+		text    string // comment text without the // marker
+		isAnnot bool
+		wantErr string // substring of the error, "" for valid
+		kind    analysis.AnnotKind
+		names   []string
+		reason  string
+	}{
+		{
+			name: "guard single", text: "guard:mu",
+			isAnnot: true, kind: analysis.AnnotGuard, names: []string{"mu"},
+		},
+		{
+			name: "guard multi", text: "guard:mu,dirMu",
+			isAnnot: true, kind: analysis.AnnotGuard, names: []string{"mu", "dirMu"},
+		},
+		{
+			name: "guard multi with spaces", text: "guard:mu, dirMu",
+			isAnnot: true, kind: analysis.AnnotGuard, names: []string{"mu", "dirMu"},
+		},
+		{
+			name: "guard none with reason", text: "guard:none immutable after construction",
+			isAnnot: true, kind: analysis.AnnotGuardNone, reason: "immutable after construction",
+		},
+		{
+			name: "guard none without reason", text: "guard:none",
+			isAnnot: true, wantErr: "needs a reason",
+		},
+		{
+			name: "guard empty", text: "guard:",
+			isAnnot: true, wantErr: "at least one mutex name",
+		},
+		{
+			name: "guard trailing comma", text: "guard:mu,",
+			isAnnot: true, wantErr: "bad mutex name",
+		},
+		{
+			name: "guard bad ident", text: "guard:c.mu",
+			isAnnot: true, wantErr: "bad mutex name",
+		},
+		{
+			// Directives are unspaced; this is prose, not a directive.
+			name: "spaced prose", text: " guard: the mu field protects n",
+			isAnnot: false,
+		},
+		{
+			name: "locks held", text: "locks:held mu",
+			isAnnot: true, kind: analysis.AnnotHeld, names: []string{"mu"},
+		},
+		{
+			name: "locks held multi", text: "locks:held mu dirMu",
+			isAnnot: true, kind: analysis.AnnotHeld, names: []string{"mu", "dirMu"},
+		},
+		{
+			name: "locks held empty", text: "locks:held",
+			isAnnot: true, wantErr: "at least one mutex name",
+		},
+		{
+			name: "locks quiescent", text: "locks:quiescent setup before goroutines start",
+			isAnnot: true, kind: analysis.AnnotQuiescent, reason: "setup before goroutines start",
+		},
+		{
+			name: "locks quiescent without reason", text: "locks:quiescent",
+			isAnnot: true, wantErr: "needs a reason",
+		},
+		{
+			name: "locks after", text: "locks:after mu",
+			isAnnot: true, kind: analysis.AnnotAfter, names: []string{"mu"},
+		},
+		{
+			name: "locks unknown", text: "locks:sometimes mu",
+			isAnnot: true, wantErr: "unknown //locks: directive",
+		},
+		{
+			name: "lane shard", text: "lane:shard",
+			isAnnot: true, kind: analysis.AnnotLaneShard,
+		},
+		{
+			name: "lane shard with argument", text: "lane:shard lanes",
+			isAnnot: true, wantErr: "takes no argument",
+		},
+		{
+			name: "lane stopped bare", text: "lane:stopped",
+			isAnnot: true, kind: analysis.AnnotLaneStopped,
+		},
+		{
+			name: "lane stopped with reason", text: "lane:stopped regrown at barriers only",
+			isAnnot: true, kind: analysis.AnnotLaneStopped, reason: "regrown at barriers only",
+		},
+		{
+			name: "lane handler", text: "lane:handler",
+			isAnnot: true, kind: analysis.AnnotLaneHandler,
+		},
+		{
+			name: "lane unknown", text: "lane:owner",
+			isAnnot: true, wantErr: "unknown //lane: directive",
+		},
+		{
+			name: "probe writer", text: "probe:writer",
+			isAnnot: true, kind: analysis.AnnotProbeWriter,
+		},
+		{
+			name: "probe writer with reason", text: "probe:writer the drain loop owns p",
+			isAnnot: true, kind: analysis.AnnotProbeWriter, reason: "the drain loop owns p",
+		},
+		{
+			name: "probe merge", text: "probe:merge end of run",
+			isAnnot: true, kind: analysis.AnnotProbeMerge, reason: "end of run",
+		},
+		{
+			name: "probe unknown", text: "probe:reader",
+			isAnnot: true, wantErr: "unknown //probe: directive",
+		},
+		{name: "foreign directive", text: "go:generate stringer", isAnnot: false},
+		{name: "plain comment", text: " nothing to see here", isAnnot: false},
+		{name: "prose with a colon", text: "note: guards are documented above", isAnnot: false},
+		{name: "lint allow is not an annotation", text: "lint:allow simlint/guardlint x", isAnnot: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			an, isAnnot, err := analysis.ParseAnnot(tt.text)
+			if isAnnot != tt.isAnnot {
+				t.Fatalf("isAnnot = %v, want %v (err %v)", isAnnot, tt.isAnnot, err)
+			}
+			if tt.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+					t.Fatalf("err = %v, want substring %q", err, tt.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tt.isAnnot {
+				return
+			}
+			if an.Kind != tt.kind {
+				t.Fatalf("kind = %v, want %v", an.Kind, tt.kind)
+			}
+			if !reflect.DeepEqual(an.Names, tt.names) {
+				t.Fatalf("names = %v, want %v", an.Names, tt.names)
+			}
+			if an.Reason != tt.reason {
+				t.Fatalf("reason = %q, want %q", an.Reason, tt.reason)
+			}
+		})
+	}
+}
+
+func TestAnnotFamily(t *testing.T) {
+	tests := []struct {
+		text   string
+		family string
+	}{
+		{"guard:mu", "guard"},
+		{"guard:none atomic", "guard"},
+		{"locks:held mu", "locks"},
+		{"locks:quiescent joined", "locks"},
+		{"locks:after mu", "locks"},
+		{"lane:shard", "lane"},
+		{"lane:stopped", "lane"},
+		{"lane:handler", "lane"},
+		{"probe:writer", "probe"},
+		{"probe:merge", "probe"},
+	}
+	for _, tt := range tests {
+		an, ok, err := analysis.ParseAnnot(tt.text)
+		if !ok || err != nil {
+			t.Fatalf("ParseAnnot(%q) = ok %v, err %v", tt.text, ok, err)
+		}
+		if got := an.Family(); got != tt.family {
+			t.Errorf("Family(%q) = %q, want %q", tt.text, got, tt.family)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package analysis
+
+// Findings baseline.
+//
+// A baseline is a committed inventory of sanctioned findings: the gate
+// fails only on findings NOT matched by it, so a new contract analyzer
+// can land with its debt recorded instead of blocking every PR until
+// the whole repository is clean. Entries are fingerprinted by
+// (analyzer, package, message) — deliberately position-free, so
+// renaming a file or shifting lines in a refactor does not churn the
+// baseline — with a count per fingerprint capping how many identical
+// findings the entry absorbs.
+//
+// The file format is line-oriented and diff-friendly:
+//
+//	# comment
+//	<analyzer>\t<package>\t<count>\t<message>
+//
+// sorted by analyzer, package, message. `simlint -update-baseline`
+// regenerates it; entries that no longer match anything are reported as
+// stale so the baseline shrinks monotonically toward empty.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Fingerprint is the baseline identity of a finding: analyzer, package
+// and message, with no position component.
+func (f Finding) Fingerprint() string {
+	return f.Analyzer + "\x00" + f.Package + "\x00" + f.Message
+}
+
+// A BaselineEntry is one sanctioned finding class.
+type BaselineEntry struct {
+	Analyzer string
+	Package  string
+	Count    int
+	Message  string
+}
+
+func (e BaselineEntry) fingerprint() string {
+	return e.Analyzer + "\x00" + e.Package + "\x00" + e.Message
+}
+
+// A Baseline is a parsed baseline file.
+type Baseline struct {
+	entries []BaselineEntry
+}
+
+// ParseBaseline parses the baseline file format. Unparseable lines are
+// errors: a silently dropped entry would turn into a silently ignored
+// finding allowance (or a phantom gate failure) later.
+func ParseBaseline(text string) (*Baseline, error) {
+	b := &Baseline{}
+	for i, line := range strings.Split(text, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 4)
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("baseline line %d: want <analyzer>\\t<package>\\t<count>\\t<message>, got %q", i+1, line)
+		}
+		count, err := strconv.Atoi(parts[2])
+		if err != nil || count < 1 {
+			return nil, fmt.Errorf("baseline line %d: bad count %q", i+1, parts[2])
+		}
+		b.entries = append(b.entries, BaselineEntry{
+			Analyzer: parts[0],
+			Package:  parts[1],
+			Count:    count,
+			Message:  parts[3],
+		})
+	}
+	return b, nil
+}
+
+// FormatBaseline renders findings as baseline entries: deduplicated by
+// fingerprint with counts, sorted, with a header documenting the format.
+func FormatBaseline(findings []Finding) string {
+	counts := make(map[string]*BaselineEntry)
+	for _, f := range findings {
+		fp := f.Fingerprint()
+		if e, ok := counts[fp]; ok {
+			e.Count++
+			continue
+		}
+		counts[fp] = &BaselineEntry{Analyzer: f.Analyzer, Package: f.Package, Count: 1, Message: f.Message}
+	}
+	entries := make([]BaselineEntry, 0, len(counts))
+	for _, e := range counts {
+		entries = append(entries, *e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Package != b.Package {
+			return a.Package < b.Package
+		}
+		return a.Message < b.Message
+	})
+	var sb strings.Builder
+	sb.WriteString("# simlint baseline: sanctioned findings, one per line as\n")
+	sb.WriteString("#   <analyzer>\\t<package>\\t<count>\\t<message>\n")
+	sb.WriteString("# Fingerprints carry no positions, so refactors do not churn this file.\n")
+	sb.WriteString("# Regenerate with: bin/simlint -baseline simlint.baseline -update-baseline ./...\n")
+	sb.WriteString("# Prefer in-tree //lint:allow with a reason; keep this file shrinking.\n")
+	for _, e := range entries {
+		fmt.Fprintf(&sb, "%s\t%s\t%d\t%s\n", e.Analyzer, e.Package, e.Count, e.Message)
+	}
+	return sb.String()
+}
+
+// Filter splits findings into the fresh ones (not absorbed by the
+// baseline) and reports entries whose allowance went entirely unused —
+// stale debt that should be deleted from the file.
+func (b *Baseline) Filter(findings []Finding) (fresh []Finding, stale []BaselineEntry) {
+	if b == nil {
+		return findings, nil
+	}
+	remaining := make(map[string]int, len(b.entries))
+	for _, e := range b.entries {
+		remaining[e.fingerprint()] += e.Count
+	}
+	used := make(map[string]bool)
+	for _, f := range findings {
+		fp := f.Fingerprint()
+		if remaining[fp] > 0 {
+			remaining[fp]--
+			used[fp] = true
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for _, e := range b.entries {
+		if !used[e.fingerprint()] {
+			stale = append(stale, e)
+		}
+	}
+	return fresh, stale
+}

@@ -1,0 +1,114 @@
+package analysis_test
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+
+	"mobickpt/internal/analysis"
+)
+
+func finding(analyzer, pkg, msg string, line int) analysis.Finding {
+	return analysis.Finding{
+		Position: token.Position{Filename: "x.go", Line: line, Column: 1},
+		Package:  pkg,
+		Analyzer: analyzer,
+		Message:  msg,
+	}
+}
+
+// The whole point of the fingerprint: a refactor that renames files or
+// shifts every line must not churn the baseline.
+func TestFingerprintIgnoresPosition(t *testing.T) {
+	a := finding("guardlint", "mobickpt/internal/live", "write to field \"n\" requires mu held", 10)
+	b := a
+	b.Position = token.Position{Filename: "renamed.go", Line: 999, Column: 42}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("fingerprint changed with position:\n%q\n%q", a.Fingerprint(), b.Fingerprint())
+	}
+	c := a
+	c.Package = "mobickpt/internal/pdes"
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("fingerprint must distinguish packages")
+	}
+	d := a
+	d.Message = "different"
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Fatal("fingerprint must distinguish messages")
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []analysis.Finding{
+		finding("guardlint", "p", "msg one", 1),
+		finding("guardlint", "p", "msg one", 50), // same class, new line
+		finding("lanelint", "q", "msg two", 3),
+	}
+	text := analysis.FormatBaseline(findings)
+	if !strings.Contains(text, "guardlint\tp\t2\tmsg one") {
+		t.Fatalf("formatted baseline missing deduplicated entry:\n%s", text)
+	}
+	b, err := analysis.ParseBaseline(text)
+	if err != nil {
+		t.Fatalf("ParseBaseline of own output: %v", err)
+	}
+	fresh, stale := b.Filter(findings)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Fatalf("round trip not absorbing (fresh %v, stale %v)", fresh, stale)
+	}
+}
+
+// A count caps how many identical findings the entry absorbs: the
+// count+1'th is fresh and gates.
+func TestBaselineCountCaps(t *testing.T) {
+	b, err := analysis.ParseBaseline("guardlint\tp\t1\tmsg\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, stale := b.Filter([]analysis.Finding{
+		finding("guardlint", "p", "msg", 1),
+		finding("guardlint", "p", "msg", 2),
+	})
+	if len(fresh) != 1 {
+		t.Fatalf("got %d fresh findings, want 1 (count exceeded): %v", len(fresh), fresh)
+	}
+	if len(stale) != 0 {
+		t.Fatalf("entry was used; nothing is stale: %v", stale)
+	}
+}
+
+func TestBaselineStaleEntries(t *testing.T) {
+	b, err := analysis.ParseBaseline("# header\nguardlint\tp\t1\tfixed long ago\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, stale := b.Filter(nil)
+	if len(fresh) != 0 {
+		t.Fatalf("unexpected fresh findings: %v", fresh)
+	}
+	if len(stale) != 1 || stale[0].Message != "fixed long ago" {
+		t.Fatalf("want the unused entry reported stale, got %v", stale)
+	}
+}
+
+func TestParseBaselineErrors(t *testing.T) {
+	for _, bad := range []string{
+		"guardlint\tp\tmsg\n",       // missing count column
+		"guardlint\tp\tzero\tmsg\n", // non-numeric count
+		"guardlint\tp\t0\tmsg\n",    // count below 1
+		"one two three four\n",      // no tabs at all
+	} {
+		if _, err := analysis.ParseBaseline(bad); err == nil {
+			t.Errorf("ParseBaseline(%q) accepted a malformed line", bad)
+		}
+	}
+}
+
+func TestNilBaselinePassesThrough(t *testing.T) {
+	var b *analysis.Baseline
+	in := []analysis.Finding{finding("guardlint", "p", "msg", 1)}
+	fresh, stale := b.Filter(in)
+	if len(fresh) != 1 || len(stale) != 0 {
+		t.Fatalf("nil baseline must pass findings through (fresh %v, stale %v)", fresh, stale)
+	}
+}

@@ -41,6 +41,21 @@ type scope struct {
 //     (detlint), its lane shards recycle the shared message/payload
 //     pools like any sim client (poollint), and the lane-handler rule
 //     reaches its clients through schedlint's "*" include.
+//   - detlint also covers cmd/... since the figure/recovery shells feed
+//     the committed results/ tables directly: a wall-clock read there is
+//     as artifact-visible as one in the engine. The two sanctioned
+//     wall-clock users (the scale bench's RSS/throughput timer, the
+//     simlint SIMLINT_* environment channel) carry //lint:allow.
+//   - guardlint runs where //guard: contracts live: the live cluster
+//     (mu / dirMu / countersMu), the PDES lane mailboxes, and
+//     internal/mlog (all //guard:none — externally serialized under the
+//     cluster's mu or single-threaded in the sim).
+//   - lanelint covers the lane-sharded engines: internal/pdes and the
+//     sim engine whose per-lane cause/flow/pool shards generalized the
+//     TP whole-struct-copy race (PR 7).
+//   - problint covers every package that writes or merges
+//     internal/obs/probe counters; the probe package itself owns its
+//     representation and is exempt by construction.
 func DefaultConfig() Config {
 	return Config{scopes: map[string]scope{
 		"detlint": {include: []string{
@@ -50,6 +65,7 @@ func DefaultConfig() Config {
 			"internal/stats", "internal/vclock", "internal/statestore",
 			"internal/storage", "internal/energy", "internal/wire",
 			"internal/obs/...", "internal/live", "internal/replaycmp",
+			"cmd/...",
 		}},
 		"maporder": {include: []string{"*"}, exclude: []string{"examples/..."}},
 		"poollint": {include: []string{
@@ -58,6 +74,12 @@ func DefaultConfig() Config {
 			"internal/trace", "internal/des/equeue",
 		}},
 		"schedlint": {include: []string{"*"}, exclude: []string{"internal/des"}},
+		"guardlint": {include: []string{"internal/live", "internal/pdes", "internal/mlog"}},
+		"lanelint":  {include: []string{"internal/pdes", "internal/sim"}},
+		"problint": {
+			include: []string{"internal/des/...", "internal/pdes", "internal/sim", "internal/mobile", "internal/obs/..."},
+			exclude: []string{"internal/obs/probe"},
+		},
 	}}
 }
 

@@ -20,10 +20,26 @@ func TestDefaultConfigScopes(t *testing.T) {
 		{"detlint", "mobickpt/internal/mlog", true},
 		{"detlint", "mobickpt/internal/obs", true},
 		{"detlint", "mobickpt/internal/live", true},
-		// ...but not the sanctioned entropy source or the CLIs.
+		// ...and the CLIs, whose output lands in committed results/
+		// artifacts, but not the sanctioned entropy source.
+		{"detlint", "mobickpt/cmd/figures", true},
+		{"detlint", "mobickpt/cmd/simlint", true},
 		{"detlint", "mobickpt/internal/rng", false},
-		{"detlint", "mobickpt/cmd/figures", false},
 		{"detlint", "mobickpt/examples/quickstart", false},
+
+		// The contract analyzers run where their annotations live.
+		{"guardlint", "mobickpt/internal/live", true},
+		{"guardlint", "mobickpt/internal/pdes", true},
+		{"guardlint", "mobickpt/internal/mlog", true},
+		{"guardlint", "mobickpt/internal/sim", false},
+		{"lanelint", "mobickpt/internal/pdes", true},
+		{"lanelint", "mobickpt/internal/sim", true},
+		{"lanelint", "mobickpt/internal/live", false},
+		{"problint", "mobickpt/internal/des/equeue", true},
+		{"problint", "mobickpt/internal/mobile", true},
+		{"problint", "mobickpt/internal/obs", true},
+		{"problint", "mobickpt/internal/obs/probe", false}, // owns its representation
+		{"problint", "mobickpt/internal/live", false},
 
 		// maporder is global except for example programs.
 		{"maporder", "mobickpt/cmd/figures", true},
@@ -137,8 +153,8 @@ func TestMatchPattern(t *testing.T) {
 
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 4 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the suite of 4", len(all), err)
+	if err != nil || len(all) != 7 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the suite of 7", len(all), err)
 	}
 	two, err := ByName("detlint, schedlint")
 	if err != nil || len(two) != 2 || two[0].Name != "detlint" || two[1].Name != "schedlint" {

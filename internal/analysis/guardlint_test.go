@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mobickpt/internal/analysis"
+	"mobickpt/internal/analysis/analysistest"
+)
+
+func TestGuardlint(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.Guardlint,
+		"guard_bad", "guard_ok", "guard_suppressed")
+}

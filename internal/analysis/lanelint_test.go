@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mobickpt/internal/analysis"
+	"mobickpt/internal/analysis/analysistest"
+)
+
+func TestLanelint(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.Lanelint,
+		"lane_bad", "lane_ok")
+}

@@ -18,7 +18,11 @@ import (
 )
 
 // LoadedPackage is one type-checked package of the module under
-// analysis, ready for RunAnalyzers.
+// analysis, ready for RunAnalyzers. A package that failed to list,
+// parse or type-check carries the failure in LoadErr (with the other
+// fields unusable) instead of aborting the whole load: mid-refactor,
+// the rest of the repository still gets analyzed and the broken
+// package surfaces as one actionable "load" finding.
 type LoadedPackage struct {
 	ImportPath string
 	Dir        string
@@ -26,7 +30,14 @@ type LoadedPackage struct {
 	Files      []*ast.File
 	Pkg        *types.Package
 	Info       *types.Info
+	LoadErr    error
 }
+
+// LoadAnalyzerName is the pseudo-analyzer under which Run reports
+// packages that could not be loaded. Like allow-directive it cannot be
+// suppressed — a package that does not compile has no line to hang a
+// //lint:allow on.
+const LoadAnalyzerName = "load"
 
 // listPackage is the subset of `go list -json` output the loader needs.
 type listPackage struct {
@@ -69,9 +80,6 @@ func Load(dir string, patterns []string) ([]*LoadedPackage, error) {
 			}
 			return nil, fmt.Errorf("go list output: %v", err)
 		}
-		if p.Error != nil {
-			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
-		}
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
@@ -97,9 +105,18 @@ func Load(dir string, patterns []string) ([]*LoadedPackage, error) {
 		if p.Standard || p.Module == nil {
 			continue
 		}
+		if p.Error != nil {
+			loaded = append(loaded, &LoadedPackage{
+				ImportPath: p.ImportPath,
+				Dir:        p.Dir,
+				LoadErr:    fmt.Errorf("go list: %s", strings.TrimSpace(p.Error.Err)),
+			})
+			continue
+		}
 		lp, err := typeCheck(fset, imp, p)
 		if err != nil {
-			return nil, err
+			loaded = append(loaded, &LoadedPackage{ImportPath: p.ImportPath, Dir: p.Dir, LoadErr: err})
+			continue
 		}
 		if lp != nil {
 			loaded = append(loaded, lp)
@@ -150,7 +167,11 @@ func NewInfo() *types.Info {
 }
 
 // Run loads patterns and runs every configured analyzer that applies to
-// each package, returning all surviving findings in package order.
+// each package, returning all surviving findings in package order. A
+// package that fails to load (syntax error, type error, missing
+// dependency mid-refactor) contributes exactly one finding under the
+// unsuppressable "load" pseudo-analyzer and does not stop the others
+// from being analyzed.
 func Run(dir string, patterns []string, analyzers []*Analyzer, cfg Config) ([]Finding, error) {
 	pkgs, err := Load(dir, patterns)
 	if err != nil {
@@ -158,6 +179,15 @@ func Run(dir string, patterns []string, analyzers []*Analyzer, cfg Config) ([]Fi
 	}
 	var all []Finding
 	for _, p := range pkgs {
+		if p.LoadErr != nil {
+			all = append(all, Finding{
+				Position: token.Position{Filename: p.Dir},
+				Package:  p.ImportPath,
+				Analyzer: LoadAnalyzerName,
+				Message:  fmt.Sprintf("package %s failed to load and was not analyzed: %v (fix the build, then re-run)", p.ImportPath, p.LoadErr),
+			})
+			continue
+		}
 		scoped := make([]*Analyzer, 0, len(analyzers))
 		for _, a := range analyzers {
 			if cfg.Applies(a.Name, p.ImportPath) {

@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mobickpt/internal/analysis"
+	"mobickpt/internal/analysis/analysistest"
+)
+
+func TestProblint(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.Problint,
+		"probe_bad", "probe_ok")
+}

@@ -12,7 +12,8 @@ import (
 // map-order print and lane-handler global schedule must surface as
 // findings, proving the gate can actually fail a build.
 func TestSeededViolationsFail(t *testing.T) {
-	cfg, err := analysis.ParseConfig("detlint: *\nmaporder: *\nschedlint: *")
+	cfg, err := analysis.ParseConfig(
+		"detlint: *\nmaporder: *\nschedlint: *\nguardlint: *\nlanelint: *\nproblint: *")
 	if err != nil {
 		t.Fatalf("ParseConfig: %v", err)
 	}
@@ -20,20 +21,64 @@ func TestSeededViolationsFail(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
-	var haveDet, haveMap, haveSched bool
+	have := make(map[string]bool)
 	for _, f := range findings {
 		switch f.Analyzer {
 		case "detlint":
-			haveDet = haveDet || strings.Contains(f.Message, "time.Now")
+			have["detlint"] = have["detlint"] || strings.Contains(f.Message, "time.Now")
 		case "maporder":
-			haveMap = haveMap || strings.Contains(f.Message, "map")
+			have["maporder"] = have["maporder"] || strings.Contains(f.Message, "map")
 		case "schedlint":
-			haveSched = haveSched || strings.Contains(f.Message, "pdes lane handler")
+			have["schedlint"] = have["schedlint"] || strings.Contains(f.Message, "pdes lane handler")
+		case "guardlint":
+			have["guardlint"] = have["guardlint"] || strings.Contains(f.Message, "requires one of mu held")
+		case "lanelint":
+			have["lanelint"] = have["lanelint"] || strings.Contains(f.Message, "world-stopped field")
+		case "problint":
+			have["problint"] = have["problint"] || strings.Contains(f.Message, "//probe:writer")
 		}
 	}
-	if !haveDet || !haveMap || !haveSched {
-		t.Fatalf("seeded violations not all found (detlint=%v, maporder=%v, schedlint=%v): %v",
-			haveDet, haveMap, haveSched, findings)
+	for _, name := range []string{"detlint", "maporder", "schedlint", "guardlint", "lanelint", "problint"} {
+		if !have[name] {
+			t.Errorf("seeded %s violation not found", name)
+		}
+	}
+	if t.Failed() {
+		t.Fatalf("findings were: %v", findings)
+	}
+}
+
+// TestRunSurvivesBrokenPackage drives the loader over a module whose
+// packages are mid-refactor broken: the type error must surface as one
+// actionable "load" finding while the healthy sibling package is still
+// analyzed (its seeded detlint violation proves analysis continued).
+func TestRunSurvivesBrokenPackage(t *testing.T) {
+	cfg, err := analysis.ParseConfig("detlint: *")
+	if err != nil {
+		t.Fatalf("ParseConfig: %v", err)
+	}
+	findings, err := analysis.Run("testdata/brokenmod", []string{"./..."}, analysis.All(), cfg)
+	if err != nil {
+		t.Fatalf("Run must not fail outright on a broken package: %v", err)
+	}
+	var haveLoad, haveDet bool
+	for _, f := range findings {
+		switch f.Analyzer {
+		case analysis.LoadAnalyzerName:
+			if strings.Contains(f.Message, "brokenscratch/broken") && strings.Contains(f.Message, "failed to load") {
+				haveLoad = true
+			}
+		case "detlint":
+			if f.Package == "brokenscratch/ok" && strings.Contains(f.Message, "time.Now") {
+				haveDet = true
+			}
+		}
+	}
+	if !haveLoad {
+		t.Errorf("no load finding for the broken package: %v", findings)
+	}
+	if !haveDet {
+		t.Errorf("healthy sibling package was not analyzed: %v", findings)
 	}
 }
 

@@ -1,0 +1,132 @@
+package analysis
+
+// Minimal SARIF 2.1.0 exporter, enough for CI systems (GitHub code
+// scanning and friends) to render simlint findings as inline review
+// annotations. Only the fields those consumers read are emitted, output
+// ordering is deterministic (findings arrive position-sorted and rules
+// follow the analyzer registration order), and each result carries a
+// position-free partial fingerprint matching the baseline identity, so
+// an upload survives refactors the same way the baseline does.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID              string            `json:"ruleId"`
+	Level               string            `json:"level"`
+	Message             sarifMessage      `json:"message"`
+	Locations           []sarifLocation   `json:"locations"`
+	PartialFingerprints map[string]string `json:"partialFingerprints"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// SARIF renders findings as a SARIF 2.1.0 log. The rule inventory
+// lists every analyzer that ran (plus any pseudo-analyzers that
+// reported), so a clean run still documents what gated it.
+func SARIF(analyzers []*Analyzer, findings []Finding) ([]byte, error) {
+	var rules []sarifRule
+	seen := make(map[string]bool)
+	addRule := func(name, doc string) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		short, _, _ := strings.Cut(doc, "\n")
+		if short == "" {
+			short = name
+		}
+		rules = append(rules, sarifRule{
+			ID:               "simlint/" + name,
+			ShortDescription: sarifMessage{Text: short},
+		})
+	}
+	for _, a := range analyzers {
+		addRule(a.Name, a.Doc)
+	}
+	for _, f := range findings {
+		addRule(f.Analyzer, "")
+	}
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		sum := sha256.Sum256([]byte(f.Fingerprint()))
+		results = append(results, sarifResult{
+			RuleID:  "simlint/" + f.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: strings.ReplaceAll(f.Position.Filename, "\\", "/")},
+					Region:           sarifRegion{StartLine: f.Position.Line, StartColumn: f.Position.Column},
+				},
+			}},
+			PartialFingerprints: map[string]string{
+				"simlintFingerprint/v1": fmt.Sprintf("%x", sum[:8]),
+			},
+		})
+	}
+
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "simlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	out, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

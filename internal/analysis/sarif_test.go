@@ -1,0 +1,104 @@
+package analysis_test
+
+import (
+	"encoding/json"
+	"go/token"
+	"testing"
+
+	"mobickpt/internal/analysis"
+)
+
+func TestSARIF(t *testing.T) {
+	f := analysis.Finding{
+		Position: token.Position{Filename: `internal\live\live.go`, Line: 12, Column: 3},
+		Package:  "mobickpt/internal/live",
+		Analyzer: "guardlint",
+		Message:  "read of field \"n\" requires one of mu held (//guard:mu)",
+	}
+	out, err := analysis.SARIF([]*analysis.Analyzer{analysis.Guardlint, analysis.Lanelint}, []analysis.Finding{f})
+	if err != nil {
+		t.Fatalf("SARIF: %v", err)
+	}
+
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+				PartialFingerprints map[string]string `json:"partialFingerprints"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("want one 2.1.0 run, got version %q runs %d", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "simlint" {
+		t.Errorf("driver name %q, want simlint", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != 2 {
+		t.Errorf("want 2 rules (both analyzers listed even when clean), got %d", len(run.Tool.Driver.Rules))
+	}
+	if len(run.Results) != 1 {
+		t.Fatalf("want 1 result, got %d", len(run.Results))
+	}
+	r := run.Results[0]
+	if r.RuleID != "simlint/guardlint" || r.Level != "error" {
+		t.Errorf("result ruleId %q level %q, want simlint/guardlint error", r.RuleID, r.Level)
+	}
+	loc := r.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/live/live.go" {
+		t.Errorf("URI %q, want forward slashes", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 12 {
+		t.Errorf("startLine %d, want 12", loc.Region.StartLine)
+	}
+	if fp := r.PartialFingerprints["simlintFingerprint/v1"]; len(fp) != 16 {
+		t.Errorf("partial fingerprint %q, want 16 hex chars", fp)
+	}
+
+	// The fingerprint in the SARIF output must be position-free, like the
+	// baseline's: the same finding from another line carries the same one.
+	moved := f
+	moved.Position = token.Position{Filename: "elsewhere.go", Line: 1, Column: 1}
+	out2, err := analysis.SARIF([]*analysis.Analyzer{analysis.Guardlint, analysis.Lanelint}, []analysis.Finding{moved})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log2 struct {
+		Runs []struct {
+			Results []struct {
+				PartialFingerprints map[string]string `json:"partialFingerprints"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out2, &log2); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := run.Results[0].PartialFingerprints["simlintFingerprint/v1"], log2.Runs[0].Results[0].PartialFingerprints["simlintFingerprint/v1"]; a != b {
+		t.Errorf("fingerprint changed with position: %q vs %q", a, b)
+	}
+}

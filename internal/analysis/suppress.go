@@ -68,7 +68,7 @@ func ParseDirective(text string) (d Directive, ok bool, err error) {
 		}
 	}
 	if !valid {
-		return Directive{}, true, fmt.Errorf("unknown analyzer %q in //lint:allow (have detlint, maporder, poollint, schedlint)", name)
+		return Directive{}, true, fmt.Errorf("unknown analyzer %q in //lint:allow (have %s)", name, Names())
 	}
 	reason := strings.TrimSpace(strings.Join(fields[1:], " "))
 	if reason == "" {

@@ -1,0 +1,6 @@
+// Package broken deliberately fails to type-check (a mid-refactor
+// state): the loader must surface it as one "load" finding instead of
+// aborting the whole run.
+package broken
+
+var X int = "not an int"

@@ -1,0 +1,3 @@
+module brokenscratch
+
+go 1.22

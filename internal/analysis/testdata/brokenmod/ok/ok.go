@@ -1,0 +1,9 @@
+// Package ok type-checks fine and carries one seeded detlint
+// violation: analysis must continue past the broken sibling package.
+package ok
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now()
+}

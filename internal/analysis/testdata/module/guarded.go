@@ -1,0 +1,14 @@
+package scratch
+
+import "sync"
+
+// Guarded deliberately reads its //guard: field unlocked: guardlint
+// must flag it.
+type Guarded struct {
+	mu sync.Mutex
+	n  int //guard:mu
+}
+
+func (g *Guarded) Peek() int {
+	return g.n
+}

@@ -1,0 +1,8 @@
+// Package probe is the scratch module's stub of the observability
+// probes, so the seeded problint violation type-checks without the real
+// repository.
+package probe
+
+type Probe struct{ Events uint64 }
+
+func (p *Probe) Merge(o *Probe) { p.Events += o.Events }

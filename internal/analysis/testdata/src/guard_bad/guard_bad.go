@@ -1,0 +1,115 @@
+// Package guard_bad violates the //guard: contracts in every way
+// guardlint knows how to catch.
+package guard_bad
+
+import "sync"
+
+// Counter opts into guarding, so every non-mutex field must carry a
+// //guard: directive.
+type Counter struct {
+	mu sync.Mutex
+
+	n int //guard:mu
+
+	hits int // want "field .hits. has no //guard: annotation"
+}
+
+func (c *Counter) badRead() int {
+	return c.n // want "read of field .n. requires one of mu held"
+}
+
+func (c *Counter) badWrite() {
+	c.n = 1 // want "write to field .n. requires mu held"
+}
+
+func (c *Counter) doubleLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mu.Lock() // want "c.mu locked while already held .deadlock."
+}
+
+func (c *Counter) leaks() {
+	c.mu.Lock()
+	c.n++
+} // want "c.mu is still locked at function exit and has no deferred unlock"
+
+func (c *Counter) leaksOnReturn(b bool) {
+	c.mu.Lock()
+	if b {
+		return // want "c.mu is still locked at function exit and has no deferred unlock"
+	}
+	c.mu.Unlock()
+}
+
+// The lock drops on one branch only: after the rejoin the intersection
+// no longer holds mu, so the second write is unprotected.
+func (c *Counter) branchLeak(b bool) {
+	c.mu.Lock()
+	if b {
+		c.mu.Unlock()
+	}
+	c.n = 2 // want "write to field .n. requires mu held"
+	if !b {
+		c.mu.Unlock()
+	}
+}
+
+//locks:held mu
+func (c *Counter) incLocked() { c.n++ }
+
+func (c *Counter) callsWithoutLock() {
+	c.incLocked() // want "call of incLocked requires mu held"
+}
+
+// A goroutine does not inherit the spawner's locks.
+func (c *Counter) spawns() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want "write to field .n. requires mu held"
+	}()
+}
+
+// Ordered declares the acquisition order mu -> dirMu.
+type Ordered struct {
+	mu sync.Mutex
+	//locks:after mu
+	dirMu sync.Mutex
+
+	a int //guard:mu
+	b int //guard:dirMu
+}
+
+func (o *Ordered) inverted() {
+	o.dirMu.Lock()
+	defer o.dirMu.Unlock()
+	o.mu.Lock() // want "o.mu locked while holding o.dirMu: //locks:after declares the order mu -> dirMu"
+	defer o.mu.Unlock()
+}
+
+// Dual requires BOTH mutexes for writes; holding one is not enough.
+type Dual struct {
+	mu    sync.Mutex
+	dirMu sync.Mutex
+
+	both int //guard:mu,dirMu
+}
+
+func (d *Dual) partialWrite() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.both = 1 // want "write to field .both. requires dirMu held"
+}
+
+func (d *Dual) readAnyIsFine() int {
+	d.dirMu.Lock()
+	defer d.dirMu.Unlock()
+	return d.both // a read needs only one of the listed mutexes
+}
+
+// Naming a non-mutex (or missing) sibling in a guard is malformed.
+type BadDirective struct {
+	mu sync.Mutex
+	//guard:nosuch
+	x int // want "is not a sibling sync.Mutex/RWMutex field"
+}

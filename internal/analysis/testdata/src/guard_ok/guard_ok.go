@@ -1,0 +1,107 @@
+// Package guard_ok exercises every sanctioned access pattern: none of
+// these may produce a finding.
+package guard_ok
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+
+	n int //guard:mu
+
+	id int //guard:none immutable after construction
+}
+
+func (c *Counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *Counter) get() int {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+//locks:held mu
+func (c *Counter) incLocked() { c.n++ }
+
+func (c *Counter) callsLocked() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.incLocked()
+}
+
+// NewCounter's local is invisible to other goroutines until returned.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.n = 1
+	c.id = 7
+	return c
+}
+
+//locks:quiescent runs before any goroutine is started
+func (c *Counter) reset() {
+	c.n = 0
+}
+
+// Both branches keep the lock, so the rejoin still holds it.
+func (c *Counter) branchy(b bool) {
+	c.mu.Lock()
+	if b {
+		c.n = 1
+	} else {
+		c.n = 2
+	}
+	c.mu.Unlock()
+}
+
+// A literal can declare its calling contract like a method can.
+func (c *Counter) closure() func() {
+	return func() {
+		//locks:held mu
+		c.n++
+	}
+}
+
+// Reading the unguarded field never needs a lock.
+func (c *Counter) ident() int {
+	return c.id
+}
+
+// A branch that returns does not bleed its unlocked state into the
+// code after the rejoin: the fall-through path still holds mu.
+func (c *Counter) earlyReturn(b bool) int {
+	c.mu.Lock()
+	if b {
+		c.mu.Unlock()
+		return -1
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// Same for panic: the process dies on that path, it never rejoins.
+func (c *Counter) panicPath(b bool) {
+	c.mu.Lock()
+	if b {
+		c.mu.Unlock()
+		panic("unreachable rejoin")
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// The mirror image: panicking with the lock held is not a leak either
+// (the process is gone), and the fall-through keeps the lock.
+func (c *Counter) panicHolding(b bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !b {
+		panic("died locked")
+	}
+	c.n++
+}

@@ -1,0 +1,48 @@
+// Package lane_bad violates the lane-sharding contract in every way
+// lanelint knows how to catch.
+package lane_bad
+
+import (
+	"des"
+	"pdes"
+)
+
+type Lane struct {
+	ev int
+}
+
+type Engine struct {
+	core *pdes.Core
+
+	//lane:shard
+	lanes []Lane
+
+	//lane:stopped regrown only at global barriers
+	epoch int
+
+	limit int // unannotated scalar of a shard-owning struct
+}
+
+//lane:handler
+func (e *Engine) onEvent(i int) {
+	e.lanes[i].ev++ // own shard element, indexed: fine
+	e.epoch = 1     // want "write to world-stopped field .epoch. from lane-handler code"
+	e.limit = 2     // want "write to unsharded field .limit. of a shard-owning struct"
+	s := e.lanes[i] // want "copy of lane-shard element .struct value. from lane-handler code"
+	_ = s
+	e.lanes = nil               // want "reassignment of lane-shard field .lanes. from lane-handler code"
+	for _, l := range e.lanes { // want "range over lane-shard field .lanes. copies each struct element"
+		_ = l
+	}
+	e.stop() // want "call of world-stopped function stop from lane-handler code"
+}
+
+//lane:stopped legal only while every lane is parked
+func (e *Engine) stop() {}
+
+// A func literal passed to pdes.Core.Schedule is handler code too.
+func (e *Engine) arm() {
+	e.core.Schedule(0, 0, 1, func(s *des.Simulator, now des.Time, arg any) {
+		e.epoch = 9 // want "write to world-stopped field .epoch. from lane-handler code"
+	}, nil, false)
+}

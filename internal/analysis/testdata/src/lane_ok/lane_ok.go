@@ -1,0 +1,37 @@
+// Package lane_ok exercises the sanctioned lane-handler patterns: none
+// of these may produce a finding.
+package lane_ok
+
+type Lane struct {
+	ev  int
+	buf []int
+}
+
+type Engine struct {
+	//lane:shard
+	lanes []Lane
+
+	//lane:stopped
+	epoch int
+
+	seen map[int]bool // container fields stay entity-keyed
+}
+
+//lane:handler
+func (e *Engine) onEvent(i int) {
+	l := &e.lanes[i] // pointer to the element, not a copy
+	l.ev++
+	e.lanes[i].ev = 3
+	e.lanes[i].buf = append(e.lanes[i].buf, i)
+	e.seen[i] = true
+	for j := range e.lanes {
+		_ = &e.lanes[j]
+	}
+}
+
+// Not handler code: the stop-the-world phase may regrow the shards and
+// advance the epoch.
+func (e *Engine) grow() {
+	e.lanes = append(e.lanes, Lane{})
+	e.epoch++
+}

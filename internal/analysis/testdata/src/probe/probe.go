@@ -1,0 +1,13 @@
+// Package probe is a fixture stub standing in for mobickpt's
+// internal/obs/probe counters, for problint fixtures.
+package probe
+
+type PoolProbe struct {
+	Hits   uint64
+	Misses uint64
+}
+
+func (p *PoolProbe) Merge(o *PoolProbe) {
+	p.Hits += o.Hits
+	p.Misses += o.Misses
+}

@@ -1,0 +1,28 @@
+// Package probe_bad violates the single-writer probe discipline in
+// every way problint knows how to catch.
+package probe_bad
+
+import "probe"
+
+type Sim struct {
+	p      probe.PoolProbe
+	shards []probe.PoolProbe
+}
+
+func (s *Sim) step() {
+	s.p.Hits++ // want "write to probe field .Hits. outside a //probe:writer function"
+}
+
+//probe:writer the drain loop owns p
+func (s *Sim) drain() {
+	s.p.Misses++ // the sanctioned writer
+	go func() {
+		s.p.Hits++ // want "probe field .Hits. written inside a go-statement literal"
+	}()
+}
+
+func (s *Sim) report() uint64 {
+	var total probe.PoolProbe
+	total.Merge(&s.shards[0]) // want "probe Merge outside a //probe:merge function"
+	return total.Hits
+}

@@ -1,0 +1,30 @@
+// Package probe_ok exercises the sanctioned probe patterns: none of
+// these may produce a finding.
+package probe_ok
+
+import "probe"
+
+type Sim struct {
+	p      probe.PoolProbe
+	shards []probe.PoolProbe
+}
+
+//probe:writer the event loop is the single owner of p and the shards
+func (s *Sim) drain(i int) {
+	s.p.Hits++
+	s.shards[i].Misses++
+}
+
+//probe:merge end of run; every writer goroutine has been joined
+func (s *Sim) total() probe.PoolProbe {
+	var t probe.PoolProbe
+	for i := range s.shards {
+		t.Merge(&s.shards[i])
+	}
+	return t
+}
+
+// Reads are unrestricted: racing reads are the probes' documented deal.
+func (s *Sim) read() uint64 {
+	return s.p.Hits
+}

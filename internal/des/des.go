@@ -214,6 +214,8 @@ func (s *Simulator) checkAt(at Time, label string) {
 
 // acquire returns an event ready to be queued: recycled from the free
 // list for pooled events, freshly allocated otherwise.
+//
+//probe:writer the simulator loop is single-threaded; it owns its pool probe
 func (s *Simulator) acquire(at Time, label string, pooled bool) *Event {
 	var e *Event
 	if pooled && s.free != nil {
@@ -241,6 +243,8 @@ func (s *Simulator) acquire(at Time, label string, pooled bool) *Event {
 
 // recycle returns a fired (or canceled) pooled event to the free list,
 // dropping references so handlers and arguments do not outlive the event.
+//
+//probe:writer the simulator loop is single-threaded; it owns its pool probe
 func (s *Simulator) recycle(e *Event) {
 	e.handler = nil
 	e.argFn = nil

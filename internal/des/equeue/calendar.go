@@ -36,6 +36,8 @@ type Calendar struct {
 // probe shares the queue's single-writer discipline: only the owning
 // goroutine may operate the queue, and readers must wait for the run to
 // quiesce.
+//
+//probe:writer probe attach/detach happens on the owning goroutine
 func (c *Calendar) SetProbe(p *probe.QueueProbe) {
 	c.probe = p
 	if p != nil {
@@ -96,6 +98,8 @@ func (c *Calendar) slotOf(at float64) int64 {
 
 // Push inserts e into its day's bucket, keeping the bucket sorted by
 // (At, Seq).
+//
+//probe:writer the calendar is operated only by its owning scheduler goroutine
 func (c *Calendar) Push(e *Entry) {
 	slot := c.slotOf(e.At)
 	c.insert(e, slot)
@@ -117,6 +121,8 @@ func (c *Calendar) Push(e *Entry) {
 }
 
 // insert links e into the bucket for slot, in (At, Seq) order.
+//
+//probe:writer called from Push/resize on the owning scheduler goroutine
 func (c *Calendar) insert(e *Entry, slot int64) {
 	idx := slot & c.mask
 	b := &c.buckets[idx]
@@ -157,6 +163,8 @@ func (c *Calendar) insert(e *Entry, slot int64) {
 // is <= the day under the sweep. If a whole year passes with nothing
 // due (a sparse far-future population), it falls back to a direct
 // search over all bucket heads.
+//
+//probe:writer the calendar is operated only by its owning scheduler goroutine
 func (c *Calendar) Pop() *Entry {
 	if c.n == 0 {
 		return nil
@@ -198,6 +206,8 @@ func (c *Calendar) Pop() *Entry {
 // leaves the entry chained; advancing cur to the found slot is safe
 // because the found entry is a global minimum, so every queued entry's
 // slot stays >= cur.
+//
+//probe:writer the calendar is operated only by its owning scheduler goroutine
 func (c *Calendar) Peek() *Entry {
 	if c.n == 0 {
 		return nil
@@ -287,6 +297,8 @@ func (c *Calendar) Fix(e *Entry) {
 // resize rebuilds the bucket array at size, re-deriving the width from
 // the live population: roughly three events per occupied day (Brown's
 // rule of thumb), so sweeps touch O(1) entries per pop.
+//
+//probe:writer called from Push/take on the owning scheduler goroutine
 func (c *Calendar) resize(size int) {
 	if p := c.probe; p != nil {
 		p.Resizes++

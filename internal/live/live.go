@@ -213,54 +213,104 @@ type Counters struct {
 }
 
 // Cluster is a running (or finished) live system.
+//
+// The locking discipline is a machine-checked contract: every field
+// carries a //guard: directive naming its mutex (simlint's guardlint
+// verifies the access sites), and the lock order is mu -> dirMu
+// (declared with //locks:after, also verified).
 type Cluster struct {
-	cfg   Config
+	//guard:none immutable after NewCluster returns
+	cfg Config
+
+	//guard:mu
 	proto protocol.Protocol
+
+	//guard:mu
 	store *storage.Store
-	tr    *trace.Trace
+
+	//guard:mu
+	tr *trace.Trace
+
 	// mlog is the MSS message log, nil unless Config.LogMode enables
 	// it. All mutations happen under mu (deliveries, hand-off
 	// transfers, disconnect flushes are protocol events already
 	// serialized there).
+	//
+	//guard:mu
 	mlog *mlog.Log
 
 	// mu serializes protocol/store/trace access. The protocol state is
 	// per-host, so a production system would stripe this lock by host;
 	// one lock keeps the invariant checking simple and is not the
 	// bottleneck at this scale.
-	mu     sync.Mutex
-	counts []int // checkpoints taken per host (incl. initial)
+	mu sync.Mutex
+
+	// counts is the checkpoints taken per host (incl. initial).
+	//
+	//guard:mu
+	counts []int
 
 	// states is the real data plane: each host's page-tracked memory
 	// image, checkpointed incrementally into the station group. Each is
 	// touched only under mu (protocol hooks mutate it via checkpoints,
 	// the host loop via application writes... also under mu).
+	//
+	//guard:mu
 	states []*statestore.HostState
-	group  *statestore.Group
+
+	//guard:mu
+	group *statestore.Group
 
 	// seen holds each host's bounded duplicate-suppression filter,
 	// touched only by its owner's goroutine while the run is live, and by
 	// the final drain after every host has retired (ordered by the
-	// WaitGroup, so there is no race).
+	// WaitGroup, so there is no race). The slice header itself grows on
+	// joins, under mu.
+	//
+	//guard:mu
 	seen []*dupFilter
 
 	// directory maps each host to its current station's wired inbox; nil
 	// while disconnected (packets then go to the host's last station,
-	// which still holds its downlink).
-	dirMu    sync.Mutex
-	station  []int // current (or last) station of each host
+	// which still holds its downlink). The directory pair is written
+	// under BOTH locks (joins grow it, hand-offs move hosts), so holding
+	// either is enough to read it.
+	//
+	//locks:after mu
+	dirMu sync.Mutex
+
+	// station is the current (or last) station of each host.
+	//
+	//guard:mu,dirMu
+	station []int
+
+	//guard:mu,dirMu
 	downlink []chan packet
 
-	wired    []chan packet // one inbox per station
-	capacity int           // downlink buffer size (precomputed for joins)
+	// wired holds one inbox per station.
+	//
+	//guard:none channels made at construction; the slice never grows, and channel ops synchronize themselves
+	wired []chan packet
 
+	// capacity is the downlink buffer size (precomputed for joins).
+	//
+	//guard:none written once by NewCluster, read-only thereafter
+	capacity int
+
+	//guard:countersMu
 	counters   Counters
 	countersMu sync.Mutex
 
 	// Observability (nil instruments are no-ops when Config.Metrics is
 	// unset). ckpts and replays are atomic counters, safe without locks.
-	reg     *obs.Registry
-	ckpts   *obs.Counter
+	//
+	//guard:none set once by instrument before any goroutine starts; Registry is internally synchronized
+	reg *obs.Registry
+
+	//guard:none atomic counter
+	ckpts *obs.Counter
+
+	//guard:none atomic counter
 	replays *obs.Counter
 
 	// tl is the protocol-event timeline (nil unless Config.Timeline); a
@@ -269,11 +319,20 @@ type Cluster struct {
 	// deliveringHost/deliveringFlow stash, under mu, the packet currently
 	// being delivered so the checkpointer can chain forced checkpoints
 	// into its flow (mirroring the sim engine's per-lane stash).
-	tl             *obs.Timeline
-	ltick          atomic.Uint64
+	//
+	//guard:none set at construction; emission sites serialize under mu while live, Recover runs post-quiescence
+	tl *obs.Timeline
+
+	//guard:none atomic
+	ltick atomic.Uint64
+
+	//guard:mu
 	deliveringHost mobile.HostID
+
+	//guard:mu
 	deliveringFlow uint64
 
+	//guard:mu
 	nextID uint64
 
 	// Recording state (nil sched/dec unless Config.Record). sched and
@@ -282,10 +341,20 @@ type Cluster struct {
 	// the sim engine's causeLane equivalent), and curSeq/curTick are the
 	// schedule position and tick of the current protocol event — the
 	// checkpointer reads all three to stamp each decision.
-	sched   *trace.Schedule
-	dec     *replaycmp.Log
-	cause   string
-	curSeq  uint64
+	//
+	//guard:mu
+	sched *trace.Schedule
+
+	//guard:mu
+	dec *replaycmp.Log
+
+	//guard:mu
+	cause string
+
+	//guard:mu
+	curSeq uint64
+
+	//guard:mu
 	curTick uint64
 }
 
@@ -297,6 +366,8 @@ func (c *Cluster) tick() float64 { return float64(c.ltick.Add(1)) }
 // recording — appends the event to the schedule. It returns the event's
 // tick, which the caller uses for trace timestamps and timeline emission
 // so every artifact of one event shares one instant.
+//
+//locks:held mu
 func (c *Cluster) beginEvent(kind, cause string, host, peer int, msg uint64, from, to int) uint64 {
 	now := c.ltick.Add(1)
 	c.cause = cause
@@ -381,6 +452,8 @@ func (c *Cluster) StationOf(h mobile.HostID) mobile.MSSID {
 // sampled reader takes the lock guarding what it reads, so a concurrent
 // Snapshot (e.g. obs.ServeDebug's /metrics endpoint while the cluster
 // runs) is race-free.
+//
+//locks:quiescent runs inside NewCluster, before any goroutine exists
 func (c *Cluster) instrument(reg *obs.Registry) {
 	if reg == nil {
 		return
@@ -406,22 +479,25 @@ func (c *Cluster) instrument(reg *obs.Registry) {
 	c.ckpts = reg.Counter("live_checkpoints_total")
 	c.replays = reg.Counter("live_replayed_messages_total")
 
-	counter := func(name string, read func() int64) {
+	// Each reader captures a pointer into the counters struct here, while
+	// the cluster is still single-threaded, and dereferences it under
+	// countersMu when sampled.
+	counter := func(name string, v *int64) {
 		reg.CounterFunc(name, func() int64 {
 			c.countersMu.Lock()
 			defer c.countersMu.Unlock()
-			return read()
+			return *v
 		})
 	}
-	counter("live_sent_total", func() int64 { return c.counters.Sent })
-	counter("live_delivered_total", func() int64 { return c.counters.Delivered })
-	counter("live_duplicates_suppressed_total", func() int64 { return c.counters.Duplicates })
-	counter("live_switches_total", func() int64 { return c.counters.Switches })
-	counter("live_disconnects_total", func() int64 { return c.counters.Disconnect })
-	counter("live_joined_total", func() int64 { return c.counters.Joined })
-	counter("live_frame_bytes_total", func() int64 { return c.counters.FrameBytes })
-	counter("live_state_bytes_total", func() int64 { return c.counters.StateBytes })
-	counter("live_decode_errors_total", func() int64 { return c.counters.DecodeErrors })
+	counter("live_sent_total", &c.counters.Sent)
+	counter("live_delivered_total", &c.counters.Delivered)
+	counter("live_duplicates_suppressed_total", &c.counters.Duplicates)
+	counter("live_switches_total", &c.counters.Switches)
+	counter("live_disconnects_total", &c.counters.Disconnect)
+	counter("live_joined_total", &c.counters.Joined)
+	counter("live_frame_bytes_total", &c.counters.FrameBytes)
+	counter("live_state_bytes_total", &c.counters.StateBytes)
+	counter("live_decode_errors_total", &c.counters.DecodeErrors)
 
 	// Channel depths: per-station wired inboxes (fixed set) plus the
 	// total downlink backlog (the slice grows on joins, so the reader
@@ -466,6 +542,9 @@ func (c *Cluster) instrument(reg *obs.Registry) {
 // host's current station, verifying the result byte for byte.
 func (c *Cluster) checkpointer() protocol.Checkpointer {
 	return func(h mobile.HostID, index int, kind storage.Kind) *storage.Record {
+		// Protocol hooks are only invoked with the cluster lock held.
+		//
+		//locks:held mu
 		rec := c.store.Take(h, mobile.MSSID(c.station[h]), index, kind, des.Time(c.curTick))
 		c.ckpts.Inc()
 		seq := c.counts[h]
@@ -505,29 +584,43 @@ func (c *Cluster) checkpointer() protocol.Checkpointer {
 }
 
 // Store returns the checkpoint store (safe to read after Run returns).
+//
+//locks:quiescent read-side accessor, documented for use after Run returns
 func (c *Cluster) Store() *storage.Store { return c.store }
 
 // Trace returns the recorded message trace (after Run returns).
+//
+//locks:quiescent read-side accessor, documented for use after Run returns
 func (c *Cluster) Trace() *trace.Trace { return c.tr }
 
 // Protocol returns the protocol instance (after Run returns).
+//
+//locks:quiescent read-side accessor, documented for use after Run returns
 func (c *Cluster) Protocol() protocol.Protocol { return c.proto }
 
 // Counters returns the run summary (after Run returns).
+//
+//locks:quiescent read-side accessor, documented for use after Run returns
 func (c *Cluster) Counters() Counters { return c.counters }
 
 // MLog returns the MSS message log, or nil when logging is off (safe to
 // read after Run returns).
+//
+//locks:quiescent read-side accessor, documented for use after Run returns
 func (c *Cluster) MLog() *mlog.Log { return c.mlog }
 
 // Schedule returns the recorded nondeterminism schedule, sealed with
 // its in-flight section, or nil when Config.Record was off (read after
 // Run returns).
+//
+//locks:quiescent read-side accessor, documented for use after Run returns
 func (c *Cluster) Schedule() *trace.Schedule { return c.sched }
 
 // Decisions returns the recorded protocol-decision log, including the
 // post-hoc recovery-line matrix, or nil when Config.Record was off
 // (read after Run returns).
+//
+//locks:quiescent read-side accessor, documented for use after Run returns
 func (c *Cluster) Decisions() *replaycmp.Log { return c.dec }
 
 // Run executes the whole cluster to completion: it starts one goroutine
@@ -551,10 +644,16 @@ func (c *Cluster) Run() {
 	var hosts sync.WaitGroup
 	for h := 0; h < c.cfg.Hosts; h++ {
 		hosts.Add(1)
-		go func(h mobile.HostID) {
+		// Read the host's downlink before spawning: the slice header is
+		// rewritten (under the locks) when late joiners grow it, and the
+		// goroutine may not run until after the first join.
+		c.dirMu.Lock()
+		dl := c.downlink[h]
+		c.dirMu.Unlock()
+		go func(h mobile.HostID, dl chan packet) {
 			defer hosts.Done()
-			c.hostLoop(h, c.downlink[h])
-		}(mobile.HostID(h))
+			c.hostLoop(h, dl)
+		}(mobile.HostID(h), dl)
 	}
 	// Late joiners: real membership changes while the system runs. Each
 	// join allocates the host's structures under the locks, admits it to
@@ -580,11 +679,17 @@ func (c *Cluster) Run() {
 	}
 	stations.Wait()
 
-	// Final drain: the MSSs hold buffered traffic for hosts that retired
-	// before it arrived; deliver it now (the at-least-once transport of
-	// §3 never loses messages). Anything left after this loop indicates a
-	// routing bug, and is surfaced through the Undrained counter.
-	// All goroutines have stopped: no locks needed from here on.
+	c.drainFinal()
+}
+
+// drainFinal delivers the traffic still buffered for hosts that retired
+// before it arrived (the at-least-once transport of §3 never loses
+// messages), counts what is left, and seals the recording. Anything
+// still queued after the loop indicates a routing bug, surfaced through
+// the Undrained counter.
+//
+//locks:quiescent every station and host goroutine has been joined
+func (c *Cluster) drainFinal() {
 	for h := range c.downlink {
 		for {
 			select {
@@ -630,7 +735,8 @@ func (c *Cluster) addHost() (mobile.HostID, chan packet) {
 	c.tr.AddHost()
 	d, ok := c.proto.(protocol.Dynamic)
 	if !ok {
-		c.mu.Unlock()
+		// Deliberately dies with mu held: a misconfigured protocol is a
+		// programming error and the process is over.
 		panic("live: protocol does not support dynamic joins")
 	}
 	if c.dec != nil {
@@ -855,12 +961,13 @@ func (c *Cluster) switchCell(h mobile.HostID, src *rng.Source) {
 	c.proto.OnCellSwitch(h, mobile.MSSID(next))
 	c.tr.RecordMobility(h, trace.Handoff, mobile.MSSID(cur), mobile.MSSID(next), des.Time(now))
 	var entries []*mlog.Entry
-	if c.mlog != nil {
+	logged := c.mlog != nil
+	if logged {
 		entries = c.mlog.Handoff(h, mobile.MSSID(next))
 	}
 	c.mu.Unlock()
 
-	if c.mlog != nil {
+	if logged {
 		c.transferLog(h, mobile.MSSID(cur), mobile.MSSID(next), entries)
 	}
 

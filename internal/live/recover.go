@@ -50,6 +50,8 @@ type RecoveryReport struct {
 // the trace (internal/check) before the report is returned.
 //
 // Call after Run has returned (the cluster is quiescent).
+//
+//locks:quiescent runs only after Run has returned; no goroutine is live
 func (c *Cluster) Recover(failed mobile.HostID) (*RecoveryReport, error) {
 	if int(failed) < 0 || int(failed) >= len(c.states) {
 		return nil, fmt.Errorf("live: no host %d", failed)
@@ -67,6 +69,9 @@ func (c *Cluster) Recover(failed mobile.HostID) (*RecoveryReport, error) {
 		// replay-aware propagation handles any unlogged residue.
 		seed = recovery.FailureCut(c.store, n, failed)
 		logged = func(ev trace.MessageEvent, seq int) bool {
+			// Runs inside the post-Run propagation; races nothing.
+			//
+			//locks:quiescent recovery replay predicate, evaluated after Run
 			return seq < c.mlog.StableBound(ev.To)
 		}
 	}
@@ -151,6 +156,8 @@ func (c *Cluster) Recover(failed mobile.HostID) (*RecoveryReport, error) {
 // VerifyImages checksum-verifies every image currently held by the
 // station group and reports the number checked. Tests call it to assert
 // end-to-end stable-storage integrity.
+//
+//locks:quiescent runs only after Run has returned; no goroutine is live
 func (c *Cluster) VerifyImages() (int, error) {
 	checked := 0
 	for h := 0; h < len(c.states); h++ {
@@ -169,4 +176,6 @@ func (c *Cluster) VerifyImages() (int, error) {
 }
 
 // stateOf exposes a host's live state for tests.
+//
+//locks:quiescent test accessor, used after Run returns
 func (c *Cluster) stateOf(h mobile.HostID) *statestore.HostState { return c.states[h] }

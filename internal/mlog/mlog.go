@@ -142,33 +142,77 @@ type Counters struct {
 }
 
 // hostLog is one host's log state.
+//
+// Like Log itself the struct is externally serialized (see the Log
+// contract); every field states so explicitly for guardlint.
 type hostLog struct {
-	host    mobile.HostID
-	stable  []*Entry // flushed and retained, ascending Seq
-	pending []*Entry // buffered in MSS volatile memory (Optimistic)
-	nextSeq int      // seq the next Append receives
+	//guard:none externally serialized by the Log's owner
+	host mobile.HostID
+
+	// stable holds flushed and retained entries, ascending Seq.
+	//
+	//guard:none externally serialized by the Log's owner
+	stable []*Entry
+
+	// pending is buffered in MSS volatile memory (Optimistic).
+	//
+	//guard:none externally serialized by the Log's owner
+	pending []*Entry
+
+	// nextSeq is the seq the next Append receives.
+	//
+	//guard:none externally serialized by the Log's owner
+	nextSeq int
+
 	// stableSeq is the stable frontier: every entry with Seq < stableSeq
 	// has reached stable storage (possibly pruned since). Monotonic.
+	//
+	//guard:none externally serialized by the Log's owner
 	stableSeq int
+
 	// minSeq is the GC frontier: entries with Seq < minSeq were pruned.
+	//
+	//guard:none externally serialized by the Log's owner
 	minSeq int
-	mss    mobile.MSSID // station holding the stable log
+
+	// mss is the station holding the stable log.
+	//
+	//guard:none externally serialized by the Log's owner
+	mss mobile.MSSID
 }
 
 // Log is the MSS-resident message log of one computation (all hosts).
+//
+// The log carries no lock of its own: every caller already serializes
+// access (the sim engine is single-threaded per world; the live cluster
+// mutates its log under Cluster.mu). The //guard:none annotations make
+// that external contract machine-visible — a future field added without
+// one fails guardlint's completeness check.
 type Log struct {
+	//guard:none immutable after New
 	cfg Config
+
 	// hosts is indexed by HostID (ids are dense); slots stay nil until
 	// the host's first delivery is logged. A flat slice instead of a map
 	// keeps the per-delivery Append path hash-free at n=1e6.
-	hosts    []*hostLog
-	retained int64 // current stable entries across hosts
+	//
+	//guard:none externally serialized (sim: single-threaded; live: under Cluster.mu)
+	hosts []*hostLog
+
+	// retained is the current stable entries across hosts.
+	//
+	//guard:none externally serialized (sim: single-threaded; live: under Cluster.mu)
+	retained int64
+
+	//guard:none externally serialized (sim: single-threaded; live: under Cluster.mu)
 	counters Counters
 
 	// OnFlush, when non-nil, observes every stable write: the host whose
 	// entries were flushed and the number of entries in the write. The
 	// simulation's timeline tracer uses it; the hook must not call back
 	// into the log.
+	//
+	//guard:none set before use, called only from the serialized mutation paths
 	OnFlush func(h mobile.HostID, entries int)
 }
 

@@ -136,20 +136,53 @@ type whEntry struct {
 // lane is one logical process: an event queue, a mailbox for cross-lane
 // arrivals, a min-heap of pending shared-state write points, and the
 // three published order points the other lanes synchronize on.
+// The guardlint contract below encodes the ownership story: everything
+// except the mailbox belongs to the lane's own goroutine (or to the
+// coordinator while the lane is provably parked — a hand-off no mutex
+// can witness, hence //guard:none with the reason); only box, the one
+// structure written by *other* goroutines, takes the mutex.
 type lane struct {
-	id   int
-	q    equeue.Queue
+	//guard:none immutable after NewCore
+	id int
+
+	//guard:none owned by the lane goroutine; the coordinator touches it only while the lane is parked
+	q equeue.Queue
+
+	//guard:none per-goroutine event pool, same ownership as q
 	free *laneEvent
-	lvt  des.Time // time of the executing (or last executed) event
-	ord  []uint32 // per-owned-emitter ordinals (emitter e at index e/P)
-	wh   []whEntry
-	cmd  chan float64 // conservative mode: window bound broadcasts
 
-	fired uint64 // events executed on this lane (flushed to Stats at stop)
+	// lvt is the time of the executing (or last executed) event.
+	//
+	//guard:none written only by the goroutine executing this lane's events
+	lvt des.Time
 
-	probe *probe.LaneProbe // nil unless CoreConfig.Probe was set
+	// ord holds per-owned-emitter ordinals (emitter e at index e/P).
+	//
+	//guard:none grown only single-threaded (before Run or world-stopped); ordinal bumps are owner-lane
+	ord []uint32
 
-	mu  sync.Mutex
+	//guard:none owner-lane write-horizon heap
+	wh []whEntry
+
+	// cmd carries conservative-mode window bound broadcasts.
+	//
+	//guard:none channel operations synchronize themselves
+	cmd chan float64
+
+	// fired counts events executed on this lane (flushed to Stats at
+	// stop).
+	//
+	//guard:none owner-lane counter, read by the coordinator only after the lanes joined
+	fired uint64
+
+	// probe is nil unless CoreConfig.Probe was set.
+	//
+	//guard:none set at construction; the pointed-to shard is owner-lane
+	probe *probe.LaneProbe
+
+	mu sync.Mutex
+
+	//guard:mu
 	box []*laneEvent
 
 	// Published frontier (seqlock pairs; padded below against false
@@ -163,10 +196,17 @@ type lane struct {
 	//
 	// The invariant every operation preserves: min(nextPub, mailMin) is
 	// never above any event this lane has not finished executing.
+	//
+	//guard:none seqlock-published opoint; see the struct comment above
 	nextPub opoint
+
+	//guard:none seqlock-published; the mailbox fold in append runs under mu or world-stopped
 	mailMin opoint
+
+	//guard:none seqlock-published, same discipline as mailMin
 	writeHz opoint
-	_       [56]byte
+
+	_ [56]byte
 }
 
 // frontier returns the lane's published execution promise: the
@@ -204,6 +244,8 @@ func (l *lane) append(ev *laneEvent) {
 // under the mailbox lock with a careful store order — push everything,
 // lower nextPub to the new queue minimum, only then reset mailMin — so
 // at no instant does the published frontier rise above a pending event.
+//
+//probe:writer each lane goroutine owns its own lane probe shard
 func (l *lane) drain() {
 	l.mu.Lock()
 	if len(l.box) == 0 {
@@ -290,6 +332,8 @@ func (l *lane) take() *laneEvent {
 
 // exec runs one popped event on this lane's timeline and recycles it
 // into the executing goroutine's lane pool.
+//
+//probe:writer each lane goroutine owns its own lane probe shard
 func (l *lane) exec(ev *laneEvent) {
 	t := des.Time(ev.ent.At)
 	l.lvt = t
@@ -312,12 +356,23 @@ func (l *lane) exec(ev *laneEvent) {
 // it is provably safe (conservative windows, or the bounded-lag
 // frontier in timewarp mode), and every processed event commits.
 type Core struct {
-	cfg      CoreConfig
-	lanes    []*lane
-	p        int
-	look     float64 // cross-lane lookahead
-	hb       float64 // horizon bound: nextafter(horizon), exclusive
-	inGlobal bool    // set by the coordinator around global-phase execution
+	cfg CoreConfig
+
+	// lanes is sharded by lane id: element i's mutable state belongs to
+	// lane i's goroutine (or the world-stopped coordinator).
+	//
+	//lane:shard
+	lanes []*lane
+
+	p    int
+	look float64 // cross-lane lookahead
+	hb   float64 // horizon bound: nextafter(horizon), exclusive
+
+	// inGlobal is set by the coordinator around global-phase execution.
+	//
+	//lane:stopped only the coordinator flips it, with every lane parked
+	inGlobal bool
+
 	globalAt atomic.Uint64
 	stop     atomic.Bool
 	done     chan int
@@ -478,6 +533,8 @@ func (c *Core) globalNext() float64 {
 }
 
 // globalStep executes one world-stopped global event.
+//
+//lane:stopped runs on the coordinator with every lane parked at or beyond g
 func (c *Core) globalStep(g float64) {
 	c.inGlobal = true
 	c.cfg.GlobalStep()
@@ -566,6 +623,9 @@ func (c *Core) runConservative() {
 
 // laneWindows is the conservative-mode lane worker: execute everything
 // below each broadcast window bound, then report to the barrier.
+//
+//lane:handler
+//probe:writer runs as lane l's goroutine, which owns l.probe
 func (c *Core) laneWindows(l *lane) {
 	defer c.wg.Done()
 	for w := range l.cmd {
@@ -662,6 +722,8 @@ func (c *Core) runBoundedLag() {
 // have landed, and re-check the mailbox after computing the bound (a
 // frontier read that post-dates a neighbour's send is sequenced after
 // that send's mailMin store, so the recheck sees it).
+//
+//lane:handler
 func (c *Core) laneFree(l *lane) {
 	defer c.wg.Done()
 	inf := math.Inf(1)
@@ -768,6 +830,8 @@ func spinWait(n *int) {
 // counts the yields as the lane's frontier/barrier-wait proxy (the
 // engines may not read wall clocks, so burned yields stand in for
 // blocked time).
+//
+//probe:writer each lane goroutine owns its own lane probe shard
 func (l *lane) spinYield(n *int) {
 	*n++
 	if *n > 64 {

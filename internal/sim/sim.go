@@ -538,6 +538,8 @@ type engine struct {
 	// the post-run drain. Toggled only while no lane handler executes (the
 	// coordinator's frontier handshake orders the accesses), it routes
 	// now() to the global clock instead of a parked lane's local time.
+	//
+	//lane:stopped the coordinator flips it between handler windows
 	inGlobalPhase bool
 
 	// joinRNG places dynamically joining hosts on a dedicated stream
@@ -545,6 +547,8 @@ type engine struct {
 	// old NumHosts()%NumMSS rule parked every k-th joiner on the same
 	// station regardless of seed — yet must not perturb the workload's
 	// randomness. Created lazily on the first join.
+	//
+	//lane:stopped joins are global-timeline events, never lane handlers
 	joinRNG *rng.Source
 
 	protos []protocol.Protocol
@@ -553,12 +557,16 @@ type engine struct {
 	// per-message payload carriers. Together they keep the send→deliver
 	// path allocation-free in steady state.
 	recyclers []protocol.Recycler
-	plFree    [][]*payload // per lane: send pops lane(from), deliver pushes lane(to)
-	stores    []*storage.Store
-	traces    []*trace.Trace
-	mlogs     []*mlog.Log      // per-protocol MSS message logs; nil entries unless Config.MessageLog
-	counts    [][]int          // [proto][host] checkpoints taken (incl. initial)
-	checks    []*check.Runtime // nil unless Config.Checks
+	// plFree is the per-lane payload free list: send pops lane(from),
+	// deliver pushes lane(to).
+	//
+	//lane:shard
+	plFree [][]*payload
+	stores []*storage.Store
+	traces []*trace.Trace
+	mlogs  []*mlog.Log      // per-protocol MSS message logs; nil entries unless Config.MessageLog
+	counts [][]int          // [proto][host] checkpoints taken (incl. initial)
+	checks []*check.Runtime // nil unless Config.Checks
 
 	// pendingLatency accumulates checkpoint time to charge against each
 	// host's next operation (only with a single protocol selected).
@@ -577,15 +585,25 @@ type engine struct {
 	// causesLane accumulates the per-lane, per-protocol breakdown, merged
 	// into ProtocolResult.Causes after the run. With one lane both reduce
 	// to the old single cause string and map.
-	causeLane  []string
-	causesLane [][]map[string]int64 // [lane][proto][cause]
+	//
+	//lane:shard
+	causeLane []string
+	// causesLane is indexed [lane][proto][cause].
+	//
+	//lane:shard
+	causesLane [][]map[string]int64
 
 	// Observability (nil unless Config.Metrics / Config.Timeline).
 	reg         *obs.Registry
 	tl          *obs.Timeline
 	ckptByCause []map[string]*obs.Counter // cached sim_checkpoints_total counters
 	forcedHost  [][]*obs.Counter          // cached per-host forced-checkpoint counters
-	discAt      []des.Time                // timeline only: disconnect start per host, -1 when connected
+	// discAt (timeline only) holds the disconnect start per host, -1
+	// when connected. Mobility transitions run as fenced write events —
+	// no lane handler window overlaps them — so the slice may grow.
+	//
+	//lane:stopped mobility transitions are fenced write events
+	discAt []des.Time
 
 	// Flow-id machinery (timeline only). sendOrd[h] counts host h's sends;
 	// the flow id uint64(h)<<32|ordinal is a pure function of the trace —
@@ -596,21 +614,28 @@ type engine struct {
 	// delivery induces into the same flow. Each slot is touched only by
 	// its lane's goroutine (or the world-stopped coordinator); slices grow
 	// only world-stopped (joins).
-	sendOrd      []uint64
-	flowLane     []uint64
+	sendOrd []uint64
+	//lane:shard
+	flowLane []uint64
+	//lane:shard
 	flowHostLane []mobile.HostID
 
 	// Engine-internals probes (zero/nil unless Config.Probes). All are
 	// single-writer cells read after the run (DESIGN.md: probes and
 	// overhead).
 	coreProbe *pdes.CoreProbe
-	msgProbe  []probe.PoolProbe // per-lane message pool shards (mobile)
-	simPool   probe.PoolProbe   // global simulator's event pool
-	simQueue  probe.QueueProbe  // global simulator's pending-event set
+	// msgProbe holds the per-lane message pool shards (mobile).
+	//
+	//lane:shard
+	msgProbe []probe.PoolProbe
+	simPool  probe.PoolProbe  // global simulator's event pool
+	simQueue probe.QueueProbe // global simulator's pending-event set
 }
 
 // markDisconnected records the start of host h's disconnection span for
 // the timeline, growing the flat per-host table past dynamic joins.
+//
+//lane:stopped
 func (e *engine) markDisconnected(h mobile.HostID, at des.Time) {
 	for int(h) >= len(e.discAt) {
 		e.discAt = append(e.discAt, -1)
@@ -619,6 +644,8 @@ func (e *engine) markDisconnected(h mobile.HostID, at des.Time) {
 }
 
 // takeDisconnected returns and clears host h's disconnection start.
+//
+//lane:stopped
 func (e *engine) takeDisconnected(h mobile.HostID) (des.Time, bool) {
 	if int(h) >= len(e.discAt) || e.discAt[h] < 0 {
 		return 0, false
@@ -645,6 +672,8 @@ func (e *engine) now(h mobile.HostID) des.Time {
 // setCauseFor marks the activity about to drive protocol callbacks for
 // host h and returns the slot's previous value; restoreCauseFor puts it
 // back. Lane handlers only ever touch their own host's slot.
+//
+//lane:handler
 func (e *engine) setCauseFor(h mobile.HostID, c string) (prev string) {
 	s := e.laneOf(h)
 	prev = e.causeLane[s]
@@ -652,6 +681,7 @@ func (e *engine) setCauseFor(h mobile.HostID, c string) (prev string) {
 	return prev
 }
 
+//lane:handler
 func (e *engine) restoreCauseFor(h mobile.HostID, prev string) {
 	e.causeLane[e.laneOf(h)] = prev
 }
@@ -660,6 +690,8 @@ func (e *engine) restoreCauseFor(h mobile.HostID, prev string) {
 // single-threaded (init and the world-stopped global phase, where a
 // marker or tick may checkpoint any host). restoreCauseAll undoes it; no
 // lane handler runs in between, so clobbering lane-local values is moot.
+//
+//lane:stopped
 func (e *engine) setCauseAll(c string) (prev string) {
 	prev = e.causeLane[0]
 	for i := range e.causeLane {
@@ -668,6 +700,7 @@ func (e *engine) setCauseAll(c string) (prev string) {
 	return prev
 }
 
+//lane:stopped
 func (e *engine) restoreCauseAll(prev string) {
 	for i := range e.causeLane {
 		e.causeLane[i] = prev
@@ -1088,6 +1121,7 @@ func (e *engine) instrumentProbes() {
 	}
 	pool("event", func() probe.PoolProbe { return e.simPool })
 	pool("message", func() probe.PoolProbe {
+		//probe:merge gauge snapshot into a local; racing shard reads are the probes' documented deal
 		var m probe.PoolProbe
 		for i := range e.msgProbe {
 			m.Merge(e.msgProbe[i])
@@ -1174,6 +1208,8 @@ func (e *engine) checkpointer(i int) protocol.Checkpointer {
 
 // send runs every protocol's OnSend, assembles the piggyback slots and
 // hands the message to the network.
+//
+//lane:handler
 func (e *engine) send(from, to mobile.HostID) {
 	prev := e.setCauseFor(from, "send") // restored below; this is the hot path, no defer
 	lane := e.laneOf(from)
@@ -1219,6 +1255,8 @@ func (e *engine) send(from, to mobile.HostID) {
 
 // onDeliver dispatches a delivered message to every protocol and records
 // the receiver-side trace positions (after any forced checkpoint).
+//
+//lane:handler
 func (e *engine) onDeliver(now des.Time, h *mobile.Host, m *mobile.Message) {
 	prev := e.setCauseFor(h.ID, "deliver") // restored below; this is the hot path, no defer
 	pl := m.Payload.(*payload)
@@ -1546,6 +1584,8 @@ func (e *engine) run() *Result {
 // probeReport assembles Result.Probes from the quiesced probe cells.
 // Only called after the lanes have joined (run's tail), so the plain
 // reads are ordered by the goroutine join.
+//
+//probe:merge runs after the lanes have joined; the run is quiescent
 func (e *engine) probeReport() *ProbeReport {
 	r := &ProbeReport{
 		Engine:      e.cfg.Engine.String(),
